@@ -1,0 +1,13 @@
+//! Baseline error-detection schemes the paper compares against (Fig. 1):
+//! dual-core lockstep (DCLS) and redundant multithreading (RMT), built on
+//! the same core and memory substrate as the paradet system so the Fig. 1(d)
+//! comparison table regenerates with measured numbers.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod dcls;
+mod rmt;
+
+pub use dcls::{DclsReport, DclsSystem};
+pub use rmt::{rmt_slowdown, run_rmt, RmtReport};

@@ -1,0 +1,100 @@
+//! Ablation benchmarks for the design choices called out in DESIGN.md §5:
+//! what each mechanism costs in simulator wall time, and what the detection
+//! machinery adds over an unchecked run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use paradet_core::{DetectionMode, PairedSystem, SystemConfig};
+use paradet_mem::{Freq, MemConfig, MemHier};
+use paradet_ooo::{NullSink, OooCore};
+use paradet_workloads::Workload;
+
+const INSTRS: u64 = 20_000;
+
+/// Detection machinery cost in the simulator: Off vs CheckpointOnly vs Full.
+fn bench_detection_modes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_detection_mode");
+    g.sample_size(10);
+    let program = Workload::Freqmine.build(Workload::Freqmine.iters_for_instrs(INSTRS));
+    for (name, mode) in [
+        ("off", DetectionMode::Off),
+        ("checkpoint_only", DetectionMode::CheckpointOnly),
+        ("full", DetectionMode::Full),
+    ] {
+        let cfg = SystemConfig::paper_default().with_mode(mode);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| PairedSystem::new(*cfg, &program).run(INSTRS))
+        });
+    }
+    g.finish();
+}
+
+/// Prefetcher on/off: simulator cost of the stride table and extra DRAM
+/// traffic (simulated speedups are reported by the experiment harness).
+fn bench_prefetch(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_prefetch");
+    g.sample_size(10);
+    let program = Workload::Stream.build(Workload::Stream.iters_for_instrs(INSTRS));
+    for enabled in [false, true] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(if enabled { "on" } else { "off" }),
+            &enabled,
+            |b, &enabled| {
+                let cfg = paradet_ooo::OooConfig::default();
+                let mut mem_cfg = MemConfig::paper_default(cfg.clock, Freq::from_mhz(1000));
+                mem_cfg.prefetch_enabled = enabled;
+                b.iter(|| {
+                    let mut hier = MemHier::new(&mem_cfg, 0);
+                    hier.data.load_image(&program);
+                    let mut core = OooCore::new(cfg, &program);
+                    core.run(&mut hier, &mut NullSink, INSTRS)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+/// Log sizing: more/smaller segments mean more seal work per instruction.
+fn bench_log_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_log_size");
+    g.sample_size(10);
+    let program = Workload::Stream.build(Workload::Stream.iters_for_instrs(INSTRS));
+    for (name, bytes, timeout) in
+        [("3.6KiB", 3686usize, Some(500u64)), ("36KiB", 36 * 1024, Some(5_000)), ("360KiB", 360 * 1024, Some(50_000))]
+    {
+        let cfg = SystemConfig::paper_default().with_log(bytes, timeout);
+        g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| PairedSystem::new(*cfg, &program).run(INSTRS))
+        });
+    }
+    g.finish();
+}
+
+/// RMT duplication cost in the simulator (two timing passes per µop).
+fn bench_rmt(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_rmt");
+    g.sample_size(10);
+    let program = Workload::Bitcount.build(Workload::Bitcount.iters_for_instrs(INSTRS));
+    for dup in [false, true] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(if dup { "rmt" } else { "plain" }),
+            &dup,
+            |b, &dup| {
+                let cfg = paradet_ooo::OooConfig { rmt_duplicate: dup, ..Default::default() };
+                b.iter(|| {
+                    let mut hier = MemHier::new(
+                        &MemConfig::paper_default(cfg.clock, Freq::from_mhz(1000)),
+                        0,
+                    );
+                    hier.data.load_image(&program);
+                    let mut core = OooCore::new(cfg, &program);
+                    core.run(&mut hier, &mut NullSink, INSTRS)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_detection_modes, bench_prefetch, bench_log_size, bench_rmt);
+criterion_main!(benches);

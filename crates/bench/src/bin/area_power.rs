@@ -1,0 +1,4 @@
+//! Regenerates the SVI-B/C area and power estimates.
+fn main() {
+    print!("{}", paradet_bench::experiments::area_power().render());
+}

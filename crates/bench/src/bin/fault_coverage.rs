@@ -1,0 +1,5 @@
+//! Runs the fault-injection coverage campaign.
+fn main() {
+    let trials = std::env::var("PARADET_TRIALS").ok().and_then(|v| v.parse().ok()).unwrap_or(15);
+    print!("{}", paradet_bench::experiments::fault_coverage(trials, 20_000).render());
+}

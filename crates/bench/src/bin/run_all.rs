@@ -1,0 +1,26 @@
+//! Runs every experiment, printing all tables and writing all CSVs.
+use paradet_bench::experiments as ex;
+use paradet_bench::runner::Runner;
+
+fn main() {
+    let t0 = std::time::Instant::now();
+    let mut r = Runner::new();
+    println!("paradet experiment suite — {} instructions per run\n", r.instrs());
+    println!("{}", ex::table1_config().render());
+    println!("{}", ex::table2_benchmarks().render());
+    println!("{}", ex::fig07_slowdown(&mut r).render());
+    println!("{}", ex::fig08_delay_density(&mut r).render());
+    println!("{}", ex::fig09_freq_slowdown(&mut r).render());
+    println!("{}", ex::fig10_checkpoint_overhead(&mut r).render());
+    let (a, b) = ex::fig11_freq_delay(&mut r);
+    print!("{}\n{}\n", a.render(), b.render());
+    let (a, b) = ex::fig12_logsize_delay(&mut r);
+    print!("{}\n{}\n", a.render(), b.render());
+    println!("{}", ex::fig13_core_scaling(&mut r).render());
+    println!("{}", ex::fig01_comparison(&mut r).render());
+    println!("{}", ex::area_power().render());
+    println!("{}", ex::sec6d_bigger_cores(&mut r).render());
+    println!("{}", ex::fault_coverage(10, 20_000).render());
+    println!("total wall time: {:.1?}; CSVs in {}", t0.elapsed(),
+        paradet_bench::runner::out_dir().display());
+}

@@ -1,0 +1,13 @@
+fn main() {
+    use std::time::Instant;
+    for w in paradet_workloads::Workload::all() {
+        let program = w.build(w.iters_for_instrs(150_000));
+        let cfg = paradet_core::SystemConfig::paper_default();
+        let t0 = Instant::now();
+        let mut sys = paradet_core::PairedSystem::new(cfg, &program);
+        let r = sys.run(150_000);
+        let dt = t0.elapsed();
+        println!("{:14} {:>8} instrs in {:>7.2?}  ({:.2} Minstr/s)  ipc={:.2} slowdownable seals={} mean_delay={:.0}ns",
+            w.name(), r.instrs, dt, r.instrs as f64 / dt.as_secs_f64() / 1e6, r.ipc(), r.detector.seals, r.delays.mean_ns());
+    }
+}

@@ -1,0 +1,4 @@
+//! Prints the modelled Table I configuration.
+fn main() {
+    print!("{}", paradet_bench::experiments::table1_config().render());
+}

@@ -1,0 +1,4 @@
+//! Prints the Table II benchmark inventory.
+fn main() {
+    print!("{}", paradet_bench::experiments::table2_benchmarks().render());
+}

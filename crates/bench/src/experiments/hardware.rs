@@ -1,0 +1,24 @@
+//! §VI-B area and §VI-C power estimates.
+
+use crate::runner::out_dir;
+use paradet_model::{AreaInputs, PowerInputs};
+use paradet_stats::Table;
+
+/// Evaluates and prints the analytic area/power model with the paper's
+/// datapoints (paper: ≈24% area vs core, ≈16% vs core+L2, ≈16% power).
+pub fn area_power() -> Table {
+    let a = AreaInputs::default().evaluate();
+    let p = PowerInputs::default().evaluate();
+    let mut t = Table::new("SVI-B/C: area and power overheads", &["quantity", "value"]);
+    t.row(&["checker cores (12x)".into(), format!("{:.3} mm2", a.checkers_mm2)]);
+    t.row(&["detection SRAM (80KiB)".into(), format!("{:.3} mm2", a.sram_mm2)]);
+    t.row(&["total detection hardware".into(), format!("{:.3} mm2", a.detection_mm2)]);
+    t.row(&["area overhead vs core".into(), format!("{:.1}%", a.overhead_vs_core * 100.0)]);
+    t.row(&["area overhead vs core+L2".into(), format!("{:.1}%", a.overhead_vs_core_l2 * 100.0)]);
+    t.row(&["main core power".into(), format!("{:.2} W", p.main_w)]);
+    t.row(&["checker power (12x)".into(), format!("{:.3} W", p.checkers_w)]);
+    t.row(&["power overhead (upper bound)".into(), format!("{:.1}%", p.overhead * 100.0)]);
+    t.row(&["DCLS area/power overhead".into(), "100% / 100%".into()]);
+    let _ = t.write_csv(&out_dir().join("area_power.csv"));
+    t
+}

@@ -1,0 +1,38 @@
+//! One function per table/figure of the paper.
+
+mod bigger;
+mod comparison;
+mod coverage;
+mod delays;
+mod hardware;
+mod slowdown;
+mod tables;
+
+pub use bigger::sec6d_bigger_cores;
+pub use comparison::fig01_comparison;
+pub use coverage::fault_coverage;
+pub use delays::{fig08_delay_density, fig11_freq_delay, fig12_logsize_delay};
+pub use hardware::area_power;
+pub use slowdown::{fig07_slowdown, fig09_freq_slowdown, fig10_checkpoint_overhead, fig13_core_scaling};
+pub use tables::{table1_config, table2_benchmarks};
+
+/// The log-size/timeout sweep of Fig. 10/12: (label, bytes, timeout).
+pub const LOG_SWEEP: [(&str, usize, Option<u64>); 5] = [
+    ("3.6KiB/500", 3686, Some(500)),
+    ("36KiB/5000", 36 * 1024, Some(5_000)),
+    ("360KiB/50000", 360 * 1024, Some(50_000)),
+    ("360KiB/inf", 360 * 1024, None),
+    ("36KiB/inf", 36 * 1024, None),
+];
+
+/// The checker-clock sweep of Fig. 9/11, MHz.
+pub const CLOCK_SWEEP: [u64; 5] = [125, 250, 500, 1000, 2000];
+
+/// The core-count/clock sweep of Fig. 13: (label, cores, MHz).
+pub const CORE_SWEEP: [(&str, usize, u64); 5] = [
+    ("3c@1GHz", 3, 1000),
+    ("12c@250MHz", 12, 250),
+    ("6c@1GHz", 6, 1000),
+    ("12c@500MHz", 12, 500),
+    ("12c@1GHz", 12, 1000),
+];

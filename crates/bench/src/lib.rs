@@ -1,0 +1,14 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each binary under `src/bin/` is a thin wrapper over one function in
+//! [`experiments`]; `run_all` executes the full set. Results print as
+//! aligned text tables and are also written as CSV under
+//! `EXPERIMENTS-data/` (override with `PARADET_OUT`). Per-run instruction
+//! budgets default to [`runner::DEFAULT_INSTRS`] and can be overridden
+//! with `PARADET_INSTRS`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod experiments;
+pub mod runner;

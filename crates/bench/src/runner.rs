@@ -1,0 +1,73 @@
+//! Sweep runner with baseline caching and common CLI conventions.
+
+use paradet_core::{run_unchecked, PairedSystem, RunReport, SystemConfig};
+use paradet_workloads::Workload;
+use std::collections::HashMap;
+use std::path::PathBuf;
+
+/// Default dynamic-instruction budget per run. Override with the
+/// `PARADET_INSTRS` environment variable.
+pub const DEFAULT_INSTRS: u64 = 150_000;
+
+/// Reads the per-run instruction budget.
+pub fn instr_budget() -> u64 {
+    std::env::var("PARADET_INSTRS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_INSTRS)
+}
+
+/// Where experiment CSVs are written (`EXPERIMENTS-data/` at the workspace
+/// root, override with `PARADET_OUT`).
+pub fn out_dir() -> PathBuf {
+    std::env::var("PARADET_OUT").map(PathBuf::from).unwrap_or_else(|_| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../EXPERIMENTS-data")
+    })
+}
+
+/// A sweep runner that caches the unchecked-baseline run per workload.
+#[derive(Debug, Default)]
+pub struct Runner {
+    instrs: u64,
+    baselines: HashMap<&'static str, RunReport>,
+}
+
+impl Runner {
+    /// Creates a runner with the environment-configured budget.
+    pub fn new() -> Runner {
+        Runner { instrs: instr_budget(), baselines: HashMap::new() }
+    }
+
+    /// Creates a runner with an explicit budget.
+    pub fn with_instrs(instrs: u64) -> Runner {
+        Runner { instrs, baselines: HashMap::new() }
+    }
+
+    /// The per-run instruction budget.
+    pub fn instrs(&self) -> u64 {
+        self.instrs
+    }
+
+    /// Runs `workload` under `cfg` with full detection.
+    pub fn run(&self, cfg: &SystemConfig, workload: Workload) -> RunReport {
+        let program = workload.build(workload.iters_for_instrs(self.instrs));
+        let mut sys = PairedSystem::new(*cfg, &program);
+        sys.run(self.instrs)
+    }
+
+    /// Runs the unchecked baseline for `workload` (cached).
+    pub fn baseline(&mut self, cfg: &SystemConfig, workload: Workload) -> &RunReport {
+        let instrs = self.instrs;
+        self.baselines.entry(workload.name()).or_insert_with(|| {
+            let program = workload.build(workload.iters_for_instrs(instrs));
+            run_unchecked(cfg, &program, instrs)
+        })
+    }
+
+    /// Normalized slowdown of `cfg` over the unchecked baseline.
+    pub fn slowdown(&mut self, cfg: &SystemConfig, workload: Workload) -> f64 {
+        let base_cycles = self.baseline(cfg, workload).main_cycles.max(1);
+        let full = self.run(cfg, workload);
+        full.main_cycles as f64 / base_cycles as f64
+    }
+}

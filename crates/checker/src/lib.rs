@@ -1,0 +1,23 @@
+//! In-order checker core model.
+//!
+//! Implements the small checker cores of §IV-B of the paper: in-order,
+//! 4-stage pipeline, low clock (1 GHz default, swept 125 MHz–2 GHz in
+//! Fig. 9/11), a tiny private L0 instruction cache behind a shared checker
+//! L1I (modelled in `paradet-mem`), and **no data cache** — every load is
+//! satisfied from the core's load-store log segment, every store is checked
+//! against it, and the register file is compared with the end-of-segment
+//! checkpoint when the replay finishes.
+//!
+//! The crate deliberately knows nothing about the log's layout: the
+//! detection system (in `paradet-core`) hands each replay a
+//! [`ReplaySource`], and this crate contributes the *core model* — timing
+//! and architectural replay.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod core;
+mod replay;
+
+pub use crate::core::{CheckerConfig, CheckerCore, CheckerLatencies, CheckerStats, SegmentTask};
+pub use replay::{CheckError, CheckOutcome, ReplayError, ReplaySource};

@@ -1,0 +1,172 @@
+//! System-level configuration (Table I plus the §VI-A sweeps).
+
+use paradet_checker::CheckerConfig;
+use paradet_mem::{Freq, MemConfig, Time};
+use paradet_ooo::OooConfig;
+
+/// What the detection hardware does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DetectionMode {
+    /// Full parallel error detection: log, checkpoints, checker cores.
+    #[default]
+    Full,
+    /// Checkpointing only — segments seal and pause commit, but no checker
+    /// ever runs and segments free instantly. This is exactly the
+    /// configuration of Fig. 10 ("slowdown to the system from just
+    /// checkpointing, without any checker core execution").
+    CheckpointOnly,
+    /// Detection hardware absent (baseline timing).
+    Off,
+}
+
+/// Geometry of the partitioned load-store log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogConfig {
+    /// Total SRAM devoted to the log, in bytes (Table I: 36 KiB).
+    pub total_bytes: usize,
+    /// Bytes per entry: kind tag + 48-bit address + 64-bit value + width ≈
+    /// 18 bytes, matching the paper's 3 KiB ≈ 170-entry segments.
+    pub entry_bytes: usize,
+    /// Instruction-count timeout per segment (Table I: 5 000); `None`
+    /// disables the timeout (the `∞` configurations of Fig. 10/12).
+    pub timeout_insns: Option<u64>,
+}
+
+impl LogConfig {
+    /// Table I: 36 KiB total, 5 000-instruction timeout.
+    pub fn paper_default() -> LogConfig {
+        LogConfig { total_bytes: 36 * 1024, entry_bytes: 18, timeout_insns: Some(5_000) }
+    }
+
+    /// Entries available in each of `segments` per-checker partitions.
+    pub fn entries_per_segment(&self, segments: usize) -> usize {
+        assert!(segments > 0, "log needs at least one segment");
+        (self.total_bytes / segments / self.entry_bytes).max(crate::MAX_UOPS_PER_INSN)
+    }
+}
+
+impl Default for LogConfig {
+    fn default() -> LogConfig {
+        LogConfig::paper_default()
+    }
+}
+
+/// Full configuration of a paired (main + checkers) system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SystemConfig {
+    /// The out-of-order main core.
+    pub main: OooConfig,
+    /// One checker core configuration, replicated `n_checkers` times.
+    pub checker: CheckerConfig,
+    /// Number of checker cores and log segments (Table I: 12; one-to-one
+    /// mapping, §IV-D).
+    pub n_checkers: usize,
+    /// Load-store log geometry.
+    pub log: LogConfig,
+    /// Commit pause when a register checkpoint is taken (Table I: 16
+    /// cycles).
+    pub checkpoint_pause_cycles: u64,
+    /// Detection mode.
+    pub mode: DetectionMode,
+    /// Whether the load forwarding unit duplicates loads at execute (§IV-C).
+    /// Disabling it models the naive design whose window of vulnerability
+    /// the LFU closes — used by the fault-injection ablation.
+    pub lfu_enabled: bool,
+    /// If set, an "interrupt" fires this often and forces an early register
+    /// checkpoint at the next instruction boundary (§IV-G).
+    pub interrupt_interval: Option<Time>,
+}
+
+impl SystemConfig {
+    /// The paper's Table I configuration.
+    pub fn paper_default() -> SystemConfig {
+        SystemConfig {
+            main: OooConfig::default(),
+            checker: CheckerConfig::default(),
+            n_checkers: 12,
+            log: LogConfig::paper_default(),
+            checkpoint_pause_cycles: 16,
+            mode: DetectionMode::Full,
+            lfu_enabled: true,
+            interrupt_interval: None,
+        }
+    }
+
+    /// Returns a copy with the checker cores clocked at `mhz` (Fig. 9/11
+    /// sweeps 125–2000 MHz).
+    pub fn with_checker_mhz(mut self, mhz: u64) -> SystemConfig {
+        self.checker = CheckerConfig::paper_default(Freq::from_mhz(mhz));
+        self
+    }
+
+    /// Returns a copy with `n` checker cores / log segments (Fig. 13).
+    pub fn with_checkers(mut self, n: usize) -> SystemConfig {
+        self.n_checkers = n;
+        self
+    }
+
+    /// Returns a copy with a different log size and timeout (Fig. 10/12).
+    pub fn with_log(mut self, total_bytes: usize, timeout: Option<u64>) -> SystemConfig {
+        self.log.total_bytes = total_bytes;
+        self.log.timeout_insns = timeout;
+        self
+    }
+
+    /// Returns a copy in the given detection mode.
+    pub fn with_mode(mut self, mode: DetectionMode) -> SystemConfig {
+        self.mode = mode;
+        self
+    }
+
+    /// The memory-system configuration implied by the core clocks.
+    pub fn mem_config(&self) -> MemConfig {
+        MemConfig::paper_default(self.main.clock, self.checker.clock)
+    }
+
+    /// Entries per log segment.
+    pub fn entries_per_segment(&self) -> usize {
+        self.log.entries_per_segment(self.n_checkers)
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> SystemConfig {
+        SystemConfig::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults() {
+        let c = SystemConfig::paper_default();
+        assert_eq!(c.n_checkers, 12);
+        assert_eq!(c.log.total_bytes, 36 * 1024);
+        assert_eq!(c.log.timeout_insns, Some(5_000));
+        assert_eq!(c.checkpoint_pause_cycles, 16);
+        // 36 KiB / 12 segments / 18 B ≈ 170 entries, the paper's 3 KiB per
+        // core.
+        assert_eq!(c.entries_per_segment(), 170);
+        assert!(c.lfu_enabled);
+    }
+
+    #[test]
+    fn sweep_helpers() {
+        let c = SystemConfig::paper_default()
+            .with_checker_mhz(500)
+            .with_checkers(6)
+            .with_log(360 * 1024, None);
+        assert_eq!(c.checker.clock.mhz(), 500);
+        assert_eq!(c.n_checkers, 6);
+        assert_eq!(c.log.timeout_insns, None);
+        assert_eq!(c.entries_per_segment(), 360 * 1024 / 6 / 18);
+    }
+
+    #[test]
+    fn tiny_log_still_fits_a_macro_op() {
+        let log = LogConfig { total_bytes: 16, entry_bytes: 18, timeout_insns: None };
+        assert_eq!(log.entries_per_segment(4), crate::MAX_UOPS_PER_INSN);
+    }
+}

@@ -1,0 +1,436 @@
+//! The detection hardware attached to the main core's commit stage.
+//!
+//! [`Detector`] implements [`DetectionSink`]: it captures committed loads,
+//! stores and non-deterministic results into the current load-store log
+//! segment, seals segments (taking the register checkpoint and pausing
+//! commit for the copy latency), dispatches sealed segments to their
+//! checker cores, and stalls the main core when every segment is in use
+//! (§IV-D: "If all log segments are full, we stall the main core until a
+//! checker core finishes").
+//!
+//! Checker replays are simulated *eagerly* at seal time: a segment's data
+//! is complete when it seals, so its check outcome and finish time are
+//! causally determined at that instant, and the finish time is exactly what
+//! later commits need for their stall decisions.
+
+use crate::config::{DetectionMode, SystemConfig};
+use crate::delay::DelayStats;
+use crate::error::DetectedError;
+use crate::lfu::LoadForwardingUnit;
+use crate::log::{EntryKind, LogEntry, Segment, SegmentReader, SegmentState};
+use paradet_checker::{CheckerCore, SegmentTask};
+use paradet_isa::{ArchState, Instruction, MemWidth, Program};
+use paradet_mem::{MemHier, Time};
+use paradet_ooo::{CommitEvent, CommitGate, DetectionSink};
+
+/// Why a segment was sealed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SealKind {
+    /// The segment had fewer free entries than the largest macro-op.
+    Space,
+    /// The instruction-count timeout elapsed (§IV-J).
+    Timeout,
+    /// An interrupt boundary forced an early checkpoint (§IV-G).
+    Interrupt,
+    /// The program halted or the run was finalized (§IV-H).
+    Final,
+}
+
+/// Running statistics of the detection hardware.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DetectorStats {
+    /// Segments sealed.
+    pub seals: u64,
+    /// … because the segment filled.
+    pub space_seals: u64,
+    /// … because of the instruction timeout.
+    pub timeout_seals: u64,
+    /// … because of an interrupt boundary.
+    pub interrupt_seals: u64,
+    /// … at termination.
+    pub final_seals: u64,
+    /// Entries written to the log.
+    pub entries_logged: u64,
+    /// Commit attempts turned away because the log was full.
+    pub log_full_retries: u64,
+}
+
+/// The detection hardware: load forwarding unit, partitioned log,
+/// checkpointing, and the checker-core farm.
+#[derive(Debug)]
+pub struct Detector {
+    mode: DetectionMode,
+    lfu_enabled: bool,
+    pause_cycles: u64,
+    timeout: Option<u64>,
+    interrupt_interval: Option<Time>,
+    next_interrupt: Time,
+    program: Program,
+    /// The checker cores (public for statistics inspection).
+    pub checkers: Vec<CheckerCore>,
+    /// The load forwarding unit (public for statistics inspection).
+    pub lfu: LoadForwardingUnit,
+    segs: Vec<Segment>,
+    cur: usize,
+    /// Start checkpoint chained from the previous segment's end (§IV-D:
+    /// "start a checker core with the register checkpoint collected when
+    /// the previous segment was filled").
+    chain_ckpt: ArchState,
+    base_instr: u64,
+    seal_seq: u64,
+    finishes: Vec<Time>,
+    /// Detection delays over all checked entries (Fig. 8).
+    pub delays: DelayStats,
+    /// Detection delays over stores only (Fig. 11/12).
+    pub store_delays: DelayStats,
+    /// Errors raised by checkers, in seal order.
+    pub errors: Vec<DetectedError>,
+    /// Statistics (public for the experiment harness).
+    pub stats: DetectorStats,
+    /// An armed fault in the *detection hardware itself*: flips `bit` of
+    /// the value of entry `entry` in the segment with seal sequence `seq`,
+    /// just before its check runs. Models §IV-I over-detection: "errors
+    /// within the checker circuitry do not affect the main program", but
+    /// are still reported.
+    log_fault: Option<(u64, usize, u8)>,
+}
+
+impl Detector {
+    /// Builds the detection hardware for `program` starting from its entry
+    /// state.
+    pub fn new(cfg: &SystemConfig, program: &Program) -> Detector {
+        let entries = cfg.entries_per_segment();
+        Detector {
+            mode: cfg.mode,
+            lfu_enabled: cfg.lfu_enabled,
+            pause_cycles: cfg.checkpoint_pause_cycles,
+            timeout: cfg.log.timeout_insns,
+            interrupt_interval: cfg.interrupt_interval,
+            next_interrupt: cfg.interrupt_interval.unwrap_or(Time::MAX),
+            program: program.clone(),
+            checkers: (0..cfg.n_checkers).map(|i| CheckerCore::new(i, cfg.checker)).collect(),
+            lfu: LoadForwardingUnit::new(cfg.main.rob_entries),
+            segs: (0..cfg.n_checkers).map(|_| Segment::new(entries)).collect(),
+            cur: 0,
+            chain_ckpt: ArchState::at_entry(program),
+            base_instr: 0,
+            seal_seq: 0,
+            finishes: Vec::new(),
+            delays: DelayStats::new(),
+            store_delays: DelayStats::new(),
+            errors: Vec::new(),
+            stats: DetectorStats::default(),
+            log_fault: None,
+        }
+    }
+
+    /// Arms an over-detection fault: corrupts one bit of one log entry in
+    /// the segment with seal sequence `seal_seq` before it is checked
+    /// (§IV-I). The main program is unaffected; the checker reports a
+    /// false-positive error.
+    pub fn arm_log_fault(&mut self, seal_seq: u64, entry: usize, bit: u8) {
+        self.log_fault = Some((seal_seq, entry, bit));
+    }
+
+    /// Time at which every launched check has finished.
+    pub fn all_checks_done_at(&self) -> Time {
+        self.finishes.iter().copied().max().unwrap_or(Time::ZERO)
+    }
+
+    /// Fills in [`DetectedError::confirm_time`] for every recorded error:
+    /// the time at which all earlier segments had validated.
+    pub fn confirm_errors(&mut self) {
+        // Prefix maxima of finish times by seal sequence.
+        let mut prefix = Vec::with_capacity(self.finishes.len());
+        let mut m = Time::ZERO;
+        for &f in &self.finishes {
+            m = m.max(f);
+            prefix.push(m);
+        }
+        for e in &mut self.errors {
+            e.confirm_time = prefix.get(e.seal_seq as usize).copied().unwrap_or(e.detect_time);
+        }
+    }
+
+    /// Seals whatever remains (entries and instructions since the last
+    /// boundary) and checks it — used at halt, crash, or experiment cutoff
+    /// (§IV-H: process termination is held until checks complete).
+    pub fn finalize(&mut self, committed: &ArchState, instr_count: u64, at: Time, hier: &mut MemHier) {
+        if self.mode == DetectionMode::Off {
+            return;
+        }
+        let covered = instr_count.saturating_sub(self.base_instr);
+        // Entries in a non-Filling segment are stale leftovers from its
+        // previous tour of the ring (cleared lazily on reuse).
+        let has_pending = self.segs[self.cur].state == SegmentState::Filling
+            && !self.segs[self.cur].entries.is_empty();
+        if covered > 0 || has_pending {
+            // Wait for the current segment's storage if it is still busy.
+            let at = match self.segs[self.cur].state {
+                SegmentState::Busy { until } => at.max(until),
+                _ => at,
+            };
+            self.seal(committed, instr_count, at, hier, SealKind::Final);
+        }
+        self.confirm_errors();
+    }
+
+    /// Seals the current segment at `at`, whose end state is `committed`
+    /// after `instr_count` total retired instructions, and hands it to its
+    /// checker.
+    fn seal(
+        &mut self,
+        committed: &ArchState,
+        instr_count: u64,
+        at: Time,
+        hier: &mut MemHier,
+        kind: SealKind,
+    ) {
+        self.stats.seals += 1;
+        match kind {
+            SealKind::Space => self.stats.space_seals += 1,
+            SealKind::Timeout => self.stats.timeout_seals += 1,
+            SealKind::Interrupt => self.stats.interrupt_seals += 1,
+            SealKind::Final => self.stats.final_seals += 1,
+        }
+        if let Some(iv) = self.interrupt_interval {
+            if kind == SealKind::Interrupt {
+                self.next_interrupt = at + iv;
+            }
+        }
+
+        let cur = self.cur;
+        {
+            let seg = &mut self.segs[cur];
+            // An entry-less timeout/final seal may find the segment Free or
+            // holding stale entries from its previous tour of the ring
+            // (storage is reclaimed lazily): begin its fill retroactively.
+            if seg.state != SegmentState::Filling {
+                seg.reset();
+                seg.state = SegmentState::Filling;
+                seg.base_instr = self.base_instr;
+                seg.start_ckpt = Some(self.chain_ckpt.clone());
+            }
+            seg.end_ckpt = Some(committed.clone());
+            seg.instr_count = instr_count - seg.base_instr;
+            seg.seal_time = at;
+        }
+        // Chain the checkpoint for the next segment.
+        self.chain_ckpt = committed.clone();
+        self.base_instr = instr_count;
+
+        match self.mode {
+            DetectionMode::Full => {
+                // Run the checker eagerly; its finish time frees the
+                // segment's storage.
+                let Detector {
+                    segs,
+                    checkers,
+                    delays,
+                    store_delays,
+                    program,
+                    finishes,
+                    errors,
+                    seal_seq,
+                    log_fault,
+                    ..
+                } = self;
+                let seg = &mut segs[cur];
+                if let Some((fseq, fentry, fbit)) = *log_fault {
+                    if fseq == *seal_seq && !seg.entries.is_empty() {
+                        let idx = fentry % seg.entries.len();
+                        seg.entries[idx].value ^= 1u64 << (fbit & 63);
+                        *log_fault = None;
+                    }
+                }
+                let task = SegmentTask {
+                    program,
+                    start: seg.start_ckpt.as_ref().expect("sealed segment has a start checkpoint"),
+                    end: seg.end_ckpt.as_ref().expect("sealed segment has an end checkpoint"),
+                    instr_count: seg.instr_count,
+                    ready_at: at,
+                };
+                let mut reader = SegmentReader::new(&seg.entries, delays, store_delays);
+                let outcome = checkers[cur].run_segment(task, &mut reader, hier);
+                finishes.push(outcome.finish_time);
+                if let Err(error) = outcome.result {
+                    errors.push(DetectedError {
+                        seal_seq: *seal_seq,
+                        error,
+                        detect_time: outcome.finish_time,
+                        confirm_time: Time::ZERO,
+                        base_instr: seg.base_instr,
+                    });
+                }
+                seg.state = SegmentState::Busy { until: outcome.finish_time };
+            }
+            DetectionMode::CheckpointOnly => {
+                // Checkpoint costs are modelled; the segment frees at once.
+                self.finishes.push(at);
+                self.segs[cur].reset();
+            }
+            DetectionMode::Off => unreachable!("seal is never called in Off mode"),
+        }
+        self.seal_seq += 1;
+        self.cur = (cur + 1) % self.segs.len();
+    }
+}
+
+impl DetectionSink for Detector {
+    fn on_load_executed(&mut self, rob_slot: usize, addr: u64, value: u64, width: MemWidth, at: Time) {
+        if self.mode == DetectionMode::Off {
+            return;
+        }
+        self.lfu.capture(rob_slot, addr, value, width, at);
+    }
+
+    fn on_commit(
+        &mut self,
+        ev: &CommitEvent,
+        at: Time,
+        committed: &ArchState,
+        hier: &mut MemHier,
+    ) -> CommitGate {
+        if self.mode == DetectionMode::Off {
+            return CommitGate::Accept;
+        }
+
+        // ---- Log capture --------------------------------------------------
+        let entry = match (ev.mem, ev.nondet) {
+            (Some(m), _) => {
+                let (kind, value) = if m.is_store {
+                    (EntryKind::Store, m.value)
+                } else if self.lfu_enabled {
+                    // Forward the execute-time duplicate (§IV-C); fall back
+                    // to the commit-path value if the slot was reallocated.
+                    let v = self
+                        .lfu
+                        .forward(ev.rob_slot, m.addr)
+                        .map(|e| e.value)
+                        .unwrap_or(m.value);
+                    (EntryKind::Load, v)
+                } else {
+                    // Naive design: forward the register-resident value at
+                    // commit (the window of vulnerability of §IV-C).
+                    (EntryKind::Load, m.value)
+                };
+                Some(LogEntry { kind, addr: m.addr, value, width: m.width, commit_time: at })
+            }
+            (None, Some(v)) => Some(LogEntry {
+                kind: EntryKind::Nondet,
+                addr: 0,
+                value: v,
+                width: MemWidth::D,
+                commit_time: at,
+            }),
+            (None, None) => None,
+        };
+        if let Some(entry) = entry {
+            let seg = &mut self.segs[self.cur];
+            match seg.state {
+                SegmentState::Busy { until } => {
+                    if at < until {
+                        // Every segment in use: stall the main core.
+                        self.stats.log_full_retries += 1;
+                        return CommitGate::Retry(until);
+                    }
+                    seg.reset();
+                }
+                SegmentState::Free | SegmentState::Filling => {}
+            }
+            if seg.state == SegmentState::Free {
+                seg.state = SegmentState::Filling;
+                seg.base_instr = self.base_instr;
+                seg.start_ckpt = Some(self.chain_ckpt.clone());
+            }
+            debug_assert!(seg.entries.len() < seg.capacity, "macro-op boundary rule violated");
+            seg.entries.push(entry);
+            self.stats.entries_logged += 1;
+        }
+
+        // ---- Seal decision at macro-op boundaries --------------------------
+        if !ev.last {
+            return CommitGate::Accept;
+        }
+        let instr_count = ev.instr_index + 1;
+        let is_halt = matches!(ev.insn, Instruction::Halt);
+        let covered = instr_count - self.base_instr;
+
+        let seg = &self.segs[self.cur];
+        let space_seal = seg.state == SegmentState::Filling && !seg.has_space_for_macro();
+        let timeout_seal = self.timeout.is_some_and(|t| covered >= t);
+        let interrupt_seal = at >= self.next_interrupt;
+        // Timeout/interrupt seals of an entry-less segment whose storage is
+        // still being checked are deferred to the next boundary; a halt must
+        // wait for the storage instead.
+        let storage_busy_until = match seg.state {
+            SegmentState::Busy { until } if at < until => Some(until),
+            _ => None,
+        };
+
+        if is_halt {
+            let pending = seg.state == SegmentState::Filling && !seg.entries.is_empty();
+            if covered == 0 && !pending {
+                return CommitGate::Accept;
+            }
+            if let Some(until) = storage_busy_until {
+                self.stats.log_full_retries += 1;
+                return CommitGate::Retry(until);
+            }
+            self.seal(committed, instr_count, at, hier, SealKind::Final);
+            return CommitGate::AcceptWithPause(self.pause_cycles);
+        }
+        if space_seal {
+            self.seal(committed, instr_count, at, hier, SealKind::Space);
+            return CommitGate::AcceptWithPause(self.pause_cycles);
+        }
+        if (timeout_seal || interrupt_seal) && storage_busy_until.is_none() && covered > 0 {
+            let kind = if interrupt_seal { SealKind::Interrupt } else { SealKind::Timeout };
+            self.seal(committed, instr_count, at, hier, kind);
+            return CommitGate::AcceptWithPause(self.pause_cycles);
+        }
+        CommitGate::Accept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradet_isa::{ProgramBuilder, Reg};
+
+    fn tiny_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::X1, 1);
+        b.halt();
+        b.build()
+    }
+
+    #[test]
+    fn detector_builds_with_paper_config() {
+        let cfg = SystemConfig::paper_default();
+        let program = tiny_program();
+        let det = Detector::new(&cfg, &program);
+        assert_eq!(det.checkers.len(), 12);
+        assert_eq!(det.segs.len(), 12);
+        assert_eq!(det.segs[0].capacity, 170);
+        assert_eq!(det.lfu.capacity(), 40);
+    }
+
+    #[test]
+    fn confirm_errors_uses_prefix_maxima() {
+        let cfg = SystemConfig::paper_default();
+        let program = tiny_program();
+        let mut det = Detector::new(&cfg, &program);
+        det.finishes = vec![Time::from_ns(10), Time::from_ns(50), Time::from_ns(30)];
+        det.errors.push(DetectedError {
+            seal_seq: 2,
+            error: paradet_checker::CheckError::Divergence,
+            detect_time: Time::from_ns(30),
+            confirm_time: Time::ZERO,
+            base_instr: 0,
+        });
+        det.confirm_errors();
+        // Confirmation waits for seals 0..=2: max(10, 50, 30) = 50.
+        assert_eq!(det.errors[0].confirm_time, Time::from_ns(50));
+    }
+}

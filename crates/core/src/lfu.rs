@@ -1,0 +1,131 @@
+//! The load forwarding unit (§IV-C).
+//!
+//! Loads are duplicated into this ROB-indexed table at *execute* time, then
+//! forwarded into the load-store log at commit. Because two copies of every
+//! loaded value exist from the moment the cache responds, a later fault in
+//! the physical register holding the value cannot propagate into the log —
+//! the checker replays the clean copy and the divergence is caught at the
+//! next store or register checkpoint.
+//!
+//! Mis-speculated loads are never flushed: their entries are simply
+//! overwritten when the reorder-buffer slot is reallocated ("we avoid
+//! having to flush incorrectly speculated loads from the load forwarding
+//! unit since they will be overwritten when the reorder buffer entries are
+//! reallocated", §IV-C).
+
+use paradet_isa::MemWidth;
+use paradet_mem::Time;
+
+/// One captured load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LfuEntry {
+    /// Captured address.
+    pub addr: u64,
+    /// Captured value (zero-extended raw bits).
+    pub value: u64,
+    /// Access width.
+    pub width: MemWidth,
+    /// Capture (execute) time.
+    pub captured_at: Time,
+}
+
+/// Running statistics of the load forwarding unit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LfuStats {
+    /// Captures written at execute.
+    pub captures: u64,
+    /// Entries forwarded to the log at commit.
+    pub forwards: u64,
+    /// Commits whose ROB slot held a stale or missing entry (indicates a
+    /// modelling bug or an address-corrupting fault in the capture path).
+    pub misses: u64,
+}
+
+/// The ROB-indexed load forwarding unit.
+#[derive(Debug, Clone)]
+pub struct LoadForwardingUnit {
+    entries: Vec<Option<LfuEntry>>,
+    /// Statistics (public for the experiment harness).
+    pub stats: LfuStats,
+}
+
+impl LoadForwardingUnit {
+    /// Creates a unit with one slot per reorder-buffer entry ("having a
+    /// load forwarding unit as large as the reorder buffer is
+    /// over-provisioning … the table will never be full", §IV-C).
+    pub fn new(rob_entries: usize) -> LoadForwardingUnit {
+        LoadForwardingUnit { entries: vec![None; rob_entries], stats: LfuStats::default() }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Captures a load at execute time into the slot of its ROB entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rob_slot` is out of range.
+    pub fn capture(&mut self, rob_slot: usize, addr: u64, value: u64, width: MemWidth, at: Time) {
+        self.stats.captures += 1;
+        self.entries[rob_slot] = Some(LfuEntry { addr, value, width, captured_at: at });
+    }
+
+    /// Reads the captured entry for a committing load. Returns `None` (and
+    /// counts a miss) if the slot is empty or its address does not match
+    /// the committing load's — with a correct capture path this never
+    /// happens, so callers treat `None` as "fall back to the commit-path
+    /// value".
+    pub fn forward(&mut self, rob_slot: usize, commit_addr: u64) -> Option<LfuEntry> {
+        match self.entries[rob_slot] {
+            Some(e) if e.addr == commit_addr => {
+                self.stats.forwards += 1;
+                Some(e)
+            }
+            _ => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_then_forward() {
+        let mut lfu = LoadForwardingUnit::new(40);
+        lfu.capture(7, 0x1000, 42, MemWidth::D, Time::from_ns(5));
+        let e = lfu.forward(7, 0x1000).expect("entry present");
+        assert_eq!(e.value, 42);
+        assert_eq!(lfu.stats.captures, 1);
+        assert_eq!(lfu.stats.forwards, 1);
+    }
+
+    #[test]
+    fn misspeculated_entry_is_overwritten_not_flushed() {
+        let mut lfu = LoadForwardingUnit::new(40);
+        lfu.capture(3, 0xAAAA, 1, MemWidth::D, Time::ZERO); // wrong path
+        lfu.capture(3, 0xBBBB, 2, MemWidth::D, Time::from_ns(1)); // slot reallocated
+        let e = lfu.forward(3, 0xBBBB).unwrap();
+        assert_eq!(e.value, 2);
+    }
+
+    #[test]
+    fn address_mismatch_counts_as_miss() {
+        let mut lfu = LoadForwardingUnit::new(40);
+        lfu.capture(0, 0x1000, 42, MemWidth::D, Time::ZERO);
+        assert!(lfu.forward(0, 0x2000).is_none());
+        assert_eq!(lfu.stats.misses, 1);
+    }
+
+    #[test]
+    fn empty_slot_is_a_miss() {
+        let mut lfu = LoadForwardingUnit::new(8);
+        assert!(lfu.forward(5, 0x1000).is_none());
+        assert_eq!(lfu.stats.misses, 1);
+    }
+}

@@ -1,0 +1,275 @@
+//! The partitioned load-store log (§IV-D).
+//!
+//! An SRAM log captures, in commit order, every load value (for replay) and
+//! every store address/value (for checking), plus non-deterministic results.
+//! The log is *partitioned*: each segment maps one-to-one onto a checker
+//! core. Segments are sealed — handed to their checker together with start
+//! and end register checkpoints — when nearly full, on an instruction-count
+//! timeout, at interrupt boundaries, or at program termination.
+
+use crate::delay::DelayStats;
+use paradet_checker::{ReplayError, ReplaySource};
+use paradet_isa::{ArchState, MemWidth};
+use paradet_mem::Time;
+
+/// What one log entry records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryKind {
+    /// A committed load: address (checked) and value (replayed).
+    Load,
+    /// A committed store: address and value (both checked).
+    Store,
+    /// A non-deterministic result (`rdcycle`), replayed.
+    Nondet,
+}
+
+/// One committed log entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LogEntry {
+    /// Entry kind.
+    pub kind: EntryKind,
+    /// Byte address (zero for `Nondet`).
+    pub addr: u64,
+    /// Value loaded / stored / produced.
+    pub value: u64,
+    /// Access width (`D` for `Nondet`).
+    pub width: MemWidth,
+    /// Commit time on the main core — the anchor for detection-delay
+    /// measurement.
+    pub commit_time: Time,
+}
+
+/// Lifecycle of one log segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SegmentState {
+    /// Empty and available.
+    Free,
+    /// Receiving committed entries from the main core.
+    Filling,
+    /// Sealed and being checked; the storage frees at `until`.
+    Busy {
+        /// Check finish time.
+        until: Time,
+    },
+}
+
+/// One partition of the load-store log.
+#[derive(Debug, Clone)]
+pub struct Segment {
+    /// Captured entries, in commit order.
+    pub entries: Vec<LogEntry>,
+    /// Entry capacity (3 KiB / 18 B ≈ 170 at Table I settings).
+    pub capacity: usize,
+    /// Lifecycle state.
+    pub state: SegmentState,
+    /// Architectural state at the segment's first instruction.
+    pub start_ckpt: Option<ArchState>,
+    /// Architectural state at the segment's last instruction.
+    pub end_ckpt: Option<ArchState>,
+    /// Dynamic index of the first instruction covered.
+    pub base_instr: u64,
+    /// Number of macro-instructions covered (set at seal).
+    pub instr_count: u64,
+    /// Seal time.
+    pub seal_time: Time,
+}
+
+impl Segment {
+    /// Creates an empty, free segment.
+    pub fn new(capacity: usize) -> Segment {
+        Segment {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            state: SegmentState::Free,
+            start_ckpt: None,
+            end_ckpt: None,
+            base_instr: 0,
+            instr_count: 0,
+            seal_time: Time::ZERO,
+        }
+    }
+
+    /// Clears the segment back to `Free` for reuse.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.state = SegmentState::Free;
+        self.start_ckpt = None;
+        self.end_ckpt = None;
+        self.instr_count = 0;
+    }
+
+    /// Whether another macro-op's worth of entries fits. The paper's
+    /// boundary rule: a macro-op's accesses must never straddle segments,
+    /// so sealing happens while `MAX_UOPS_PER_INSN` slots remain (§IV-D).
+    pub fn has_space_for_macro(&self) -> bool {
+        self.entries.len() + crate::MAX_UOPS_PER_INSN <= self.capacity
+    }
+}
+
+/// A checker core's sequential read view of a sealed segment, recording
+/// per-entry detection delays as checks happen.
+#[derive(Debug)]
+pub struct SegmentReader<'a> {
+    entries: &'a [LogEntry],
+    pos: usize,
+    delays: &'a mut DelayStats,
+    store_delays: &'a mut DelayStats,
+}
+
+impl<'a> SegmentReader<'a> {
+    /// Creates a reader over a sealed segment's entries.
+    pub fn new(
+        entries: &'a [LogEntry],
+        delays: &'a mut DelayStats,
+        store_delays: &'a mut DelayStats,
+    ) -> SegmentReader<'a> {
+        SegmentReader { entries, pos: 0, delays, store_delays }
+    }
+
+    /// Entries consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.pos
+    }
+
+    fn next_entry(&mut self) -> Result<LogEntry, ReplayError> {
+        let e = self.entries.get(self.pos).copied().ok_or(ReplayError::LogExhausted)?;
+        self.pos += 1;
+        Ok(e)
+    }
+}
+
+impl ReplaySource for SegmentReader<'_> {
+    fn replay_load(&mut self, addr: u64, _width: MemWidth, now: Time) -> Result<u64, ReplayError> {
+        let e = self.next_entry()?;
+        self.delays.record(now.saturating_sub(e.commit_time));
+        if e.kind != EntryKind::Load {
+            return Err(ReplayError::KindMismatch);
+        }
+        if e.addr != addr {
+            return Err(ReplayError::LoadAddrMismatch { got: addr, logged: e.addr });
+        }
+        Ok(e.value)
+    }
+
+    fn check_store(
+        &mut self,
+        addr: u64,
+        value: u64,
+        width: MemWidth,
+        now: Time,
+    ) -> Result<(), ReplayError> {
+        let e = self.next_entry()?;
+        let d = now.saturating_sub(e.commit_time);
+        self.delays.record(d);
+        self.store_delays.record(d);
+        if e.kind != EntryKind::Store {
+            return Err(ReplayError::KindMismatch);
+        }
+        if e.addr != addr {
+            return Err(ReplayError::StoreAddrMismatch { got: addr, logged: e.addr });
+        }
+        if e.value != width.truncate(value) {
+            return Err(ReplayError::StoreValueMismatch { got: width.truncate(value), logged: e.value });
+        }
+        Ok(())
+    }
+
+    fn replay_nondet(&mut self, now: Time) -> Result<u64, ReplayError> {
+        let e = self.next_entry()?;
+        self.delays.record(now.saturating_sub(e.commit_time));
+        if e.kind != EntryKind::Nondet {
+            return Err(ReplayError::KindMismatch);
+        }
+        Ok(e.value)
+    }
+
+    fn exhausted(&self) -> bool {
+        self.pos >= self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(kind: EntryKind, addr: u64, value: u64, t_ns: u64) -> LogEntry {
+        LogEntry { kind, addr, value, width: MemWidth::D, commit_time: Time::from_ns(t_ns) }
+    }
+
+    #[test]
+    fn reader_replays_in_order_and_records_delays() {
+        let entries = vec![
+            entry(EntryKind::Load, 0x100, 7, 10),
+            entry(EntryKind::Store, 0x108, 8, 20),
+            entry(EntryKind::Nondet, 0, 99, 30),
+        ];
+        let mut d = DelayStats::new();
+        let mut sd = DelayStats::new();
+        let mut r = SegmentReader::new(&entries, &mut d, &mut sd);
+        assert_eq!(r.replay_load(0x100, MemWidth::D, Time::from_ns(100)), Ok(7));
+        assert_eq!(r.check_store(0x108, 8, MemWidth::D, Time::from_ns(100)), Ok(()));
+        assert_eq!(r.replay_nondet(Time::from_ns(100)), Ok(99));
+        assert!(r.exhausted());
+        assert_eq!(d.count(), 3);
+        assert_eq!(sd.count(), 1);
+        assert!((d.max_ns() - 90.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kind_mismatch_detected() {
+        let entries = vec![entry(EntryKind::Store, 0x100, 7, 0)];
+        let mut d = DelayStats::new();
+        let mut sd = DelayStats::new();
+        let mut r = SegmentReader::new(&entries, &mut d, &mut sd);
+        assert_eq!(
+            r.replay_load(0x100, MemWidth::D, Time::ZERO),
+            Err(ReplayError::KindMismatch)
+        );
+    }
+
+    #[test]
+    fn store_value_width_truncation() {
+        // A 4-byte store of a value with high garbage bits must compare
+        // only the stored 4 bytes.
+        let entries = vec![LogEntry {
+            kind: EntryKind::Store,
+            addr: 0x100,
+            value: 0x1234_5678,
+            width: MemWidth::W,
+            commit_time: Time::ZERO,
+        }];
+        let mut d = DelayStats::new();
+        let mut sd = DelayStats::new();
+        let mut r = SegmentReader::new(&entries, &mut d, &mut sd);
+        assert_eq!(
+            r.check_store(0x100, 0xFFFF_FFFF_1234_5678, MemWidth::W, Time::ZERO),
+            Ok(())
+        );
+    }
+
+    #[test]
+    fn exhaustion_detected() {
+        let entries: Vec<LogEntry> = vec![];
+        let mut d = DelayStats::new();
+        let mut sd = DelayStats::new();
+        let mut r = SegmentReader::new(&entries, &mut d, &mut sd);
+        assert_eq!(
+            r.replay_load(0, MemWidth::D, Time::ZERO),
+            Err(ReplayError::LogExhausted)
+        );
+    }
+
+    #[test]
+    fn segment_space_rule() {
+        let mut s = Segment::new(4);
+        assert!(s.has_space_for_macro());
+        s.entries.push(entry(EntryKind::Load, 0, 0, 0));
+        s.entries.push(entry(EntryKind::Load, 0, 0, 0));
+        assert!(s.has_space_for_macro()); // 2 + 2 <= 4
+        s.entries.push(entry(EntryKind::Load, 0, 0, 0));
+        assert!(!s.has_space_for_macro()); // 3 + 2 > 4
+        s.reset();
+        assert_eq!(s.state, SegmentState::Free);
+        assert!(s.entries.is_empty());
+    }
+}

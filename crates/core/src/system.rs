@@ -1,0 +1,250 @@
+//! The paired system: one out-of-order main core plus its checker-core
+//! farm, sharing a memory hierarchy (Fig. 3 of the paper).
+
+use crate::config::SystemConfig;
+use crate::delay::DelayStats;
+use crate::detector::{Detector, DetectorStats};
+use crate::error::DetectedError;
+use paradet_isa::Program;
+use paradet_mem::{HierStats, MemHier, Time};
+use paradet_ooo::{ArmedFault, CoreError, CoreStats, NullSink, OooCore};
+
+/// Complete result of one simulated run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Macro-instructions retired by the main core.
+    pub instrs: u64,
+    /// Main-core cycles to the last commit.
+    pub main_cycles: u64,
+    /// Absolute time of the last main-core commit.
+    pub main_time: Time,
+    /// Absolute time at which the run is fully verified: the later of the
+    /// last commit and the last check (§IV-H holds termination until all
+    /// checks complete).
+    pub wall_time: Time,
+    /// Whether the program committed `halt`.
+    pub halted: bool,
+    /// Whether execution crashed (wild PC under fault injection).
+    pub crashed: bool,
+    /// Errors detected by the checkers, in seal order, with confirmation
+    /// times filled in.
+    pub errors: Vec<DetectedError>,
+    /// Detection delays over all checked entries (Fig. 8).
+    pub delays: DelayStats,
+    /// Detection delays over stores only (Fig. 11/12).
+    pub store_delays: DelayStats,
+    /// Detection-hardware statistics.
+    pub detector: DetectorStats,
+    /// Main-core statistics.
+    pub core: CoreStats,
+    /// Memory-hierarchy statistics.
+    pub mem: HierStats,
+    /// Total busy time across all checker cores, in femtoseconds.
+    pub checker_busy_fs: u64,
+    /// Total segments checked across all checker cores.
+    pub checker_segments: u64,
+}
+
+impl RunReport {
+    /// Whether any error was detected.
+    pub fn detected(&self) -> bool {
+        !self.errors.is_empty()
+    }
+
+    /// The first confirmed error (lowest seal sequence), if any.
+    pub fn first_error(&self) -> Option<&DetectedError> {
+        self.errors.iter().min_by_key(|e| e.seal_seq)
+    }
+
+    /// Instructions per cycle of the main core.
+    pub fn ipc(&self) -> f64 {
+        self.core.ipc()
+    }
+}
+
+/// A main core paired with checker cores through the detection hardware.
+///
+/// # Example
+///
+/// ```
+/// use paradet_core::{PairedSystem, SystemConfig};
+/// use paradet_isa::{ProgramBuilder, Reg};
+///
+/// let mut b = ProgramBuilder::new();
+/// let buf = b.alloc_zeroed(1);
+/// b.li(Reg::X1, buf as i64);
+/// b.li(Reg::X2, 7);
+/// b.sd(Reg::X2, Reg::X1, 0);
+/// b.halt();
+/// let program = b.build();
+///
+/// let mut sys = PairedSystem::new(SystemConfig::paper_default(), &program);
+/// let report = sys.run_to_halt();
+/// assert!(report.halted);
+/// assert!(!report.detected());
+/// ```
+#[derive(Debug)]
+pub struct PairedSystem {
+    cfg: SystemConfig,
+    core: OooCore,
+    hier: MemHier,
+    det: Detector,
+}
+
+impl PairedSystem {
+    /// Builds the system and loads `program`'s data image into memory.
+    pub fn new(cfg: SystemConfig, program: &Program) -> PairedSystem {
+        let mut hier = MemHier::new(&cfg.mem_config(), cfg.n_checkers);
+        hier.data.load_image(program);
+        PairedSystem {
+            core: OooCore::new(cfg.main, program),
+            det: Detector::new(&cfg, program),
+            hier,
+            cfg,
+        }
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SystemConfig {
+        &self.cfg
+    }
+
+    /// The main core (e.g. to inspect statistics mid-run).
+    pub fn core(&self) -> &OooCore {
+        &self.core
+    }
+
+    /// The detection hardware.
+    pub fn detector(&self) -> &Detector {
+        &self.det
+    }
+
+    /// The shared memory hierarchy.
+    pub fn hier(&self) -> &MemHier {
+        &self.hier
+    }
+
+    /// Arms a fault in the main core (see
+    /// [`FaultTarget`](paradet_ooo::FaultTarget)).
+    pub fn arm_fault(&mut self, fault: ArmedFault) {
+        self.core.arm_fault(fault);
+    }
+
+    /// Arms an over-detection fault in the detection hardware itself: one
+    /// bit of one log entry of the `seal_seq`-th sealed segment flips
+    /// before its check runs (§IV-I).
+    pub fn arm_log_fault(&mut self, seal_seq: u64, entry: usize, bit: u8) {
+        self.det.arm_log_fault(seal_seq, entry, bit);
+    }
+
+    /// Runs until the program halts, crashes, or `max_instrs` instructions
+    /// retire; then finalizes all outstanding checks and reports.
+    pub fn run(&mut self, max_instrs: u64) -> RunReport {
+        let mut n = 0u64;
+        let mut crashed = false;
+        while n < max_instrs {
+            match self.core.step(&mut self.hier, &mut self.det) {
+                Ok(out) => {
+                    n += 1;
+                    if out.halted {
+                        break;
+                    }
+                }
+                Err(CoreError::Halted) => break,
+                Err(CoreError::Crashed(_)) => {
+                    crashed = true;
+                    break;
+                }
+            }
+        }
+        // Hold "termination" until every outstanding check completes
+        // (§IV-H), sealing the residual partial segment.
+        let at = self.core.now();
+        self.det.finalize(
+            self.core.committed_state(),
+            self.core.stats.committed_instrs,
+            at,
+            &mut self.hier,
+        );
+        let checker_busy_fs = self.det.checkers.iter().map(|c| c.stats.busy_fs).sum();
+        let checker_segments = self.det.checkers.iter().map(|c| c.stats.segments).sum();
+        RunReport {
+            instrs: self.core.stats.committed_instrs,
+            main_cycles: self.core.stats.last_commit_cycle,
+            main_time: at,
+            wall_time: at.max(self.det.all_checks_done_at()),
+            halted: self.core.halted(),
+            crashed,
+            errors: self.det.errors.clone(),
+            delays: self.det.delays.clone(),
+            store_delays: self.det.store_delays.clone(),
+            detector: self.det.stats,
+            core: self.core.stats,
+            mem: self.hier.stats(),
+            checker_busy_fs,
+            checker_segments,
+        }
+    }
+
+    /// Runs to halt (or crash) with no instruction bound.
+    pub fn run_to_halt(&mut self) -> RunReport {
+        self.run(u64::MAX)
+    }
+}
+
+/// Runs `program` on an *unchecked* core (no detection hardware at all) and
+/// returns the report — the baseline for normalized-slowdown figures.
+///
+/// Equivalent to `SystemConfig { mode: Off, … }` but without the detection
+/// structures even being constructed.
+pub fn run_unchecked(cfg: &SystemConfig, program: &Program, max_instrs: u64) -> RunReport {
+    let mut hier = MemHier::new(&cfg.mem_config(), 0);
+    hier.data.load_image(program);
+    let mut core = OooCore::new(cfg.main, program);
+    let mut n = 0u64;
+    let mut crashed = false;
+    while n < max_instrs {
+        match core.step(&mut hier, &mut NullSink) {
+            Ok(out) => {
+                n += 1;
+                if out.halted {
+                    break;
+                }
+            }
+            Err(CoreError::Halted) => break,
+            Err(CoreError::Crashed(_)) => {
+                crashed = true;
+                break;
+            }
+        }
+    }
+    let at = core.now();
+    RunReport {
+        instrs: core.stats.committed_instrs,
+        main_cycles: core.stats.last_commit_cycle,
+        main_time: at,
+        wall_time: at,
+        halted: core.halted(),
+        crashed,
+        errors: Vec::new(),
+        delays: DelayStats::new(),
+        store_delays: DelayStats::new(),
+        detector: DetectorStats::default(),
+        core: core.stats,
+        mem: hier.stats(),
+        checker_busy_fs: 0,
+        checker_segments: 0,
+    }
+}
+
+/// Convenience: normalized slowdown of full detection over the unchecked
+/// baseline for `program` (the quantity plotted in Fig. 7/9/13).
+pub fn normalized_slowdown(cfg: &SystemConfig, program: &Program, max_instrs: u64) -> f64 {
+    let base = run_unchecked(cfg, program, max_instrs);
+    let mut sys = PairedSystem::new(*cfg, program);
+    let full = sys.run(max_instrs);
+    full.main_cycles as f64 / base.main_cycles.max(1) as f64
+}
+
+#[allow(unused_imports)]
+use crate::config as _config_doc_anchor;

@@ -1,0 +1,30 @@
+//! Fault-injection campaigns over the paradet system.
+//!
+//! The paper's detection claims (§IV, §IV-I) are exercised by statistical
+//! fault injection: each trial runs a workload twice — once clean (the
+//! golden run) and once with a single armed fault — and classifies the
+//! outcome:
+//!
+//! * **Detected** — a checker raised an error (store value/address, load
+//!   address, register-checkpoint mismatch, or divergence timeout);
+//! * **Crashed** — execution left the text segment; per §IV-H the OS holds
+//!   termination until checks complete, then reports, so this also counts
+//!   as detected in coverage terms (reported separately for transparency);
+//! * **Silent data corruption (SDC)** — final memory or architectural state
+//!   differs from golden with no detection: a *missed* fault;
+//! * **Masked** — the fault changed nothing architectural (e.g. struck a
+//!   dead value): benign by definition.
+//!
+//! Over-detection (§IV-I) is exercised separately by corrupting the
+//! detection hardware's own log: the program is fine, but an error is
+//! reported anyway — a false positive.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod campaign;
+
+pub use campaign::{
+    run_campaign, run_overdetection_trials, CampaignConfig, CampaignResult, FaultSite, Outcome,
+    SiteResult, TrialResult,
+};

@@ -1,0 +1,612 @@
+//! Functional (golden-model) execution of programs.
+//!
+//! [`ArchState::step`] executes one architectural instruction with exact ISA
+//! semantics and no timing. It is used by:
+//!
+//! * the in-order checker cores, whose architectural behaviour is this model
+//!   driven by the pipeline timing in `paradet-checker`;
+//! * the fault-injection oracle (golden run for silent-data-corruption
+//!   classification);
+//! * the test suite, as the reference the out-of-order core must match.
+
+use crate::insn::{Instruction, MemWidth};
+use crate::program::Program;
+use crate::reg::{FReg, Reg};
+use crate::uop::FMovKind;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Byte-addressed memory interface used by the functional executor.
+pub trait MemoryIface {
+    /// Loads `width` bytes (little-endian, zero-extended) from `addr`.
+    fn load(&mut self, addr: u64, width: MemWidth) -> u64;
+    /// Stores the low `width` bytes of `val` at `addr`.
+    fn store(&mut self, addr: u64, width: MemWidth, val: u64);
+}
+
+/// Source of non-deterministic instruction results (`rdcycle`).
+///
+/// During original execution this is the core's cycle counter. During
+/// checking the value is replayed from the load-store log, so the checker
+/// observes exactly what the main core observed (§IV-D).
+pub trait NondetSource {
+    /// Returns the next non-deterministic value.
+    fn next_nondet(&mut self) -> u64;
+}
+
+/// A [`NondetSource`] that always returns zero — useful in tests.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoNondet;
+
+impl NondetSource for NoNondet {
+    fn next_nondet(&mut self) -> u64 {
+        0
+    }
+}
+
+/// A simple sparse paged memory with exact functional semantics.
+///
+/// This is the reference memory used in tests and in the golden model. The
+/// timing-annotated memory hierarchy lives in `paradet-mem`; its functional
+/// contents are also a `FlatMemory`.
+#[derive(Debug, Clone, Default)]
+pub struct FlatMemory {
+    pages: HashMap<u64, Box<[u8; Self::PAGE]>>,
+}
+
+impl FlatMemory {
+    /// Page size in bytes.
+    pub const PAGE: usize = 4096;
+
+    /// Creates an empty memory; all bytes read as zero.
+    pub fn new() -> FlatMemory {
+        FlatMemory::default()
+    }
+
+    /// Copies every data image of `program` into memory.
+    pub fn load_image(&mut self, program: &Program) {
+        for img in program.data() {
+            for (i, b) in img.bytes.iter().enumerate() {
+                self.write_byte(img.base + i as u64, *b);
+            }
+        }
+    }
+
+    /// Reads one byte.
+    pub fn read_byte(&self, addr: u64) -> u8 {
+        let page = addr / Self::PAGE as u64;
+        match self.pages.get(&page) {
+            Some(p) => p[(addr % Self::PAGE as u64) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_byte(&mut self, addr: u64, val: u8) {
+        let page = addr / Self::PAGE as u64;
+        let p = self
+            .pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0u8; Self::PAGE]));
+        p[(addr % Self::PAGE as u64) as usize] = val;
+    }
+
+    /// Number of resident pages (for tests and memory accounting).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Compares the full contents of two memories.
+    ///
+    /// Returns the first differing byte address, if any. Used by the fault
+    /// campaign to classify silent data corruption.
+    pub fn first_difference(&self, other: &FlatMemory) -> Option<u64> {
+        let mut pages: Vec<u64> = self.pages.keys().chain(other.pages.keys()).copied().collect();
+        pages.sort_unstable();
+        pages.dedup();
+        for page in pages {
+            let base = page * Self::PAGE as u64;
+            for off in 0..Self::PAGE as u64 {
+                if self.read_byte(base + off) != other.read_byte(base + off) {
+                    return Some(base + off);
+                }
+            }
+        }
+        None
+    }
+}
+
+impl MemoryIface for FlatMemory {
+    fn load(&mut self, addr: u64, width: MemWidth) -> u64 {
+        let mut v = 0u64;
+        for i in 0..width.bytes() {
+            v |= (self.read_byte(addr + i) as u64) << (8 * i);
+        }
+        v
+    }
+
+    fn store(&mut self, addr: u64, width: MemWidth, val: u64) {
+        for i in 0..width.bytes() {
+            self.write_byte(addr + i, (val >> (8 * i)) as u8);
+        }
+    }
+}
+
+/// Execution error from the golden model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecError {
+    /// The PC left the text segment (wild jump / fall-through past `halt`).
+    BadPc {
+        /// The offending PC value.
+        pc: u64,
+    },
+    /// Stepped a state that had already halted.
+    AlreadyHalted,
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::BadPc { pc } => write!(f, "pc {pc:#x} is outside the text segment"),
+            ExecError::AlreadyHalted => write!(f, "stepped an already-halted state"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// One memory access performed by a step, in program order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// True for stores, false for loads.
+    pub is_store: bool,
+    /// Byte address.
+    pub addr: u64,
+    /// Value loaded (zero-extended) or stored (truncated to width).
+    pub value: u64,
+    /// Access width.
+    pub width: MemWidth,
+}
+
+/// Information about one retired instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StepInfo {
+    /// PC of the retired instruction.
+    pub pc: u64,
+    /// PC of the next instruction.
+    pub next_pc: u64,
+    /// Memory accesses performed, in order (≤ 2: `ldp`/`stp`).
+    pub mem: Vec<MemAccess>,
+    /// Non-deterministic value consumed, if any.
+    pub nondet: Option<u64>,
+    /// Whether the instruction was a taken control-flow transfer.
+    pub taken_branch: bool,
+    /// Whether the instruction halted the program.
+    pub halted: bool,
+}
+
+/// Complete architectural state: PC, 32 integer and 32 FP registers.
+///
+/// This is exactly the state captured by a register checkpoint in the paper
+/// (§IV: "periodic register checkpoints", validated at segment boundaries).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArchState {
+    /// Program counter.
+    pub pc: u64,
+    /// Integer register file (index 0 is hardwired zero).
+    x: [u64; Reg::COUNT],
+    /// Floating-point register file (raw binary64 bits).
+    f: [u64; FReg::COUNT],
+    /// Whether the program has executed `halt`.
+    pub halted: bool,
+    /// Number of instructions retired by this state.
+    pub retired: u64,
+}
+
+impl ArchState {
+    /// A state positioned at `program`'s entry point with zeroed registers.
+    pub fn at_entry(program: &Program) -> ArchState {
+        ArchState::at_pc(program.entry())
+    }
+
+    /// A state positioned at an arbitrary PC with zeroed registers.
+    pub fn at_pc(pc: u64) -> ArchState {
+        ArchState { pc, x: [0; 32], f: [0; 32], halted: false, retired: 0 }
+    }
+
+    /// Reads an integer register (`x0` reads as zero).
+    pub fn x(&self, r: Reg) -> u64 {
+        if r == Reg::X0 {
+            0
+        } else {
+            self.x[r.index()]
+        }
+    }
+
+    /// Writes an integer register (writes to `x0` are discarded).
+    pub fn set_x(&mut self, r: Reg, v: u64) {
+        if r != Reg::X0 {
+            self.x[r.index()] = v;
+        }
+    }
+
+    /// Reads a floating-point register as raw bits.
+    pub fn f_bits(&self, r: FReg) -> u64 {
+        self.f[r.index()]
+    }
+
+    /// Writes a floating-point register from raw bits.
+    pub fn set_f_bits(&mut self, r: FReg, v: u64) {
+        self.f[r.index()] = v;
+    }
+
+    /// Reads a floating-point register as an `f64`.
+    pub fn f(&self, r: FReg) -> f64 {
+        f64::from_bits(self.f[r.index()])
+    }
+
+    /// Writes a floating-point register from an `f64`.
+    pub fn set_f(&mut self, r: FReg, v: f64) {
+        self.f[r.index()] = v.to_bits();
+    }
+
+    /// Executes one instruction, mutating the state and memory.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::BadPc`] if the PC is outside the text segment and
+    /// [`ExecError::AlreadyHalted`] if the state has halted.
+    pub fn step<M: MemoryIface + ?Sized, N: NondetSource + ?Sized>(
+        &mut self,
+        program: &Program,
+        mem: &mut M,
+        nondet: &mut N,
+    ) -> Result<StepInfo, ExecError> {
+        use Instruction as I;
+        if self.halted {
+            return Err(ExecError::AlreadyHalted);
+        }
+        let pc = self.pc;
+        let insn = *program.instr_at(pc).ok_or(ExecError::BadPc { pc })?;
+        let mut next_pc = pc + 4;
+        let mut accesses = Vec::new();
+        let mut nondet_val = None;
+        let mut taken = false;
+        let mut halted = false;
+
+        match insn {
+            I::Op { op, rd, rs1, rs2 } => {
+                let v = op.eval(self.x(rs1), self.x(rs2));
+                self.set_x(rd, v);
+            }
+            I::OpImm { op, rd, rs1, imm } => {
+                let v = op.eval(self.x(rs1), imm as u64);
+                self.set_x(rd, v);
+            }
+            I::Load { width, signed, rd, rs1, imm } => {
+                let addr = self.x(rs1).wrapping_add(imm as u64);
+                let raw = mem.load(addr, width);
+                let v = if signed { width.sign_extend(raw) } else { raw };
+                self.set_x(rd, v);
+                accesses.push(MemAccess { is_store: false, addr, value: raw, width });
+            }
+            I::Store { width, rs2, rs1, imm } => {
+                let addr = self.x(rs1).wrapping_add(imm as u64);
+                let v = width.truncate(self.x(rs2));
+                mem.store(addr, width, v);
+                accesses.push(MemAccess { is_store: true, addr, value: v, width });
+            }
+            I::Ldp { rd1, rd2, rs1, imm } => {
+                let base = self.x(rs1);
+                let a0 = base.wrapping_add(imm as u64);
+                let a1 = base.wrapping_add(imm as u64).wrapping_add(8);
+                let v0 = mem.load(a0, MemWidth::D);
+                let v1 = mem.load(a1, MemWidth::D);
+                self.set_x(rd1, v0);
+                self.set_x(rd2, v1);
+                accesses.push(MemAccess { is_store: false, addr: a0, value: v0, width: MemWidth::D });
+                accesses.push(MemAccess { is_store: false, addr: a1, value: v1, width: MemWidth::D });
+            }
+            I::Stp { rs2a, rs2b, rs1, imm } => {
+                let base = self.x(rs1);
+                let a0 = base.wrapping_add(imm as u64);
+                let a1 = base.wrapping_add(imm as u64).wrapping_add(8);
+                let v0 = self.x(rs2a);
+                let v1 = self.x(rs2b);
+                mem.store(a0, MemWidth::D, v0);
+                mem.store(a1, MemWidth::D, v1);
+                accesses.push(MemAccess { is_store: true, addr: a0, value: v0, width: MemWidth::D });
+                accesses.push(MemAccess { is_store: true, addr: a1, value: v1, width: MemWidth::D });
+            }
+            I::FLoad { fd, rs1, imm } => {
+                let addr = self.x(rs1).wrapping_add(imm as u64);
+                let raw = mem.load(addr, MemWidth::D);
+                self.set_f_bits(fd, raw);
+                accesses.push(MemAccess { is_store: false, addr, value: raw, width: MemWidth::D });
+            }
+            I::FStore { fs2, rs1, imm } => {
+                let addr = self.x(rs1).wrapping_add(imm as u64);
+                let v = self.f_bits(fs2);
+                mem.store(addr, MemWidth::D, v);
+                accesses.push(MemAccess { is_store: true, addr, value: v, width: MemWidth::D });
+            }
+            I::Branch { cond, rs1, rs2, offset } => {
+                if cond.eval(self.x(rs1), self.x(rs2)) {
+                    next_pc = pc.wrapping_add(offset as u64);
+                    taken = true;
+                }
+            }
+            I::Jal { rd, offset } => {
+                self.set_x(rd, pc + 4);
+                next_pc = pc.wrapping_add(offset as u64);
+                taken = true;
+            }
+            I::Jalr { rd, rs1, imm } => {
+                let target = self.x(rs1).wrapping_add(imm as u64) & !1;
+                self.set_x(rd, pc + 4);
+                next_pc = target;
+                taken = true;
+            }
+            I::FOp { op, fd, fs1, fs2 } => {
+                let v = op.eval_bits(self.f_bits(fs1), self.f_bits(fs2));
+                self.set_f_bits(fd, v);
+            }
+            I::Fma { fd, fs1, fs2, fs3 } => {
+                let v = self.f(fs1).mul_add(self.f(fs2), self.f(fs3));
+                self.set_f(fd, v);
+            }
+            I::FSqrt { fd, fs1 } => {
+                let v = self.f(fs1).sqrt();
+                self.set_f(fd, v);
+            }
+            I::FMovFromInt { fd, rs1 } => {
+                self.set_f_bits(fd, FMovKind::BitsToFp.apply(self.x(rs1)));
+            }
+            I::FMovToInt { rd, fs1 } => {
+                self.set_x(rd, FMovKind::BitsToInt.apply(self.f_bits(fs1)));
+            }
+            I::FCvtFromInt { fd, rs1 } => {
+                self.set_f_bits(fd, FMovKind::CvtToFp.apply(self.x(rs1)));
+            }
+            I::FCvtToInt { rd, fs1 } => {
+                self.set_x(rd, FMovKind::CvtToInt.apply(self.f_bits(fs1)));
+            }
+            I::RdCycle { rd } => {
+                let v = nondet.next_nondet();
+                nondet_val = Some(v);
+                self.set_x(rd, v);
+            }
+            I::Nop => {}
+            I::Halt => {
+                halted = true;
+                next_pc = pc;
+            }
+        }
+
+        self.pc = next_pc;
+        self.halted = halted;
+        self.retired += 1;
+        Ok(StepInfo { pc, next_pc, mem: accesses, nondet: nondet_val, taken_branch: taken, halted })
+    }
+
+    /// Runs until halt or until `max_steps` instructions have retired.
+    ///
+    /// Returns the number of instructions retired by this call.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`ExecError`] from [`step`](Self::step).
+    pub fn run<M: MemoryIface + ?Sized, N: NondetSource + ?Sized>(
+        &mut self,
+        program: &Program,
+        mem: &mut M,
+        nondet: &mut N,
+        max_steps: u64,
+    ) -> Result<u64, ExecError> {
+        let mut n = 0;
+        while !self.halted && n < max_steps {
+            self.step(program, mem, nondet)?;
+            n += 1;
+        }
+        Ok(n)
+    }
+
+    /// Compares the register file (and PC) with another state, returning the
+    /// first mismatching register name, if any. This is exactly the
+    /// end-of-segment checkpoint validation of §IV-B.
+    pub fn first_register_mismatch(&self, other: &ArchState) -> Option<String> {
+        if self.pc != other.pc {
+            return Some("pc".to_string());
+        }
+        for r in Reg::all() {
+            if self.x(r) != other.x(r) {
+                return Some(r.to_string());
+            }
+        }
+        for r in FReg::all() {
+            if self.f_bits(r) != other.f_bits(r) {
+                return Some(r.to_string());
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::ProgramBuilder;
+    use crate::insn::AluOp;
+
+    fn run_to_halt(b: ProgramBuilder) -> (ArchState, FlatMemory) {
+        let p = b.build();
+        let mut st = ArchState::at_entry(&p);
+        let mut mem = FlatMemory::new();
+        mem.load_image(&p);
+        st.run(&p, &mut mem, &mut NoNondet, 1_000_000).unwrap();
+        assert!(st.halted, "program did not halt");
+        (st, mem)
+    }
+
+    #[test]
+    fn arithmetic_program() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::X1, 10);
+        b.li(Reg::X2, 3);
+        b.op(AluOp::Mul, Reg::X3, Reg::X1, Reg::X2);
+        b.op(AluOp::Sub, Reg::X4, Reg::X3, Reg::X2);
+        b.halt();
+        let (st, _) = run_to_halt(b);
+        assert_eq!(st.x(Reg::X3), 30);
+        assert_eq!(st.x(Reg::X4), 27);
+    }
+
+    #[test]
+    fn loads_and_stores() {
+        let mut b = ProgramBuilder::new();
+        let base = 0x10_0000;
+        b.li(Reg::X1, base as i64);
+        b.li(Reg::X2, 0x1122_3344_5566_7788);
+        b.sd(Reg::X2, Reg::X1, 0);
+        b.lw(Reg::X3, Reg::X1, 0, false);
+        b.lw(Reg::X4, Reg::X1, 4, false);
+        b.lb(Reg::X5, Reg::X1, 7, true);
+        b.halt();
+        let (st, mem) = run_to_halt(b);
+        assert_eq!(st.x(Reg::X3), 0x5566_7788);
+        assert_eq!(st.x(Reg::X4), 0x1122_3344);
+        assert_eq!(st.x(Reg::X5), 0x11);
+        let mut m = mem;
+        assert_eq!(m.load(base, MemWidth::D), 0x1122_3344_5566_7788);
+    }
+
+    #[test]
+    fn ldp_stp_pairs() {
+        let mut b = ProgramBuilder::new();
+        let base = 0x20_0000;
+        b.li(Reg::X1, base as i64);
+        b.li(Reg::X2, 111);
+        b.li(Reg::X3, 222);
+        b.stp(Reg::X2, Reg::X3, Reg::X1, 0);
+        b.ldp(Reg::X4, Reg::X5, Reg::X1, 0);
+        b.halt();
+        let (st, _) = run_to_halt(b);
+        assert_eq!(st.x(Reg::X4), 111);
+        assert_eq!(st.x(Reg::X5), 222);
+    }
+
+    #[test]
+    fn branch_loop_sums() {
+        // for (i = 0; i < 10; i++) acc += i;
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::X1, 0); // i
+        b.li(Reg::X2, 0); // acc
+        b.li(Reg::X3, 10);
+        let top = b.label_here();
+        b.op(AluOp::Add, Reg::X2, Reg::X2, Reg::X1);
+        b.addi(Reg::X1, Reg::X1, 1);
+        b.blt(Reg::X1, Reg::X3, top);
+        b.halt();
+        let (st, _) = run_to_halt(b);
+        assert_eq!(st.x(Reg::X2), 45);
+    }
+
+    #[test]
+    fn jal_jalr_call_return() {
+        let mut b = ProgramBuilder::new();
+        let func = b.new_label();
+        b.li(Reg::X10, 5);
+        b.jal_to(Reg::X1, func); // call
+        b.halt();
+        b.bind(func);
+        b.addi(Reg::X10, Reg::X10, 100);
+        b.jalr(Reg::X0, Reg::X1, 0); // return
+        let (st, _) = run_to_halt(b);
+        assert_eq!(st.x(Reg::X10), 105);
+    }
+
+    #[test]
+    fn fp_pipeline() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::X1, 3);
+        b.fcvt_from_int(FReg::F1, Reg::X1);
+        b.fop(crate::insn::FpuOp::Mul, FReg::F2, FReg::F1, FReg::F1);
+        b.fma(FReg::F3, FReg::F2, FReg::F1, FReg::F1); // 9*3+3 = 30
+        b.fsqrt(FReg::F4, FReg::F2); // 3
+        b.fcvt_to_int(Reg::X2, FReg::F3);
+        b.halt();
+        let (st, _) = run_to_halt(b);
+        assert_eq!(st.x(Reg::X2), 30);
+        assert_eq!(st.f(FReg::F4), 3.0);
+    }
+
+    #[test]
+    fn rdcycle_uses_nondet_source() {
+        struct Fixed(u64);
+        impl NondetSource for Fixed {
+            fn next_nondet(&mut self) -> u64 {
+                self.0
+            }
+        }
+        let mut b = ProgramBuilder::new();
+        b.rdcycle(Reg::X1);
+        b.halt();
+        let p = b.build();
+        let mut st = ArchState::at_entry(&p);
+        let mut mem = FlatMemory::new();
+        st.run(&p, &mut mem, &mut Fixed(777), 10).unwrap();
+        assert_eq!(st.x(Reg::X1), 777);
+    }
+
+    #[test]
+    fn bad_pc_is_reported() {
+        let mut b = ProgramBuilder::new();
+        b.jalr(Reg::X0, Reg::X0, 0x8000_0000); // wild jump
+        let p = b.build();
+        let mut st = ArchState::at_entry(&p);
+        let mut mem = FlatMemory::new();
+        st.step(&p, &mut mem, &mut NoNondet).unwrap();
+        let err = st.step(&p, &mut mem, &mut NoNondet).unwrap_err();
+        assert!(matches!(err, ExecError::BadPc { .. }));
+    }
+
+    #[test]
+    fn register_mismatch_detection() {
+        let p = {
+            let mut b = ProgramBuilder::new();
+            b.halt();
+            b.build()
+        };
+        let a = ArchState::at_entry(&p);
+        let mut c = a.clone();
+        assert_eq!(a.first_register_mismatch(&c), None);
+        c.set_x(Reg::X7, 1);
+        assert_eq!(a.first_register_mismatch(&c), Some("x7".to_string()));
+        let mut d = a.clone();
+        d.set_f(FReg::F3, 1.5);
+        assert_eq!(a.first_register_mismatch(&d), Some("f3".to_string()));
+        let mut e = a.clone();
+        e.pc += 4;
+        assert_eq!(a.first_register_mismatch(&e), Some("pc".to_string()));
+    }
+
+    #[test]
+    fn x0_stays_zero() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::X0, 42);
+        b.op(AluOp::Add, Reg::X1, Reg::X0, Reg::X0);
+        b.halt();
+        let (st, _) = run_to_halt(b);
+        assert_eq!(st.x(Reg::X0), 0);
+        assert_eq!(st.x(Reg::X1), 0);
+    }
+
+    #[test]
+    fn flat_memory_first_difference() {
+        let mut a = FlatMemory::new();
+        let b = FlatMemory::new();
+        assert_eq!(a.first_difference(&b), None);
+        a.write_byte(0x5000, 1);
+        assert_eq!(a.first_difference(&b), Some(0x5000));
+    }
+}

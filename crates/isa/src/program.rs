@@ -1,0 +1,140 @@
+//! Assembled programs: a read-only text segment plus initial data images.
+
+use crate::insn::Instruction;
+
+/// Base address of the read-only text segment.
+///
+/// The paper assumes "the instruction stream is read-only, such that the
+/// instructions read by checker units will be identical to those read by the
+/// main thread" (§IV-A); the simulator enforces this by keeping text outside
+/// the writable data space entirely.
+pub const TEXT_BASE: u64 = 0x1000;
+
+/// Byte size of one instruction slot (for PC arithmetic).
+pub const INSN_BYTES: u64 = 4;
+
+/// An initial data image: `bytes` copied to `base` before execution starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataImage {
+    /// Starting byte address.
+    pub base: u64,
+    /// Raw little-endian contents.
+    pub bytes: Vec<u8>,
+}
+
+/// An assembled, immutable program.
+///
+/// Built with [`ProgramBuilder`](crate::ProgramBuilder). Both the main core
+/// and every checker core fetch from the same `Program`, mirroring the
+/// paper's shared read-only instruction stream.
+#[derive(Debug, Clone)]
+pub struct Program {
+    text: Vec<Instruction>,
+    data: Vec<DataImage>,
+    entry: u64,
+}
+
+impl Program {
+    /// Creates a program from raw parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entry` does not point at an instruction slot.
+    pub fn from_parts(text: Vec<Instruction>, data: Vec<DataImage>, entry: u64) -> Program {
+        let p = Program { text, data, entry };
+        assert!(p.instr_at(entry).is_some(), "entry point {entry:#x} is outside text");
+        p
+    }
+
+    /// The entry-point PC.
+    pub fn entry(&self) -> u64 {
+        self.entry
+    }
+
+    /// The instruction at byte address `pc`, or `None` if `pc` falls outside
+    /// the text segment or is misaligned.
+    pub fn instr_at(&self, pc: u64) -> Option<&Instruction> {
+        if pc < TEXT_BASE || !(pc - TEXT_BASE).is_multiple_of(INSN_BYTES) {
+            return None;
+        }
+        self.text.get(((pc - TEXT_BASE) / INSN_BYTES) as usize)
+    }
+
+    /// All instructions in text order.
+    pub fn text(&self) -> &[Instruction] {
+        &self.text
+    }
+
+    /// Number of instructions in the text segment.
+    pub fn len(&self) -> usize {
+        self.text.len()
+    }
+
+    /// Whether the text segment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.text.is_empty()
+    }
+
+    /// Initial data images, to be copied into memory before execution.
+    pub fn data(&self) -> &[DataImage] {
+        &self.data
+    }
+
+    /// Byte address of the first slot past the text segment.
+    pub fn text_end(&self) -> u64 {
+        TEXT_BASE + self.text.len() as u64 * INSN_BYTES
+    }
+
+    /// Renders a human-readable disassembly listing of the text segment.
+    ///
+    /// ```
+    /// use paradet_isa::{ProgramBuilder, Reg};
+    /// let mut b = ProgramBuilder::new();
+    /// b.li(Reg::X1, 7);
+    /// b.halt();
+    /// let listing = b.build().listing();
+    /// assert!(listing.contains("0x1000"));
+    /// assert!(listing.contains("halt"));
+    /// ```
+    pub fn listing(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::with_capacity(self.text.len() * 32);
+        for (i, insn) in self.text.iter().enumerate() {
+            let pc = TEXT_BASE + i as u64 * INSN_BYTES;
+            let _ = writeln!(out, "{pc:#8x}:  {insn}");
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::insn::Instruction as I;
+
+    #[test]
+    fn instr_lookup() {
+        let p = Program::from_parts(vec![I::Nop, I::Halt], vec![], TEXT_BASE);
+        assert_eq!(p.instr_at(TEXT_BASE), Some(&I::Nop));
+        assert_eq!(p.instr_at(TEXT_BASE + 4), Some(&I::Halt));
+        assert_eq!(p.instr_at(TEXT_BASE + 8), None);
+        assert_eq!(p.instr_at(TEXT_BASE + 1), None); // misaligned
+        assert_eq!(p.instr_at(0), None); // below text
+        assert_eq!(p.text_end(), TEXT_BASE + 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside text")]
+    fn bad_entry_panics() {
+        let _ = Program::from_parts(vec![I::Nop], vec![], 0);
+    }
+
+    #[test]
+    fn listing_shows_every_instruction() {
+        let p = Program::from_parts(vec![I::Nop, I::Halt], vec![], TEXT_BASE);
+        let l = p.listing();
+        assert_eq!(l.lines().count(), 2);
+        assert!(l.contains("0x1000:  nop"));
+        assert!(l.contains("0x1004:  halt"));
+    }
+}

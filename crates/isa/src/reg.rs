@@ -1,0 +1,142 @@
+//! Architectural register names.
+
+use std::fmt;
+
+/// An architectural integer register, `x0`–`x31`.
+///
+/// `x0` is hardwired to zero: writes to it are discarded and reads always
+/// return `0`, exactly as in RISC-V. The workload generators rely on this for
+/// discarding results and for zero constants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+#[repr(u8)]
+pub enum Reg {
+    X0 = 0, X1, X2, X3, X4, X5, X6, X7,
+    X8, X9, X10, X11, X12, X13, X14, X15,
+    X16, X17, X18, X19, X20, X21, X22, X23,
+    X24, X25, X26, X27, X28, X29, X30, X31,
+}
+
+/// An architectural floating-point register, `f0`–`f31`.
+///
+/// All floating-point state is IEEE-754 binary64; values are stored as raw
+/// bit patterns so that register-checkpoint comparison (§IV-I of the paper)
+/// is exact even for NaNs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+#[repr(u8)]
+pub enum FReg {
+    F0 = 0, F1, F2, F3, F4, F5, F6, F7,
+    F8, F9, F10, F11, F12, F13, F14, F15,
+    F16, F17, F18, F19, F20, F21, F22, F23,
+    F24, F25, F26, F27, F28, F29, F30, F31,
+}
+
+impl Reg {
+    /// Number of architectural integer registers.
+    pub const COUNT: usize = 32;
+
+    /// Returns the register with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 32`.
+    pub fn from_index(idx: usize) -> Reg {
+        assert!(idx < Self::COUNT, "integer register index {idx} out of range");
+        // SAFETY-free mapping: enum is #[repr(u8)] contiguous from 0.
+        ALL_INT[idx]
+    }
+
+    /// The index of this register, `0..32`.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Iterates over all 32 integer registers in order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        ALL_INT.iter().copied()
+    }
+}
+
+impl FReg {
+    /// Number of architectural floating-point registers.
+    pub const COUNT: usize = 32;
+
+    /// Returns the register with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 32`.
+    pub fn from_index(idx: usize) -> FReg {
+        assert!(idx < Self::COUNT, "fp register index {idx} out of range");
+        ALL_FP[idx]
+    }
+
+    /// The index of this register, `0..32`.
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Iterates over all 32 floating-point registers in order.
+    pub fn all() -> impl Iterator<Item = FReg> {
+        ALL_FP.iter().copied()
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.index())
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.index())
+    }
+}
+
+use Reg::*;
+const ALL_INT: [Reg; 32] = [
+    X0, X1, X2, X3, X4, X5, X6, X7, X8, X9, X10, X11, X12, X13, X14, X15, X16, X17, X18, X19,
+    X20, X21, X22, X23, X24, X25, X26, X27, X28, X29, X30, X31,
+];
+
+use FReg::*;
+const ALL_FP: [FReg; 32] = [
+    F0, F1, F2, F3, F4, F5, F6, F7, F8, F9, F10, F11, F12, F13, F14, F15, F16, F17, F18, F19,
+    F20, F21, F22, F23, F24, F25, F26, F27, F28, F29, F30, F31,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for i in 0..32 {
+            assert_eq!(Reg::from_index(i).index(), i);
+            assert_eq!(FReg::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::X0.to_string(), "x0");
+        assert_eq!(Reg::X31.to_string(), "x31");
+        assert_eq!(FReg::F7.to_string(), "f7");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_index_panics() {
+        let _ = Reg::from_index(32);
+    }
+
+    #[test]
+    fn all_iterates_in_order() {
+        let v: Vec<usize> = Reg::all().map(|r| r.index()).collect();
+        assert_eq!(v, (0..32).collect::<Vec<_>>());
+        let v: Vec<usize> = FReg::all().map(|r| r.index()).collect();
+        assert_eq!(v, (0..32).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,448 @@
+//! Set-associative cache timing model.
+//!
+//! The model is *latency-computed-at-access*: an access walks the tag array
+//! immediately and returns the absolute [`Time`] at which its data is
+//! available, recursing into the next level on a miss. Contention is
+//! captured by per-line fill timestamps and an MSHR occupancy window, which
+//! is the fidelity the paper's results depend on (relative stall behaviour
+//! of the main core vs. checker cores), at a fraction of the cost of a
+//! message-passing model. See DESIGN.md §5.1.
+
+use crate::time::Time;
+
+/// Static configuration of one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Hit latency.
+    pub hit_latency: Time,
+    /// Number of miss-status holding registers (outstanding misses).
+    pub mshrs: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (size not divisible by
+    /// `ways * line_bytes`, or any parameter is zero).
+    pub fn sets(&self) -> usize {
+        assert!(self.size_bytes > 0 && self.ways > 0 && self.line_bytes > 0);
+        assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
+        let per_way = self.size_bytes / self.ways;
+        assert!(
+            per_way.is_multiple_of(self.line_bytes),
+            "cache geometry inconsistent: {self:?}"
+        );
+        let sets = per_way / self.line_bytes;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Time at which the fill for this line completes; hits before this
+    /// time are delayed until then (models fill latency without events).
+    ready_at: Time,
+    lru: u64,
+}
+
+/// Running statistics for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total demand accesses.
+    pub accesses: u64,
+    /// Demand hits.
+    pub hits: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Lines evicted.
+    pub evictions: u64,
+    /// Dirty lines written back.
+    pub writebacks: u64,
+    /// Prefetch fills inserted.
+    pub prefetch_fills: u64,
+    /// Misses that found all MSHRs occupied and had to queue.
+    pub mshr_stalls: u64,
+}
+
+impl CacheStats {
+    /// Miss rate over demand accesses (0 when idle).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// The outcome of a timed cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Absolute time at which the data is available.
+    pub done: Time,
+    /// Whether the access hit.
+    pub hit: bool,
+}
+
+/// A set-associative, write-back, write-allocate cache with LRU replacement
+/// and a bounded number of outstanding misses.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    cfg: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    /// Completion times of in-flight misses; fixed length `cfg.mshrs`.
+    mshr_busy: Vec<Time>,
+    lru_clock: u64,
+    /// Statistics (public for the experiment harness).
+    pub stats: CacheStats,
+    set_mask: u64,
+    line_shift: u32,
+}
+
+impl Cache {
+    /// Creates an empty (all-invalid) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (see [`CacheConfig::sets`]) or
+    /// `mshrs == 0`.
+    pub fn new(cfg: CacheConfig) -> Cache {
+        assert!(cfg.mshrs > 0, "a cache needs at least one MSHR");
+        let sets = cfg.sets();
+        Cache {
+            sets: vec![vec![Line::default(); cfg.ways]; sets],
+            mshr_busy: vec![Time::ZERO; cfg.mshrs],
+            lru_clock: 0,
+            stats: CacheStats::default(),
+            set_mask: sets as u64 - 1,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            cfg,
+        }
+    }
+
+    /// This cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// The line-aligned address containing `addr`.
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr >> self.line_shift << self.line_shift
+    }
+
+    fn index(&self, addr: u64) -> (usize, u64) {
+        let line = addr >> self.line_shift;
+        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+    }
+
+    /// Invalidates all lines (used between experiment repetitions).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for line in set {
+                *line = Line::default();
+            }
+        }
+        self.mshr_busy.fill(Time::ZERO);
+    }
+
+    /// Probes the cache without updating any state; returns whether `addr`
+    /// is resident (regardless of fill completion).
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set, tag) = self.index(addr);
+        self.sets[set].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Performs a timed access.
+    ///
+    /// `fill` is invoked on a miss with `(victim_writeback, line_addr,
+    /// start_time)` semantics folded into two calls: first an optional dirty
+    /// writeback (`write == true`), then the demand fill (`write == false`);
+    /// it must return the completion time of the request at the next level.
+    pub fn access(
+        &mut self,
+        addr: u64,
+        write: bool,
+        now: Time,
+        fill: &mut dyn FnMut(u64, bool, Time) -> Time,
+    ) -> AccessResult {
+        self.stats.accesses += 1;
+        self.lru_clock += 1;
+        let (set_idx, tag) = self.index(addr);
+        let set = &mut self.sets[set_idx];
+
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = self.lru_clock;
+            if write {
+                line.dirty = true;
+            }
+            self.stats.hits += 1;
+            let done = now.max(line.ready_at) + self.cfg.hit_latency;
+            return AccessResult { done, hit: true };
+        }
+
+        // Miss path. Find the issue time permitted by MSHR occupancy: reuse
+        // the register whose previous miss completes earliest.
+        self.stats.misses += 1;
+        let slot = {
+            let mut best = 0;
+            for i in 1..self.mshr_busy.len() {
+                if self.mshr_busy[i] < self.mshr_busy[best] {
+                    best = i;
+                }
+            }
+            best
+        };
+        let mut start = now;
+        if self.mshr_busy[slot] > now {
+            self.stats.mshr_stalls += 1;
+            start = self.mshr_busy[slot];
+        }
+
+        // Choose the victim way: an invalid way if one exists, else LRU.
+        let victim = {
+            let set = &self.sets[set_idx];
+            match set.iter().position(|l| !l.valid) {
+                Some(i) => i,
+                None => {
+                    let mut lru = 0;
+                    for i in 1..set.len() {
+                        if set[i].lru < set[lru].lru {
+                            lru = i;
+                        }
+                    }
+                    lru
+                }
+            }
+        };
+
+        let line_base = self.line_addr(addr);
+        let victim_line = self.sets[set_idx][victim];
+        if victim_line.valid {
+            self.stats.evictions += 1;
+            if victim_line.dirty {
+                self.stats.writebacks += 1;
+                let set_bits = self.set_mask.count_ones();
+                let victim_addr =
+                    ((victim_line.tag << set_bits) | set_idx as u64) << self.line_shift;
+                // Fire-and-forget: the writeback occupies the next level but
+                // the demand miss does not wait for its completion.
+                let _ = fill(victim_addr, true, start);
+            }
+        }
+
+        let fill_done = fill(line_base, false, start + self.cfg.hit_latency);
+        self.mshr_busy[slot] = fill_done;
+        self.sets[set_idx][victim] = Line {
+            tag,
+            valid: true,
+            dirty: write,
+            ready_at: fill_done,
+            lru: self.lru_clock,
+        };
+        AccessResult { done: fill_done + self.cfg.hit_latency, hit: false }
+    }
+
+    /// Inserts a line as a prefetch fill completing at `ready_at`, evicting
+    /// LRU if necessary. Does nothing if the line is already resident.
+    pub fn insert_prefetch(&mut self, addr: u64, ready_at: Time) {
+        let (set_idx, tag) = self.index(addr);
+        if self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag) {
+            return;
+        }
+        self.lru_clock += 1;
+        let victim = {
+            let set = &self.sets[set_idx];
+            match set.iter().position(|l| !l.valid) {
+                Some(i) => i,
+                None => {
+                    let mut lru = 0;
+                    for i in 1..set.len() {
+                        if set[i].lru < set[lru].lru {
+                            lru = i;
+                        }
+                    }
+                    lru
+                }
+            }
+        };
+        if self.sets[set_idx][victim].valid {
+            self.stats.evictions += 1;
+        }
+        self.stats.prefetch_fills += 1;
+        // Prefetched lines are inserted with *lowest* recency in the set so a
+        // useless prefetch is evicted first.
+        let min_lru = self.sets[set_idx].iter().filter(|l| l.valid).map(|l| l.lru).min();
+        self.sets[set_idx][victim] = Line {
+            tag,
+            valid: true,
+            dirty: false,
+            ready_at,
+            lru: min_lru.unwrap_or(self.lru_clock).saturating_sub(1),
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_small() -> CacheConfig {
+        CacheConfig {
+            size_bytes: 256,
+            ways: 2,
+            line_bytes: 64,
+            hit_latency: Time::from_ns(1),
+            mshrs: 2,
+        }
+    }
+
+    /// A fake next level with fixed latency that records requests.
+    struct NextLevel {
+        latency: Time,
+        requests: Vec<(u64, bool)>,
+    }
+
+    impl NextLevel {
+        fn new(latency: Time) -> NextLevel {
+            NextLevel { latency, requests: Vec::new() }
+        }
+        fn fill(&mut self) -> impl FnMut(u64, bool, Time) -> Time + '_ {
+            move |addr, write, t| {
+                self.requests.push((addr, write));
+                t + self.latency
+            }
+        }
+    }
+
+    #[test]
+    fn geometry() {
+        assert_eq!(cfg_small().sets(), 2);
+        let c = Cache::new(cfg_small());
+        assert_eq!(c.line_addr(0x12345), 0x12340);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = Cache::new(cfg_small());
+        let mut next = NextLevel::new(Time::from_ns(10));
+        let r1 = c.access(0x1000, false, Time::ZERO, &mut next.fill());
+        assert!(!r1.hit);
+        // miss: hit_lat (tag check) + 10ns fill + hit_lat (read out)
+        assert_eq!(r1.done, Time::from_ns(12));
+        let r2 = c.access(0x1008, false, r1.done, &mut next.fill());
+        assert!(r2.hit);
+        assert_eq!(r2.done, r1.done + Time::from_ns(1));
+        assert_eq!(c.stats.hits, 1);
+        assert_eq!(c.stats.misses, 1);
+    }
+
+    #[test]
+    fn hit_before_fill_completes_waits() {
+        let mut c = Cache::new(cfg_small());
+        let mut next = NextLevel::new(Time::from_ns(100));
+        let r1 = c.access(0x1000, false, Time::ZERO, &mut next.fill());
+        // Second access to the same line 1ns later: tag-hits but must wait
+        // for the fill.
+        let r2 = c.access(0x1010, false, Time::from_ns(1), &mut next.fill());
+        assert!(r2.hit);
+        assert_eq!(r2.done, r1.done.saturating_sub(Time::from_ns(1)) + Time::from_ns(1) + Time::ZERO);
+        assert!(r2.done >= r1.done);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut c = Cache::new(cfg_small()); // 2 sets x 2 ways, 64B lines
+        let mut next = NextLevel::new(Time::from_ns(10));
+        // Three lines mapping to set 0: 0x0000, 0x0080, 0x0100 (line>>6 even)
+        let t = Time::ZERO;
+        c.access(0x0000, false, t, &mut next.fill());
+        c.access(0x0080, false, t, &mut next.fill());
+        c.access(0x0000, false, t, &mut next.fill()); // touch to make 0x80 LRU
+        c.access(0x0100, false, t, &mut next.fill()); // evicts 0x0080
+        assert!(c.probe(0x0000));
+        assert!(!c.probe(0x0080));
+        assert!(c.probe(0x0100));
+        assert_eq!(c.stats.evictions, 1);
+        assert_eq!(c.stats.writebacks, 0); // clean eviction
+    }
+
+    #[test]
+    fn dirty_eviction_writes_back() {
+        let mut c = Cache::new(cfg_small());
+        let mut next = NextLevel::new(Time::from_ns(10));
+        c.access(0x0000, true, Time::ZERO, &mut next.fill()); // dirty
+        c.access(0x0080, false, Time::ZERO, &mut next.fill());
+        c.access(0x0100, false, Time::ZERO, &mut next.fill()); // evicts 0x0000 dirty
+        let wb: Vec<_> = next.requests.iter().filter(|(_, w)| *w).collect();
+        assert_eq!(wb.len(), 1);
+        assert_eq!(wb[0].0, 0x0000);
+        assert_eq!(c.stats.writebacks, 1);
+    }
+
+    #[test]
+    fn mshr_saturation_delays_misses() {
+        let mut c = Cache::new(CacheConfig { mshrs: 1, ..cfg_small() });
+        let mut next = NextLevel::new(Time::from_ns(100));
+        let r1 = c.access(0x0000, false, Time::ZERO, &mut next.fill());
+        // Different set, also a miss, issued while the first is in flight:
+        // with a single MSHR it must wait for r1's fill to finish.
+        let r2 = c.access(0x0040, false, Time::from_ns(1), &mut next.fill());
+        assert!(r2.done >= r1.done + Time::from_ns(100));
+        assert_eq!(c.stats.mshr_stalls, 1);
+    }
+
+    #[test]
+    fn mshr_parallel_misses_overlap() {
+        let mut c = Cache::new(cfg_small()); // 2 MSHRs
+        let mut next = NextLevel::new(Time::from_ns(100));
+        let r1 = c.access(0x0000, false, Time::ZERO, &mut next.fill());
+        let r2 = c.access(0x0040, false, Time::from_ns(1), &mut next.fill());
+        // Overlapping fills: the second finishes ~1ns after the first.
+        assert!(r2.done < r1.done + Time::from_ns(10));
+        assert_eq!(c.stats.mshr_stalls, 0);
+    }
+
+    #[test]
+    fn prefetch_insert_turns_miss_into_hit() {
+        let mut c = Cache::new(cfg_small());
+        let mut next = NextLevel::new(Time::from_ns(10));
+        c.insert_prefetch(0x2000, Time::from_ns(5));
+        let r = c.access(0x2000, false, Time::from_ns(6), &mut next.fill());
+        assert!(r.hit);
+        assert_eq!(c.stats.prefetch_fills, 1);
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut c = Cache::new(cfg_small());
+        let mut next = NextLevel::new(Time::from_ns(10));
+        c.access(0x0000, false, Time::ZERO, &mut next.fill());
+        assert!(c.probe(0x0000));
+        c.flush();
+        assert!(!c.probe(0x0000));
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry inconsistent")]
+    fn bad_geometry_panics() {
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 100,
+            ways: 3,
+            line_bytes: 64,
+            hit_latency: Time::ZERO,
+            mshrs: 1,
+        });
+    }
+}

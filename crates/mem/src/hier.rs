@@ -1,0 +1,326 @@
+//! The composed memory hierarchy of the paradet system.
+//!
+//! One [`MemHier`] instance is shared by the main core and all checker
+//! cores, mirroring Figure 4 of the paper:
+//!
+//! * main core: private L1I and L1D backed by a shared L2 with a stride
+//!   prefetcher, backed by DDR3 DRAM;
+//! * checker cores: a tiny private L0 instruction cache each, a shared
+//!   checker L1I, then the main core's L2 ("connected to the main core's
+//!   L2", §IV-B). Checker cores have **no data cache**: all their data comes
+//!   from the load-store log.
+//!
+//! Functional memory contents live in a single [`FlatMemory`] (the paper
+//! assumes caches and DRAM are ECC-protected, so a fault-free functional
+//! image is the correct model — core-internal faults are injected at the
+//! core level, never in memory).
+
+use crate::cache::{Cache, CacheConfig, CacheStats};
+use crate::dram::{Dram, DramConfig, DramStats};
+use crate::prefetch::{PrefetchStats, PrefetcherConfig, StridePrefetcher};
+use crate::time::{Freq, Time};
+use paradet_isa::FlatMemory;
+
+/// Static configuration of the entire memory system.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemConfig {
+    /// Main-core instruction cache.
+    pub l1i: CacheConfig,
+    /// Main-core data cache.
+    pub l1d: CacheConfig,
+    /// Shared second-level cache.
+    pub l2: CacheConfig,
+    /// L2 stride prefetcher.
+    pub prefetcher: PrefetcherConfig,
+    /// Whether the prefetcher is enabled.
+    pub prefetch_enabled: bool,
+    /// DRAM device.
+    pub dram: DramConfig,
+    /// Per-checker-core L0 instruction cache.
+    pub checker_l0: CacheConfig,
+    /// Instruction cache shared by all checker cores.
+    pub checker_l1i: CacheConfig,
+}
+
+impl MemConfig {
+    /// The paper's Table I configuration.
+    ///
+    /// `main` and `checker` are the respective core clocks — cache hit
+    /// latencies are specified in *cycles* in the paper, so the absolute
+    /// latencies scale with the clocks.
+    pub fn paper_default(main: Freq, checker: Freq) -> MemConfig {
+        MemConfig {
+            l1i: CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 2,
+                line_bytes: 64,
+                hit_latency: main.cycles(2),
+                mshrs: 6,
+            },
+            l1d: CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 2,
+                line_bytes: 64,
+                hit_latency: main.cycles(2),
+                mshrs: 6,
+            },
+            l2: CacheConfig {
+                size_bytes: 1024 * 1024,
+                ways: 16,
+                line_bytes: 64,
+                hit_latency: main.cycles(12),
+                mshrs: 16,
+            },
+            prefetcher: PrefetcherConfig::default(),
+            prefetch_enabled: true,
+            dram: DramConfig::ddr3_1600(),
+            checker_l0: CacheConfig {
+                size_bytes: 2 * 1024,
+                ways: 2,
+                line_bytes: 64,
+                hit_latency: checker.cycles(1),
+                mshrs: 2,
+            },
+            checker_l1i: CacheConfig {
+                size_bytes: 16 * 1024,
+                ways: 4,
+                line_bytes: 64,
+                hit_latency: checker.cycles(2),
+                mshrs: 4,
+            },
+        }
+    }
+}
+
+/// Aggregated statistics snapshot across the hierarchy.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct HierStats {
+    /// Main-core L1 instruction cache.
+    pub l1i: CacheStats,
+    /// Main-core L1 data cache.
+    pub l1d: CacheStats,
+    /// Shared L2.
+    pub l2: CacheStats,
+    /// DRAM.
+    pub dram: DramStats,
+    /// L2 prefetcher.
+    pub prefetch: PrefetchStats,
+}
+
+/// The composed, shared memory hierarchy.
+#[derive(Debug)]
+pub struct MemHier {
+    /// Functional memory contents (ECC-protected per the paper's model).
+    pub data: FlatMemory,
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    dram: Dram,
+    prefetcher: StridePrefetcher,
+    prefetch_enabled: bool,
+    checker_l0: Vec<Cache>,
+    checker_l1i: Cache,
+}
+
+impl MemHier {
+    /// Builds the hierarchy with `n_checkers` L0 caches.
+    pub fn new(cfg: &MemConfig, n_checkers: usize) -> MemHier {
+        MemHier {
+            data: FlatMemory::new(),
+            l1i: Cache::new(cfg.l1i),
+            l1d: Cache::new(cfg.l1d),
+            l2: Cache::new(cfg.l2),
+            dram: Dram::new(cfg.dram),
+            prefetcher: StridePrefetcher::new(cfg.prefetcher),
+            prefetch_enabled: cfg.prefetch_enabled,
+            checker_l0: (0..n_checkers).map(|_| Cache::new(cfg.checker_l0)).collect(),
+            checker_l1i: Cache::new(cfg.checker_l1i),
+        }
+    }
+
+    /// Number of checker L0 caches.
+    pub fn n_checkers(&self) -> usize {
+        self.checker_l0.len()
+    }
+
+    /// Timed instruction fetch on the main core.
+    pub fn ifetch(&mut self, pc: u64, now: Time) -> Time {
+        let MemHier { l1i, l2, dram, .. } = self;
+        l1i.access(pc, false, now, &mut |line, write, t| {
+            l2.access(line, write, t, &mut |l, _w, t2| dram.access(l, t2)).done
+        })
+        .done
+    }
+
+    /// Timed data read on the main core. `pc` trains the L2 prefetcher.
+    pub fn dread(&mut self, pc: u64, addr: u64, now: Time) -> Time {
+        self.daccess(pc, addr, false, now)
+    }
+
+    /// Timed data write on the main core (write-allocate).
+    pub fn dwrite(&mut self, pc: u64, addr: u64, now: Time) -> Time {
+        self.daccess(pc, addr, true, now)
+    }
+
+    fn daccess(&mut self, pc: u64, addr: u64, write: bool, now: Time) -> Time {
+        let MemHier { l1d, l2, dram, prefetcher, prefetch_enabled, .. } = self;
+        l1d.access(addr, write, now, &mut |line, wb, t| {
+            let r = l2.access(line, wb, t, &mut |l, _w, t2| dram.access(l, t2));
+            if !wb && *prefetch_enabled {
+                for p in prefetcher.observe(pc, line) {
+                    let pl = l2.line_addr(p);
+                    if !l2.probe(pl) {
+                        let ready = dram.access(pl, t);
+                        l2.insert_prefetch(pl, ready);
+                    }
+                }
+            }
+            r.done
+        })
+        .done
+    }
+
+    /// Timed instruction fetch on checker core `core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core >= n_checkers`.
+    pub fn checker_ifetch(&mut self, core: usize, pc: u64, now: Time) -> Time {
+        let MemHier { checker_l0, checker_l1i, l2, dram, .. } = self;
+        checker_l0[core]
+            .access(pc, false, now, &mut |line, _w, t| {
+                checker_l1i
+                    .access(line, false, t, &mut |l2line, _w2, t2| {
+                        l2.access(l2line, false, t2, &mut |l, _w3, t3| dram.access(l, t3)).done
+                    })
+                    .done
+            })
+            .done
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> HierStats {
+        HierStats {
+            l1i: self.l1i.stats,
+            l1d: self.l1d.stats,
+            l2: self.l2.stats,
+            dram: self.dram.stats,
+            prefetch: self.prefetcher.stats,
+        }
+    }
+
+    /// Per-checker L0 statistics.
+    pub fn checker_l0_stats(&self, core: usize) -> CacheStats {
+        self.checker_l0[core].stats
+    }
+
+    /// Invalidates all caches and resets DRAM (functional contents are kept).
+    pub fn flush_timing(&mut self) {
+        self.l1i.flush();
+        self.l1d.flush();
+        self.l2.flush();
+        self.dram.flush();
+        for c in &mut self.checker_l0 {
+            c.flush();
+        }
+        self.checker_l1i.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hier() -> MemHier {
+        let cfg = MemConfig::paper_default(Freq::from_mhz(3200), Freq::from_mhz(1000));
+        MemHier::new(&cfg, 12)
+    }
+
+    #[test]
+    fn cold_read_reaches_dram_then_hits() {
+        let mut h = hier();
+        let t1 = h.dread(0x1000, 0x8000, Time::ZERO);
+        // Cold miss: L1 (2cyc) + L2 (12cyc) + DRAM (~32.5ns) round trip.
+        assert!(t1 > Time::from_ns(30), "cold read too fast: {t1}");
+        let t2 = h.dread(0x1000, 0x8008, t1);
+        assert_eq!(t2 - t1, Freq::from_mhz(3200).cycles(2), "warm read should be an L1 hit");
+        assert_eq!(h.stats().dram.requests, 1);
+    }
+
+    #[test]
+    fn l2_hit_after_l1_eviction_pressure() {
+        let mut h = hier();
+        // Touch a line, then stream through enough lines to evict it from
+        // the 32KiB 2-way L1 but not the 1MiB L2.
+        let mut t = Time::ZERO;
+        t = h.dread(0x1000, 0x10000, t);
+        for i in 0..2048u64 {
+            t = h.dread(0x1000, 0x20000 + i * 64, t);
+        }
+        let dram_before = h.stats().dram.requests;
+        let t2 = h.dread(0x1000, 0x10000, t);
+        assert_eq!(h.stats().dram.requests, dram_before, "should be an L2 hit, not DRAM");
+        // L1 miss + L2 hit: 2 + 12 + 2 cycles
+        assert_eq!(t2 - t, Freq::from_mhz(3200).cycles(16));
+    }
+
+    #[test]
+    fn prefetcher_hides_streaming_latency() {
+        let mut ph = hier();
+        let cfg = MemConfig {
+            prefetch_enabled: false,
+            ..MemConfig::paper_default(Freq::from_mhz(3200), Freq::from_mhz(1000))
+        };
+        let mut nh = MemHier::new(&cfg, 0);
+        // Stream 512 lines with the same PC through both hierarchies.
+        let (mut tp, mut tn) = (Time::ZERO, Time::ZERO);
+        for i in 0..512u64 {
+            let addr = 0x100000 + i * 64;
+            tp = ph.dread(0x1000, addr, tp);
+            tn = nh.dread(0x1000, addr, tn);
+        }
+        assert!(
+            tp < tn,
+            "prefetching should accelerate a linear stream: {tp} vs {tn}"
+        );
+        assert!(ph.stats().prefetch.issued > 100);
+    }
+
+    #[test]
+    fn checker_ifetch_path_works_and_shares_l2() {
+        let mut h = hier();
+        // Main core fetches a line; checker then fetches the same line.
+        let t1 = h.ifetch(0x1000, Time::ZERO);
+        let t2 = h.checker_ifetch(0, 0x1000, t1);
+        // Checker sees L0 miss + checker-L1I miss + L2 hit.
+        assert!(t2 - t1 < Time::from_ns(30), "checker fetch should hit in L2: {}", t2 - t1);
+        // Second checker fetch to the same line hits its private L0 (1 cycle
+        // at 1 GHz = 1 ns).
+        let t3 = h.checker_ifetch(0, 0x1008, t2);
+        assert_eq!(t3 - t2, Time::from_ns(1));
+        // A different checker's L0 is cold but the shared checker L1I is
+        // warm: L0 tag check (1) + shared L1I hit (2) + L0 readout (1).
+        let t4 = h.checker_ifetch(1, 0x1008, t3);
+        assert_eq!(t4 - t3, Time::from_ns(4));
+    }
+
+    #[test]
+    fn functional_data_is_shared() {
+        use paradet_isa::{MemWidth, MemoryIface};
+        let mut h = hier();
+        h.data.store(0x9000, MemWidth::D, 0xdead_beef);
+        assert_eq!(h.data.load(0x9000, MemWidth::D), 0xdead_beef);
+    }
+
+    #[test]
+    fn flush_timing_keeps_contents() {
+        use paradet_isa::{MemWidth, MemoryIface};
+        let mut h = hier();
+        h.data.store(0x9000, MemWidth::D, 42);
+        h.dread(0x1000, 0x9000, Time::ZERO);
+        h.flush_timing();
+        assert_eq!(h.data.load(0x9000, MemWidth::D), 42);
+        let t = h.dread(0x1000, 0x9000, Time::from_ns(1000));
+        assert!(t - Time::from_ns(1000) > Time::from_ns(30), "post-flush read must miss");
+    }
+}

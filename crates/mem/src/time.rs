@@ -1,0 +1,215 @@
+//! Simulated time and clock frequencies.
+//!
+//! The paradet system is heterogeneous in clock: the main core runs at
+//! 3.2 GHz, the checker cores anywhere from 125 MHz to 2 GHz (paper Fig. 9),
+//! and DDR3-1600 DRAM at 800 MHz. All of these have *exact integer* periods
+//! in femtoseconds, so simulated time is a `u64` femtosecond count — no
+//! floating-point drift, and cross-clock event ordering is total and
+//! deterministic.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// An absolute simulated time in femtoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Time(u64);
+
+impl Time {
+    /// Time zero (simulation start).
+    pub const ZERO: Time = Time(0);
+
+    /// The largest representable time (used as "never").
+    pub const MAX: Time = Time(u64::MAX);
+
+    /// Creates a time from femtoseconds.
+    pub const fn from_fs(fs: u64) -> Time {
+        Time(fs)
+    }
+
+    /// Creates a time from picoseconds.
+    pub const fn from_ps(ps: u64) -> Time {
+        Time(ps * 1_000)
+    }
+
+    /// Creates a time from nanoseconds.
+    pub const fn from_ns(ns: u64) -> Time {
+        Time(ns * 1_000_000)
+    }
+
+    /// Creates a time from microseconds.
+    pub const fn from_us(us: u64) -> Time {
+        Time(us * 1_000_000_000)
+    }
+
+    /// This time as femtoseconds.
+    pub const fn as_fs(self) -> u64 {
+        self.0
+    }
+
+    /// This time as (possibly fractional) nanoseconds.
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// This time as (possibly fractional) microseconds.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating subtraction (useful for delays where clock skew could
+    /// otherwise underflow).
+    pub fn saturating_sub(self, other: Time) -> Time {
+        Time(self.0.saturating_sub(other.0))
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: Time) -> Time {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// The earlier of two times.
+    pub fn min(self, other: Time) -> Time {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add for Time {
+    type Output = Time;
+    fn add(self, rhs: Time) -> Time {
+        Time(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Time {
+    fn add_assign(&mut self, rhs: Time) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Time {
+    type Output = Time;
+    fn sub(self, rhs: Time) -> Time {
+        Time(self.0.checked_sub(rhs.0).expect("time subtraction underflow"))
+    }
+}
+
+impl fmt::Display for Time {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}us", self.as_us_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ns", self.as_ns_f64())
+        } else {
+            write!(f, "{}fs", self.0)
+        }
+    }
+}
+
+/// A clock frequency, stored as an exact femtosecond period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Freq {
+    period_fs: u64,
+    mhz: u64,
+}
+
+impl Freq {
+    /// Creates a frequency from megahertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is zero or does not divide 10^9 fs evenly (all paper
+    /// frequencies — 125/250/500/800/1000/2000/3200 MHz — do).
+    pub fn from_mhz(mhz: u64) -> Freq {
+        assert!(mhz > 0, "frequency must be positive");
+        let fs = 1_000_000_000u64;
+        assert!(fs.is_multiple_of(mhz), "{mhz} MHz has no exact femtosecond period");
+        Freq { period_fs: fs / mhz, mhz }
+    }
+
+    /// The clock period.
+    pub fn period(self) -> Time {
+        Time::from_fs(self.period_fs)
+    }
+
+    /// The frequency in MHz.
+    pub fn mhz(self) -> u64 {
+        self.mhz
+    }
+
+    /// Duration of `n` cycles of this clock.
+    pub fn cycles(self, n: u64) -> Time {
+        Time::from_fs(self.period_fs * n)
+    }
+
+    /// Number of whole cycles of this clock elapsed at time `t`.
+    pub fn cycles_at(self, t: Time) -> u64 {
+        t.as_fs() / self.period_fs
+    }
+}
+
+impl fmt::Display for Freq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.mhz.is_multiple_of(1000) {
+            write!(f, "{}GHz", self.mhz / 1000)
+        } else {
+            write!(f, "{}MHz", self.mhz)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_frequencies_are_exact() {
+        assert_eq!(Freq::from_mhz(3200).period(), Time::from_fs(312_500));
+        assert_eq!(Freq::from_mhz(1000).period(), Time::from_ps(1000));
+        assert_eq!(Freq::from_mhz(800).period(), Time::from_fs(1_250_000));
+        assert_eq!(Freq::from_mhz(125).period(), Time::from_ps(8000));
+        assert_eq!(Freq::from_mhz(2000).period(), Time::from_ps(500));
+    }
+
+    #[test]
+    fn cycle_arithmetic() {
+        let f = Freq::from_mhz(1000);
+        assert_eq!(f.cycles(5), Time::from_ns(5));
+        assert_eq!(f.cycles_at(Time::from_ns(7)), 7);
+        assert_eq!(f.cycles_at(Time::from_fs(999_999)), 0);
+    }
+
+    #[test]
+    fn time_ordering_and_ops() {
+        let a = Time::from_ns(1);
+        let b = Time::from_ns(2);
+        assert!(a < b);
+        assert_eq!(a + a, b);
+        assert_eq!(b - a, a);
+        assert_eq!(a.saturating_sub(b), Time::ZERO);
+        assert_eq!(a.max(b), b);
+        assert_eq!(a.min(b), a);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Time::from_ns(1500).to_string(), "1.500us");
+        assert_eq!(Time::from_ps(1500).to_string(), "1.500ns");
+        assert_eq!(Time::from_fs(12).to_string(), "12fs");
+        assert_eq!(Freq::from_mhz(3200).to_string(), "3200MHz");
+        assert_eq!(Freq::from_mhz(2000).to_string(), "2GHz");
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn sub_underflow_panics() {
+        let _ = Time::ZERO - Time::from_fs(1);
+    }
+}

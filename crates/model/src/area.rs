@@ -1,0 +1,98 @@
+//! Silicon-area model (§VI-B).
+
+/// Inputs to the area estimate, defaulting to the paper's datapoints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaInputs {
+    /// Main (A57-class) core area in mm², excluding shared caches
+    /// (paper: 2.05 mm² at 20 nm).
+    pub main_core_mm2: f64,
+    /// One checker (Rocket/E51-class) core area in mm²
+    /// (paper: 0.14 mm² at 40 nm ⇒ ~0.035 mm² scaled; the paper
+    /// conservatively uses twelve cores ⇒ 0.42 mm² combined, i.e.
+    /// 0.035 mm² per core at the main core's node).
+    pub checker_core_mm2: f64,
+    /// Number of checker cores.
+    pub n_checkers: usize,
+    /// Detection SRAM in KiB: checker instruction caches, register
+    /// checkpoints, load forwarding unit and the load-store log
+    /// (paper: 80 KiB total).
+    pub detection_sram_kib: f64,
+    /// SRAM density in mm² per KiB (paper: 0.08 mm² for 80 KiB ⇒ 0.001).
+    pub sram_mm2_per_kib: f64,
+    /// Shared L2 area in mm² (paper: ~1 mm² for 1 MiB single-ported).
+    pub l2_mm2: f64,
+}
+
+impl Default for AreaInputs {
+    fn default() -> AreaInputs {
+        AreaInputs {
+            main_core_mm2: 2.05,
+            checker_core_mm2: 0.42 / 12.0,
+            n_checkers: 12,
+            detection_sram_kib: 80.0,
+            sram_mm2_per_kib: 0.001,
+            l2_mm2: 1.0,
+        }
+    }
+}
+
+/// The resulting area estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaReport {
+    /// Combined checker-core area, mm².
+    pub checkers_mm2: f64,
+    /// Detection SRAM area, mm².
+    pub sram_mm2: f64,
+    /// Total detection-hardware area, mm².
+    pub detection_mm2: f64,
+    /// Overhead relative to the main core alone (paper: ≈24%).
+    pub overhead_vs_core: f64,
+    /// Overhead relative to main core + L2 (paper: ≈16%).
+    pub overhead_vs_core_l2: f64,
+    /// Dual-core-lockstep overhead on the same basis (≈100%).
+    pub dcls_overhead: f64,
+}
+
+impl AreaInputs {
+    /// Evaluates the model.
+    pub fn evaluate(&self) -> AreaReport {
+        let checkers_mm2 = self.checker_core_mm2 * self.n_checkers as f64;
+        let sram_mm2 = self.detection_sram_kib * self.sram_mm2_per_kib;
+        let detection_mm2 = checkers_mm2 + sram_mm2;
+        AreaReport {
+            checkers_mm2,
+            sram_mm2,
+            detection_mm2,
+            overhead_vs_core: detection_mm2 / self.main_core_mm2,
+            overhead_vs_core_l2: detection_mm2 / (self.main_core_mm2 + self.l2_mm2),
+            dcls_overhead: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers_reproduce() {
+        let r = AreaInputs::default().evaluate();
+        assert!((r.checkers_mm2 - 0.42).abs() < 1e-9);
+        assert!((r.sram_mm2 - 0.08).abs() < 1e-9);
+        // "approximately 24% area overhead compared to the original core
+        // without shared caches"
+        assert!((r.overhead_vs_core - 0.24).abs() < 0.015, "got {}", r.overhead_vs_core);
+        // "when a 1MiB single-ported L2 … is also included, the area
+        // overhead is approximately 16%"
+        assert!((r.overhead_vs_core_l2 - 0.16).abs() < 0.01, "got {}", r.overhead_vs_core_l2);
+        assert!(r.overhead_vs_core < r.dcls_overhead / 3.0, "far below lockstep");
+    }
+
+    #[test]
+    fn fewer_checkers_cost_less() {
+        let mut i = AreaInputs::default();
+        i.n_checkers = 6;
+        let r = i.evaluate();
+        assert!(r.overhead_vs_core < AreaInputs::default().evaluate().overhead_vs_core);
+    }
+}

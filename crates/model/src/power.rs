@@ -1,0 +1,79 @@
+//! Power model (§VI-C).
+
+/// Inputs to the power estimate, defaulting to the paper's datapoints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerInputs {
+    /// Main-core power density in µW/MHz (paper: 800 for an A57 at 20 nm).
+    pub main_uw_per_mhz: f64,
+    /// Main-core clock in MHz (Table I: 3200).
+    pub main_mhz: f64,
+    /// Checker-core power density in µW/MHz (paper: 34 for a Rocket-class
+    /// core at 40 nm — "an upper bound" since 20 nm would be lower).
+    pub checker_uw_per_mhz: f64,
+    /// Checker clock in MHz (Table I: 1000).
+    pub checker_mhz: f64,
+    /// Number of checker cores.
+    pub n_checkers: usize,
+}
+
+impl Default for PowerInputs {
+    fn default() -> PowerInputs {
+        PowerInputs {
+            main_uw_per_mhz: 800.0,
+            main_mhz: 3200.0,
+            checker_uw_per_mhz: 34.0,
+            checker_mhz: 1000.0,
+            n_checkers: 12,
+        }
+    }
+}
+
+/// The resulting power estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerReport {
+    /// Main-core power, watts.
+    pub main_w: f64,
+    /// Combined checker power, watts.
+    pub checkers_w: f64,
+    /// Overhead of detection relative to the main core (paper: ≈16%,
+    /// an upper bound).
+    pub overhead: f64,
+    /// Dual-core-lockstep overhead on the same basis (≈100%).
+    pub dcls_overhead: f64,
+}
+
+impl PowerInputs {
+    /// Evaluates the model.
+    pub fn evaluate(&self) -> PowerReport {
+        let main_w = self.main_uw_per_mhz * self.main_mhz / 1e6;
+        let checkers_w =
+            self.checker_uw_per_mhz * self.checker_mhz * self.n_checkers as f64 / 1e6;
+        PowerReport {
+            main_w,
+            checkers_w,
+            overhead: checkers_w / main_w,
+            dcls_overhead: 1.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_numbers_reproduce() {
+        let r = PowerInputs::default().evaluate();
+        assert!((r.main_w - 2.56).abs() < 1e-9);
+        assert!((r.checkers_w - 0.408).abs() < 1e-9);
+        // "we obtain a power overhead of approximately 16%"
+        assert!((r.overhead - 0.16).abs() < 0.01, "got {}", r.overhead);
+    }
+
+    #[test]
+    fn slower_checkers_burn_less() {
+        let mut i = PowerInputs::default();
+        i.checker_mhz = 250.0;
+        assert!(i.evaluate().overhead < 0.05);
+    }
+}

@@ -1,0 +1,885 @@
+//! The out-of-order main core model.
+//!
+//! # Modelling approach
+//!
+//! The core is a *one-pass, trace-driven* out-of-order timing model: a
+//! functional oracle ([`ArchState`]) executes macro-ops in program order
+//! while a dataflow scheduler assigns every micro-op its fetch, dispatch,
+//! issue, complete and commit cycles subject to:
+//!
+//! * fetch width + I-cache line timing + branch-predictor redirects,
+//! * in-order dispatch bounded by ROB/IQ/LQ/SQ/physical-register occupancy,
+//! * operand readiness through renamed registers (RAW only),
+//! * functional-unit pools (3 int ALUs, 2 FP ALUs, 1 unpipelined mul/div,
+//!   2 L1D ports) and issue width,
+//! * store-to-load forwarding inside the store window, loads timed through
+//!   the cache hierarchy otherwise,
+//! * in-order commit with width, write-buffer and *detection-hardware*
+//!   gating: the sink can pause commit (register checkpoints) or make it
+//!   retry (load-store log full).
+//!
+//! Because micro-ops are finalized strictly in program order, detection
+//! hardware attached via [`DetectionSink`] observes exactly the committed
+//! instruction stream with correct commit-order timing — including the
+//! feedback loop where a full log stalls commit (§IV-D of the paper).
+//! Wrong-path instructions are not simulated; a misprediction instead
+//! inserts the fetch-redirect bubble at resolution time (standard
+//! trace-driven approximation; DESIGN.md §5).
+
+use crate::config::OooConfig;
+use crate::fault::{ArmedFault, FaultTarget};
+use crate::predictor::TournamentPredictor;
+use crate::resources::{FifoOccupancy, SlotPool, UnorderedOccupancy};
+use crate::types::{CommitEvent, CommitGate, DetectionSink, MemEffect};
+use paradet_isa::{
+    crack, ArchState, DstReg, ExecError, Instruction, MemKind, NondetSource, Program,
+    Reg, SrcReg, UopKind,
+};
+use paradet_mem::{MemHier, Time};
+use std::collections::VecDeque;
+
+/// Running statistics of the core.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoreStats {
+    /// Macro-ops retired.
+    pub committed_instrs: u64,
+    /// Micro-ops retired (excluding RMT duplicates).
+    pub committed_uops: u64,
+    /// Loads retired.
+    pub loads: u64,
+    /// Stores retired.
+    pub stores: u64,
+    /// Conditional branches retired.
+    pub branches: u64,
+    /// Control-flow mispredictions that paid a full resolve-time redirect.
+    pub mispredicts: u64,
+    /// Cycle of the most recent commit.
+    pub last_commit_cycle: u64,
+    /// Cycles commit spent blocked on [`CommitGate::Retry`] (log full).
+    pub gate_retry_cycles: u64,
+    /// Commit pauses issued by the sink (register checkpoints).
+    pub gate_pauses: u64,
+    /// Cycles of commit pause issued by the sink.
+    pub gate_pause_cycles: u64,
+    /// Loads whose value was forwarded from the store window.
+    pub store_forwards: u64,
+}
+
+impl CoreStats {
+    /// Instructions per cycle over the whole run.
+    pub fn ipc(&self) -> f64 {
+        if self.last_commit_cycle == 0 {
+            0.0
+        } else {
+            self.committed_instrs as f64 / self.last_commit_cycle as f64
+        }
+    }
+}
+
+/// Why `step` could not retire an instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CoreError {
+    /// The program has halted (committed `halt`).
+    Halted,
+    /// Execution crashed — e.g. a fault drove the PC outside the text
+    /// segment. The paper's §IV-H semantics apply: the OS holds process
+    /// termination until outstanding checks complete.
+    Crashed(ExecError),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Halted => write!(f, "program has halted"),
+            CoreError::Crashed(e) => write!(f, "execution crashed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Outcome of retiring one macro-op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepOutcome {
+    /// PC of the retired instruction.
+    pub pc: u64,
+    /// Commit time of its last micro-op.
+    pub commit_time: Time,
+    /// Whether this instruction halted the program.
+    pub halted: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct InflightStore {
+    addr: u64,
+    bytes: u64,
+    data_ready: u64,
+    commit: u64,
+}
+
+struct SuppliedNondet(Option<u64>);
+
+impl NondetSource for SuppliedNondet {
+    fn next_nondet(&mut self) -> u64 {
+        self.0.take().unwrap_or(0)
+    }
+}
+
+/// The out-of-order main core.
+#[derive(Debug)]
+pub struct OooCore {
+    cfg: OooConfig,
+    program: Program,
+    state: ArchState,
+    pred: TournamentPredictor,
+    // Resource pools, all in core cycles.
+    fetch_slots: SlotPool,
+    dispatch_slots: SlotPool,
+    issue_slots: SlotPool,
+    commit_slots: SlotPool,
+    int_alus: SlotPool,
+    fp_alus: SlotPool,
+    mul_div: SlotPool,
+    mem_ports: SlotPool,
+    write_buffer: SlotPool,
+    rob: FifoOccupancy,
+    lq: FifoOccupancy,
+    sq: FifoOccupancy,
+    phys_int: FifoOccupancy,
+    phys_fp: FifoOccupancy,
+    iq: UnorderedOccupancy,
+    reg_ready_int: [u64; 32],
+    reg_ready_fp: [u64; 32],
+    stores_in_flight: VecDeque<InflightStore>,
+    // Fetch state.
+    next_fetch_cycle: u64,
+    last_fetch_line: u64,
+    line_ready: u64,
+    last_commit: u64,
+    commit_gate: u64,
+    /// Dispatch is also held during a sink-issued pause: the register
+    /// checkpoint copy occupies the register-file read ports (Table I's
+    /// two-ported copy of 32+32 registers), starving issue/rename for the
+    /// same window.
+    dispatch_gate: u64,
+    seq: u64,
+    instr_index: u64,
+    halted: bool,
+    crashed: Option<ExecError>,
+    faults: Vec<ArmedFault>,
+    stuck: Option<(u8, u8, bool)>,
+    /// Statistics (public for the experiment harness).
+    pub stats: CoreStats,
+}
+
+impl OooCore {
+    /// Creates a core positioned at `program`'s entry point.
+    pub fn new(cfg: OooConfig, program: &Program) -> OooCore {
+        let state = ArchState::at_entry(program);
+        OooCore {
+            pred: TournamentPredictor::new(cfg.predictor),
+            fetch_slots: SlotPool::new(cfg.width),
+            dispatch_slots: SlotPool::new(cfg.width),
+            issue_slots: SlotPool::new(cfg.width),
+            commit_slots: SlotPool::new(cfg.width),
+            int_alus: SlotPool::new(cfg.int_alus),
+            fp_alus: SlotPool::new(cfg.fp_alus),
+            mul_div: SlotPool::new(cfg.mul_div_units),
+            mem_ports: SlotPool::new(cfg.mem_ports),
+            write_buffer: SlotPool::new(cfg.write_buffer),
+            rob: FifoOccupancy::new(cfg.rob_entries),
+            lq: FifoOccupancy::new(cfg.lq_entries),
+            sq: FifoOccupancy::new(cfg.sq_entries),
+            phys_int: FifoOccupancy::new(cfg.phys_int - Reg::COUNT),
+            phys_fp: FifoOccupancy::new(cfg.phys_fp - Reg::COUNT),
+            iq: UnorderedOccupancy::new(cfg.iq_entries),
+            reg_ready_int: [0; 32],
+            reg_ready_fp: [0; 32],
+            stores_in_flight: VecDeque::with_capacity(cfg.sq_entries),
+            next_fetch_cycle: 0,
+            last_fetch_line: u64::MAX,
+            line_ready: 0,
+            last_commit: 0,
+            commit_gate: 0,
+            dispatch_gate: 0,
+            seq: 0,
+            instr_index: 0,
+            halted: false,
+            crashed: None,
+            faults: Vec::new(),
+            stuck: None,
+            stats: CoreStats::default(),
+            program: program.clone(),
+            state,
+            cfg,
+        }
+    }
+
+    /// The core's configuration.
+    pub fn config(&self) -> &OooConfig {
+        &self.cfg
+    }
+
+    /// The committed architectural state (used by the detection system to
+    /// take register checkpoints).
+    pub fn committed_state(&self) -> &ArchState {
+        &self.state
+    }
+
+    /// Whether the core has committed `halt`.
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// The crash reason, if a fault drove execution off the rails.
+    pub fn crashed(&self) -> Option<ExecError> {
+        self.crashed
+    }
+
+    /// Absolute time of the most recent commit.
+    pub fn now(&self) -> Time {
+        self.to_time(self.last_commit)
+    }
+
+    /// Arms a fault (see [`FaultTarget`]).
+    pub fn arm_fault(&mut self, fault: ArmedFault) {
+        self.faults.push(fault);
+    }
+
+    fn to_time(&self, cycle: u64) -> Time {
+        self.cfg.clock.cycles(cycle)
+    }
+
+    fn to_cycle(&self, t: Time) -> u64 {
+        // Ceiling division: an event at time t is usable at the first cycle
+        // boundary at or after t.
+        let p = self.cfg.clock.period().as_fs();
+        t.as_fs().div_ceil(p)
+    }
+
+    fn reg_ready(&self, src: SrcReg) -> u64 {
+        match src {
+            SrcReg::Int(r) => self.reg_ready_int[r.index()],
+            SrcReg::Fp(r) => self.reg_ready_fp[r.index()],
+        }
+    }
+
+    fn srcs_ready(&self, srcs: &[Option<SrcReg>; 3]) -> u64 {
+        srcs.iter().flatten().map(|&s| self.reg_ready(s)).max().unwrap_or(0)
+    }
+
+    /// Retires one macro-op, advancing the model.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Halted`] once `halt` has committed, and
+    /// [`CoreError::Crashed`] if the PC has left the text segment (possible
+    /// only under fault injection).
+    pub fn step(
+        &mut self,
+        hier: &mut MemHier,
+        sink: &mut dyn DetectionSink,
+    ) -> Result<StepOutcome, CoreError> {
+        if self.halted {
+            return Err(CoreError::Halted);
+        }
+        if let Some(e) = self.crashed {
+            return Err(CoreError::Crashed(e));
+        }
+        let pc = self.state.pc;
+        let insn = match self.program.instr_at(pc) {
+            Some(i) => *i,
+            None => {
+                let e = ExecError::BadPc { pc };
+                self.crashed = Some(e);
+                return Err(CoreError::Crashed(e));
+            }
+        };
+
+        // ---- Fetch timing -------------------------------------------------
+        let (_, fslot) = self.fetch_slots.take(self.next_fetch_cycle, 1);
+        let line = pc & !63;
+        if line != self.last_fetch_line {
+            let done = hier.ifetch(line, self.to_time(fslot));
+            self.line_ready = self.to_cycle(done);
+            self.last_fetch_line = line;
+        }
+        let fetch_cycle = fslot.max(self.line_ready);
+
+        // ---- Branch prediction (consulted before outcome is known) --------
+        let prediction = match insn {
+            Instruction::Branch { .. } => {
+                let p = self.pred.predict_direction(pc);
+                let target = if p.taken { self.pred.btb_lookup(pc) } else { None };
+                Some((p, target))
+            }
+            _ => None,
+        };
+        let jalr_prediction = match insn {
+            Instruction::Jalr { rd, rs1, .. } => {
+                let is_return = rd == Reg::X0 && rs1 == Reg::X1;
+                let predicted =
+                    if is_return { self.pred.ras_pop() } else { self.pred.btb_lookup(pc) };
+                if rd == Reg::X1 {
+                    self.pred.ras_push(pc + 4);
+                }
+                Some(predicted)
+            }
+            _ => None,
+        };
+        if let Instruction::Jal { rd, .. } = insn {
+            if rd == Reg::X1 {
+                self.pred.ras_push(pc + 4);
+            }
+        }
+
+        // ---- Pre-compute memory addresses from the pre-state --------------
+        let uops = crack(&insn);
+        let mut uop_addrs: Vec<Option<u64>> = Vec::with_capacity(uops.len());
+        for u in &uops {
+            uop_addrs.push(match u.kind {
+                UopKind::Mem { imm, .. } => {
+                    let base = match u.srcs[0] {
+                        Some(SrcReg::Int(r)) => self.state.x(r),
+                        None => 0,
+                        _ => unreachable!("memory base is an integer register"),
+                    };
+                    Some(base.wrapping_add(imm as u64))
+                }
+                _ => None,
+            });
+        }
+
+        // ---- Fault arming --------------------------------------------------
+        // Apply pre-execution faults and figure out which post-execution
+        // overrides are pending for this instruction.
+        let mut store_value_flip: Option<u8> = None;
+        let mut store_addr_flip: Option<u8> = None;
+        let mut load_value_flip: Option<u8> = None;
+        let mut load_capture_flip: Option<u8> = None;
+        let mut pc_flip: Option<u8> = None;
+        {
+            let instr_index = self.instr_index;
+            let has_store = uops.iter().any(|u| u.is_store());
+            let has_load = uops.iter().any(|u| u.is_load());
+            let mut remaining = Vec::with_capacity(self.faults.len());
+            for f in std::mem::take(&mut self.faults) {
+                if instr_index < f.at_instr {
+                    remaining.push(f);
+                    continue;
+                }
+                match f.target {
+                    FaultTarget::IntRegBit { reg, bit } => {
+                        let v = self.state.x(reg) ^ (1u64 << (bit & 63));
+                        self.state.set_x(reg, v);
+                    }
+                    FaultTarget::FpRegBit { reg, bit } => {
+                        let v = self.state.f_bits(reg) ^ (1u64 << (bit & 63));
+                        self.state.set_f_bits(reg, v);
+                    }
+                    FaultTarget::AluStuckAt { unit, bit, value } => {
+                        self.stuck = Some((unit, bit, value));
+                    }
+                    FaultTarget::StoreValueBit { bit } if has_store => {
+                        store_value_flip = Some(bit);
+                    }
+                    FaultTarget::StoreAddrBit { bit } if has_store => {
+                        store_addr_flip = Some(bit);
+                    }
+                    FaultTarget::LoadValueBit { bit } if has_load => {
+                        load_value_flip = Some(bit);
+                    }
+                    FaultTarget::LoadCaptureBit { bit } if has_load => {
+                        load_capture_flip = Some(bit);
+                    }
+                    FaultTarget::PcBit { bit } => {
+                        pc_flip = Some(bit);
+                    }
+                    // Store/load faults wait for a matching instruction.
+                    _ => remaining.push(f),
+                }
+            }
+            self.faults = remaining;
+        }
+
+        // ---- Per-micro-op timing ------------------------------------------
+        let mut completes: Vec<u64> = Vec::with_capacity(uops.len());
+        let mut resolve_cycle: Option<u64> = None;
+        let mut alu_units: Vec<Option<usize>> = Vec::with_capacity(uops.len());
+        let mut nondet_value: Option<u64> = None;
+        let mut load_forwarded = [false; 2];
+        let rmt = self.cfg.rmt_duplicate;
+
+        for (k, u) in uops.iter().enumerate() {
+            // One extra pass per µop in RMT mode: the duplicate competes for
+            // the same resources but produces no architectural effects.
+            for dup in 0..if rmt { 2 } else { 1 } {
+                let is_dup = dup == 1;
+                // Dispatch: in-order, bounded by window occupancy and any
+                // checkpoint-copy pause.
+                let mut disp = (fetch_cycle + self.cfg.front_depth).max(self.dispatch_gate);
+                disp = self.rob.acquire(disp);
+                disp = self.iq.acquire(disp);
+                if u.is_load() {
+                    disp = self.lq.acquire(disp);
+                }
+                if u.is_store() {
+                    disp = self.sq.acquire(disp);
+                }
+                match u.dst {
+                    Some(DstReg::Int(_)) => disp = self.phys_int.acquire(disp),
+                    Some(DstReg::Fp(_)) => disp = self.phys_fp.acquire(disp),
+                    None => {}
+                }
+                let (_, disp) = self.dispatch_slots.take(disp, 1);
+
+                // Operand readiness (RAW through renamed registers).
+                let ready = self.srcs_ready(&u.srcs).max(disp + 1);
+
+                // Issue + execute through a functional unit.
+                let lat = &self.cfg.lat;
+                let (complete, alu_unit) = match u.kind {
+                    UopKind::IntAlu { op, .. } => {
+                        let (pipelined, l) = if op.is_mul_div() {
+                            (
+                                false,
+                                if matches!(op, paradet_isa::AluOp::Div | paradet_isa::AluOp::Rem) {
+                                    lat.div
+                                } else {
+                                    lat.mul
+                                },
+                            )
+                        } else {
+                            (true, lat.int_alu)
+                        };
+                        let pool =
+                            if op.is_mul_div() { &mut self.mul_div } else { &mut self.int_alus };
+                        let occ = if pipelined { 1 } else { l };
+                        let (unit, start) = pool.take(ready, occ);
+                        let (_, start) = self.issue_slots.take(start, 1);
+                        (start + l, if op.is_mul_div() { None } else { Some(unit) })
+                    }
+                    UopKind::FpAlu { op } => {
+                        let (occ, l) = if op.is_div() { (lat.fp_div, lat.fp_div) } else { (1, lat.fp_alu) };
+                        let (_, start) = self.fp_alus.take(ready, occ);
+                        let (_, start) = self.issue_slots.take(start, 1);
+                        (start + l, None)
+                    }
+                    UopKind::Fma => {
+                        let (_, start) = self.fp_alus.take(ready, 1);
+                        let (_, start) = self.issue_slots.take(start, 1);
+                        (start + lat.fp_alu, None)
+                    }
+                    UopKind::FSqrt => {
+                        let (_, start) = self.fp_alus.take(ready, lat.fsqrt);
+                        let (_, start) = self.issue_slots.take(start, 1);
+                        (start + lat.fsqrt, None)
+                    }
+                    UopKind::FMov { .. } => {
+                        let (_, start) = self.int_alus.take(ready, 1);
+                        let (_, start) = self.issue_slots.take(start, 1);
+                        (start + lat.fmov, None)
+                    }
+                    UopKind::Branch { .. } | UopKind::Jump { .. } | UopKind::JumpReg { .. } => {
+                        let (_, start) = self.int_alus.take(ready, 1);
+                        let (_, start) = self.issue_slots.take(start, 1);
+                        let c = start + lat.branch;
+                        if !is_dup {
+                            resolve_cycle = Some(c);
+                        }
+                        (c, None)
+                    }
+                    UopKind::Mem { kind, width, .. } => {
+                        let addr = uop_addrs[k].expect("mem uop has an address");
+                        let (_, agu_start) = self.mem_ports.take(ready, 1);
+                        let (_, agu_start) = self.issue_slots.take(agu_start, 1);
+                        let addr_known = agu_start + lat.agu;
+                        match kind {
+                            MemKind::Load { .. } => {
+                                if is_dup {
+                                    // RMT duplicate loads read the load value
+                                    // queue, not the cache.
+                                    (addr_known + lat.forward, None)
+                                } else {
+                                    // Store-to-load forwarding: youngest older
+                                    // store overlapping this access and still
+                                    // in flight at addr_known.
+                                    let bytes = width.bytes();
+                                    let fwd = self
+                                        .stores_in_flight
+                                        .iter()
+                                        .rev()
+                                        .find(|s| {
+                                            s.commit > addr_known
+                                                && addr < s.addr + s.bytes
+                                                && s.addr < addr + bytes
+                                        })
+                                        .map(|s| s.data_ready);
+                                    match fwd {
+                                        Some(dr) => {
+                                            self.stats.store_forwards += 1;
+                                            if k < 2 {
+                                                load_forwarded[k] = true;
+                                            }
+                                            (addr_known.max(dr) + lat.forward, None)
+                                        }
+                                        None => {
+                                            let done =
+                                                hier.dread(pc, addr, self.to_time(addr_known));
+                                            (self.to_cycle(done), None)
+                                        }
+                                    }
+                                }
+                            }
+                            MemKind::Store => {
+                                // Stores are "complete" when address and data
+                                // are both available; memory is written at
+                                // commit through the write buffer.
+                                let data_ready = match u.srcs[1] {
+                                    Some(s) => self.reg_ready(s),
+                                    None => 0,
+                                };
+                                (addr_known.max(data_ready) + 1, None)
+                            }
+                        }
+                    }
+                    UopKind::RdCycle => {
+                        let (_, start) = self.int_alus.take(ready, 1);
+                        let (_, start) = self.issue_slots.take(start, 1);
+                        if !is_dup {
+                            nondet_value = Some(start + lat.int_alu);
+                        }
+                        (start + lat.int_alu, None)
+                    }
+                    UopKind::Nop | UopKind::Halt => {
+                        let (_, start) = self.issue_slots.take(ready, 1);
+                        (start + 1, None)
+                    }
+                };
+
+                if is_dup {
+                    // The duplicate occupies window entries until it commits
+                    // alongside the primary; approximate its release with its
+                    // completion + 1.
+                    self.rob.push(complete + 1);
+                    self.iq.push(complete);
+                    if u.is_load() {
+                        self.lq.push(complete + 1);
+                    }
+                    if u.is_store() {
+                        self.sq.push(complete + 1);
+                    }
+                    match u.dst {
+                        Some(DstReg::Int(_)) => self.phys_int.push(complete + 1),
+                        Some(DstReg::Fp(_)) => self.phys_fp.push(complete + 1),
+                        None => {}
+                    }
+                } else {
+                    completes.push(complete);
+                    alu_units.push(alu_unit);
+                    // Record IQ release at issue (approximated by complete -
+                    // latency ≈ issue; using complete keeps it conservative).
+                    self.iq.push(complete);
+                    // Destination becomes ready at completion.
+                    match u.dst {
+                        Some(DstReg::Int(r)) => self.reg_ready_int[r.index()] = complete,
+                        Some(DstReg::Fp(r)) => self.reg_ready_fp[r.index()] = complete,
+                        None => {}
+                    }
+                }
+            }
+        }
+
+        // ---- Functional execution (oracle) + faults ------------------------
+        let mut nondet = SuppliedNondet(nondet_value);
+        let step = match self.state.step(&self.program, &mut hier.data, &mut nondet) {
+            Ok(s) => s,
+            Err(e) => {
+                self.crashed = Some(e);
+                return Err(CoreError::Crashed(e));
+            }
+        };
+
+        // Post-execution fault overrides.
+        let mut mem_effects: Vec<MemEffect> = step
+            .mem
+            .iter()
+            .map(|a| MemEffect { is_store: a.is_store, addr: a.addr, value: a.value, width: a.width })
+            .collect();
+        // Captured (LFU) values default to the true loaded values.
+        let mut captured: Vec<u64> =
+            step.mem.iter().filter(|a| !a.is_store).map(|a| a.value).collect();
+
+        if let Some(bit) = store_value_flip {
+            if let Some(eff) = mem_effects.iter_mut().find(|e| e.is_store) {
+                let corrupted = eff.width.truncate(eff.value ^ (1u64 << (bit & 63)));
+                use paradet_isa::MemoryIface;
+                hier.data.store(eff.addr, eff.width, corrupted);
+                eff.value = corrupted;
+            }
+        }
+        if let Some(bit) = store_addr_flip {
+            if let Some(eff) = mem_effects.iter_mut().find(|e| e.is_store) {
+                use paradet_isa::MemoryIface;
+                // The store escaped to the wrong address: undo the correct
+                // write (restore zero? we must restore the pre-store bytes).
+                // The oracle already wrote to the correct address, so move
+                // the value: clear it by re-reading what was there is not
+                // possible — instead we model the wrong-address store as an
+                // *additional* corruption at the flipped address plus the
+                // log recording the flipped address. The checker detects the
+                // address mismatch either way, and the memory-state
+                // difference is what the SDC classifier needs.
+                let wrong = eff.addr ^ (1u64 << (bit % 48));
+                let v = hier.data.load(eff.addr, eff.width);
+                hier.data.store(wrong, eff.width, v);
+                eff.addr = wrong;
+            }
+        }
+        if load_value_flip.is_some() || load_capture_flip.is_some() {
+            let bit = load_value_flip.or(load_capture_flip).unwrap_or(0);
+            // Corrupt the loaded destination register in the oracle. The
+            // commit-time view of the load (what a naive no-LFU design would
+            // forward to the log) is the *register* value, so the event's
+            // value is corrupted for both fault flavours; the LFU capture
+            // (taken at cache access, §IV-C) stays clean unless the fault
+            // struck before duplication (`LoadCaptureBit`).
+            let flip = 1u64 << (bit & 63);
+            if let Some(eff) = mem_effects.iter_mut().find(|e| !e.is_store) {
+                eff.value ^= flip;
+            }
+            match insn {
+                Instruction::Load { rd, .. } => {
+                    let v = self.state.x(rd) ^ flip;
+                    self.state.set_x(rd, v);
+                }
+                Instruction::Ldp { rd1, .. } => {
+                    let v = self.state.x(rd1) ^ flip;
+                    self.state.set_x(rd1, v);
+                }
+                Instruction::FLoad { fd, .. } => {
+                    let v = self.state.f_bits(fd) ^ flip;
+                    self.state.set_f_bits(fd, v);
+                }
+                _ => {}
+            }
+            if load_capture_flip.is_some() {
+                // Fault struck *before* LFU duplication: the captured value
+                // (and hence the log) is corrupted too.
+                if let Some(c) = captured.first_mut() {
+                    *c ^= flip;
+                }
+            }
+        }
+        if let Some(bit) = pc_flip {
+            self.state.pc ^= 1u64 << (bit % 21).max(2);
+        }
+        // Hard stuck-at ALU fault: applies to every simple int-ALU op whose
+        // assigned unit matches.
+        if let Some((unit, bit, value)) = self.stuck {
+            for (k, u) in uops.iter().enumerate() {
+                if let (UopKind::IntAlu { .. }, Some(used)) = (u.kind, alu_units.get(k).copied().flatten())
+                {
+                    if used == unit as usize % self.cfg.int_alus {
+                        if let Some(DstReg::Int(r)) = u.dst {
+                            let mask = 1u64 << (bit & 63);
+                            let v = self.state.x(r);
+                            let forced = if value { v | mask } else { v & !mask };
+                            self.state.set_x(r, forced);
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- Load-forwarding-unit capture events ----------------------------
+        {
+            let mut load_idx = 0usize;
+            for (k, u) in uops.iter().enumerate() {
+                if u.is_load() {
+                    let eff = mem_effects
+                        .iter()
+                        .filter(|e| !e.is_store)
+                        .nth(load_idx)
+                        .copied()
+                        .expect("load uop has an effect");
+                    let value = captured[load_idx];
+                    let rob_slot = ((self.seq + k as u64) % self.cfg.rob_entries as u64) as usize;
+                    sink.on_load_executed(
+                        rob_slot,
+                        eff.addr,
+                        value,
+                        eff.width,
+                        self.to_time(completes[k]),
+                    );
+                    load_idx += 1;
+                }
+            }
+        }
+
+        // ---- Control-flow resolution & predictor training -------------------
+        match insn {
+            Instruction::Branch { .. } => {
+                self.stats.branches += 1;
+                let (p, btb_target) = prediction.expect("branch was predicted");
+                let taken = step.taken_branch;
+                self.pred.update_direction(pc, p, taken);
+                if taken {
+                    self.pred.btb_update(pc, step.next_pc);
+                }
+                let correct =
+                    p.taken == taken && (!taken || btb_target == Some(step.next_pc));
+                if correct {
+                    if taken {
+                        // Correctly-predicted taken branch ends the fetch
+                        // group.
+                        self.next_fetch_cycle = self.next_fetch_cycle.max(fetch_cycle + 1);
+                    }
+                } else {
+                    self.stats.mispredicts += 1;
+                    let resolve = resolve_cycle.expect("branch resolved");
+                    self.next_fetch_cycle = self.next_fetch_cycle.max(resolve + 1);
+                }
+            }
+            Instruction::Jal { .. } => {
+                // Direct jump: target known at decode; at worst a short
+                // front-end bubble when the BTB misses.
+                let hit = self.pred.btb_lookup(pc) == Some(step.next_pc);
+                self.pred.btb_update(pc, step.next_pc);
+                let bubble = if hit { 1 } else { 2 };
+                self.next_fetch_cycle = self.next_fetch_cycle.max(fetch_cycle + bubble);
+            }
+            Instruction::Jalr { .. } => {
+                let predicted = jalr_prediction.expect("jalr was predicted");
+                self.pred.btb_update(pc, step.next_pc);
+                if predicted == Some(step.next_pc) {
+                    self.next_fetch_cycle = self.next_fetch_cycle.max(fetch_cycle + 1);
+                } else {
+                    self.stats.mispredicts += 1;
+                    let resolve = resolve_cycle.expect("jalr resolved");
+                    self.next_fetch_cycle = self.next_fetch_cycle.max(resolve + 1);
+                }
+            }
+            _ => {}
+        }
+        // A PC corruption also redirects fetch (at commit of this instr).
+        if pc_flip.is_some() {
+            self.last_fetch_line = u64::MAX;
+        }
+
+        // ---- In-order commit with detection gating --------------------------
+        let mut mem_iter = 0usize;
+        let mut outcome_time = Time::ZERO;
+        for (k, u) in uops.iter().enumerate() {
+            let complete = completes[k];
+            let mut commit = (complete + 1).max(self.last_commit).max(self.commit_gate);
+            let mem = if u.is_mem() {
+                let e = mem_effects[mem_iter];
+                mem_iter += 1;
+                Some(e)
+            } else {
+                None
+            };
+            // Committed stores drain through the write buffer.
+            if let Some(e) = mem {
+                if e.is_store {
+                    let (wb_slot, wb_start) = self.write_buffer.take(commit, 0);
+                    commit = commit.max(wb_start);
+                    let done = hier.dwrite(pc, e.addr, self.to_time(wb_start));
+                    self.write_buffer.set_busy(wb_slot, self.to_cycle(done));
+                }
+            }
+            let (_, slot) = self.commit_slots.take(commit, 1);
+            commit = commit.max(slot);
+
+            let ev = CommitEvent {
+                seq: self.seq + k as u64,
+                instr_index: self.instr_index,
+                pc,
+                insn,
+                uop_index: u.uop_index,
+                last: u.last,
+                mem,
+                nondet: if u.is_nondet() { step.nondet } else { None },
+                rob_slot: ((self.seq + k as u64) % self.cfg.rob_entries as u64) as usize,
+            };
+            loop {
+                match sink.on_commit(&ev, self.to_time(commit), &self.state, hier) {
+                    CommitGate::Accept => break,
+                    CommitGate::AcceptWithPause(pause) => {
+                        self.stats.gate_pauses += 1;
+                        self.stats.gate_pause_cycles += pause;
+                        self.commit_gate = commit + pause;
+                        self.dispatch_gate = commit + pause;
+                        break;
+                    }
+                    CommitGate::Retry(t) => {
+                        let c2 = self.to_cycle(t).max(commit + 1);
+                        self.stats.gate_retry_cycles += c2 - commit;
+                        commit = c2;
+                    }
+                }
+            }
+            self.last_commit = commit;
+
+            // Record occupancy releases now that commit is final.
+            self.rob.push(commit);
+            if u.is_load() {
+                self.lq.push(commit);
+            }
+            if let Some(e) = mem {
+                if e.is_store {
+                    self.sq.push(commit);
+                    self.stores_in_flight.push_back(InflightStore {
+                        addr: e.addr,
+                        bytes: e.width.bytes(),
+                        data_ready: complete,
+                        commit,
+                    });
+                    if self.stores_in_flight.len() > self.cfg.sq_entries {
+                        self.stores_in_flight.pop_front();
+                    }
+                    self.stats.stores += 1;
+                } else {
+                    self.stats.loads += 1;
+                }
+            }
+            match u.dst {
+                Some(DstReg::Int(_)) => self.phys_int.push(commit),
+                Some(DstReg::Fp(_)) => self.phys_fp.push(commit),
+                None => {}
+            }
+            self.stats.committed_uops += 1;
+            outcome_time = self.to_time(commit);
+        }
+
+        self.seq += uops.len() as u64;
+        self.instr_index += 1;
+        self.stats.committed_instrs += 1;
+        self.stats.last_commit_cycle = self.last_commit;
+        if step.halted {
+            self.halted = true;
+        }
+        Ok(StepOutcome { pc, commit_time: outcome_time, halted: step.halted })
+    }
+
+    /// Runs until halt, crash, or `max_instrs` retired instructions.
+    ///
+    /// Returns the number of instructions retired by this call; inspect
+    /// [`halted`](Self::halted)/[`crashed`](Self::crashed) for the cause.
+    pub fn run(
+        &mut self,
+        hier: &mut MemHier,
+        sink: &mut dyn DetectionSink,
+        max_instrs: u64,
+    ) -> u64 {
+        let mut n = 0;
+        while n < max_instrs {
+            match self.step(hier, sink) {
+                Ok(_) => n += 1,
+                Err(_) => break,
+            }
+        }
+        n
+    }
+}

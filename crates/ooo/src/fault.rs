@@ -1,0 +1,113 @@
+//! Fault-injection targets inside the main core.
+//!
+//! The paper's detection argument (§IV, §IV-I) is that any core-internal
+//! error either (a) changes a store value/address, (b) changes a load
+//! address, or (c) changes the architectural register file at a checkpoint
+//! boundary — and each of those is checked. The targets here let the fault
+//! campaign exercise every one of those paths, *plus* the window of
+//! vulnerability the load forwarding unit exists to close (§IV-C), and hard
+//! (stuck-at) faults in a specific ALU.
+
+use paradet_isa::{FReg, Reg};
+
+/// Where inside the core a fault strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// Flip one bit of an architectural integer register (models a particle
+    /// strike on a physical register holding committed state).
+    IntRegBit {
+        /// Register struck.
+        reg: Reg,
+        /// Bit flipped (0–63).
+        bit: u8,
+    },
+    /// Flip one bit of a floating-point register.
+    FpRegBit {
+        /// Register struck.
+        reg: FReg,
+        /// Bit flipped (0–63).
+        bit: u8,
+    },
+    /// Corrupt the data of the next committed store *after* the value left
+    /// the register file (strike on the store datapath): memory and the
+    /// load-store log both receive the corrupted value, the checker
+    /// recomputes the correct one — detected by the store-value check.
+    StoreValueBit {
+        /// Bit flipped (0–63).
+        bit: u8,
+    },
+    /// Corrupt the address of the next committed store: the store escapes
+    /// to the wrong location; the checker's store-address check fires.
+    StoreAddrBit {
+        /// Bit flipped (0–47; keep addresses in the mapped range).
+        bit: u8,
+    },
+    /// Corrupt the next load's destination register *after* the load
+    /// forwarding unit duplicated the value (§IV-C): the checker replays
+    /// with the clean value and diverges — detected at the next store or
+    /// register checkpoint.
+    LoadValueBit {
+        /// Bit flipped (0–63).
+        bit: u8,
+    },
+    /// Corrupt the next load *before* the load forwarding unit captures it
+    /// — the "window of vulnerability" that exists only if loads are
+    /// forwarded naïvely from the register file (§IV-C). With the LFU
+    /// modelled (default), this becomes detectable again because the LFU
+    /// duplicates at cache-access time; with `lfu_enabled = false` in the
+    /// detection config, the corrupted value reaches the checker too and
+    /// the fault escapes. The ablation experiment uses this distinction.
+    LoadCaptureBit {
+        /// Bit flipped (0–63).
+        bit: u8,
+    },
+    /// Flip one bit of the next-instruction PC (control-flow fault). The
+    /// checker detects divergence via address/value mismatches or the
+    /// instruction-count timeout (§IV-J).
+    PcBit {
+        /// Bit flipped (2–20 keeps the PC near the text segment so both
+        /// in-text wild jumps and out-of-text crashes occur).
+        bit: u8,
+    },
+    /// A hard (permanent) stuck-at fault on one integer ALU: from the
+    /// trigger point on, every result computed on that unit has `bit`
+    /// forced to `value`. Detected repeatedly; exercises hard-fault
+    /// coverage the paper claims over RMT schemes.
+    AluStuckAt {
+        /// Which integer ALU (0-based, modulo the configured ALU count).
+        unit: u8,
+        /// Bit forced.
+        bit: u8,
+        /// Value the bit is stuck at.
+        value: bool,
+    },
+}
+
+/// A fault armed to strike at a particular point of the dynamic instruction
+/// stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArmedFault {
+    /// Dynamic (retired) macro-instruction index at which the fault fires.
+    pub at_instr: u64,
+    /// What it does.
+    pub target: FaultTarget,
+}
+
+impl ArmedFault {
+    /// Creates an armed fault.
+    pub fn new(at_instr: u64, target: FaultTarget) -> ArmedFault {
+        ArmedFault { at_instr, target }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn armed_fault_holds_fields() {
+        let f = ArmedFault::new(100, FaultTarget::StoreValueBit { bit: 5 });
+        assert_eq!(f.at_instr, 100);
+        assert!(matches!(f.target, FaultTarget::StoreValueBit { bit: 5 }));
+    }
+}

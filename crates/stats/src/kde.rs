@@ -1,0 +1,70 @@
+//! Gaussian kernel density estimation for the Fig. 8 delay-density plot.
+
+/// One point of an estimated density curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KdePoint {
+    /// Evaluation point (same unit as the samples).
+    pub x: f64,
+    /// Estimated density at `x`.
+    pub density: f64,
+}
+
+/// Estimates the density of `samples` on `points` evenly spaced positions
+/// across `[lo, hi]`, with Silverman's rule-of-thumb bandwidth.
+///
+/// Returns an empty vector when there are fewer than 2 samples.
+pub fn gaussian_kde(samples: &[f64], lo: f64, hi: f64, points: usize) -> Vec<KdePoint> {
+    if samples.len() < 2 || points == 0 || hi <= lo {
+        return Vec::new();
+    }
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+    let sd = var.sqrt().max(1e-12);
+    let h = 1.06 * sd * n.powf(-0.2);
+    let norm = 1.0 / (n * h * (2.0 * std::f64::consts::PI).sqrt());
+    (0..points)
+        .map(|i| {
+            let x = lo + (hi - lo) * i as f64 / (points - 1).max(1) as f64;
+            let density = norm
+                * samples
+                    .iter()
+                    .map(|s| {
+                        let u = (x - s) / h;
+                        (-0.5 * u * u).exp()
+                    })
+                    .sum::<f64>();
+            KdePoint { x, density }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_integrates_to_roughly_one() {
+        // N(500, 50) samples via a deterministic spread.
+        let samples: Vec<f64> = (0..1000).map(|i| 500.0 + 50.0 * ((i as f64 / 1000.0) - 0.5) * 6.0).collect();
+        let pts = gaussian_kde(&samples, 0.0, 1000.0, 200);
+        let dx = 1000.0 / 199.0;
+        let integral: f64 = pts.iter().map(|p| p.density * dx).sum();
+        assert!((integral - 1.0).abs() < 0.1, "integral {integral}");
+    }
+
+    #[test]
+    fn peak_is_near_the_mode() {
+        let samples: Vec<f64> = (0..500).map(|_| 300.0).chain((0..50).map(|_| 900.0)).collect();
+        let pts = gaussian_kde(&samples, 0.0, 1200.0, 300);
+        let peak = pts.iter().max_by(|a, b| a.density.total_cmp(&b.density)).unwrap();
+        assert!((peak.x - 300.0).abs() < 50.0, "peak at {}", peak.x);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_empty() {
+        assert!(gaussian_kde(&[1.0], 0.0, 1.0, 10).is_empty());
+        assert!(gaussian_kde(&[1.0, 2.0], 1.0, 1.0, 10).is_empty());
+        assert!(gaussian_kde(&[1.0, 2.0], 0.0, 1.0, 0).is_empty());
+    }
+}

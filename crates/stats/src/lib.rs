@@ -1,0 +1,18 @@
+//! Statistics and reporting utilities for the experiment harness.
+//!
+//! Everything the figure-regeneration binaries need to turn raw
+//! [`RunReport`](../paradet_core/struct.RunReport.html)s into the series
+//! and tables the paper prints: summary statistics (including the geometric
+//! mean used for "average slowdown"), Gaussian kernel density estimation
+//! for the Fig. 8 delay-density plot, and plain-text/CSV table writers.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod kde;
+mod summary;
+mod table;
+
+pub use kde::{gaussian_kde, KdePoint};
+pub use summary::Summary;
+pub use table::{write_csv, Table};

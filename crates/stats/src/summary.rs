@@ -1,0 +1,65 @@
+//! Summary statistics over a series of measurements.
+
+/// Summary of an `f64` series.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of values.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Geometric mean (the paper's "average slowdown" convention for
+    /// normalized ratios). Zero/negative inputs are excluded.
+    pub geomean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Computes a summary; empty input yields all zeros.
+    pub fn of(values: &[f64]) -> Summary {
+        if values.is_empty() {
+            return Summary { count: 0, mean: 0.0, geomean: 0.0, min: 0.0, max: 0.0 };
+        }
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let positives: Vec<f64> = values.iter().copied().filter(|v| *v > 0.0).collect();
+        let geomean = if positives.is_empty() {
+            0.0
+        } else {
+            (positives.iter().map(|v| v.ln()).sum::<f64>() / positives.len() as f64).exp()
+        };
+        let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Summary { count, mean, geomean, min, max }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_summary() {
+        let s = Summary::of(&[1.0, 2.0, 4.0]);
+        assert_eq!(s.count, 3);
+        assert!((s.mean - 7.0 / 3.0).abs() < 1e-12);
+        assert!((s.geomean - 2.0).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn empty_is_zeroes() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.count, 0);
+        assert_eq!(s.geomean, 0.0);
+    }
+
+    #[test]
+    fn geomean_ignores_nonpositive() {
+        let s = Summary::of(&[0.0, 4.0]);
+        assert!((s.geomean - 4.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,318 @@
+//! The nine kernel bodies.
+//!
+//! Register conventions: `x28` is the outer-loop counter and `x27` its
+//! bound (owned by [`outer_loop`](crate::outer_loop)); kernels use
+//! `x1..x26` and `f0..f26` freely. All tables are seeded deterministically
+//! at build time.
+
+use crate::{lcg_step, load_f64, outer_loop, popcount};
+use paradet_isa::{AluOp, FReg, FpuOp, Program, ProgramBuilder, Reg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Size of the randacc/freqmine tables (2 MiB: larger than the L2's
+/// useful working set for irregular access, as in HPCC RandomAccess).
+pub const DEFAULT_TABLE_BYTES: usize = 2 * 1024 * 1024;
+
+/// Number of f64 elements per STREAM array (64 KiB each, 3 arrays —
+/// PARSEC-simsmall-scale working sets that fit the 1 MiB L2 after the
+/// first pass, as in the paper's evaluation).
+const STREAM_ELEMS: u64 = 8 * 1024;
+
+/// Edge length of the fluidanimate/facesim grids (128 × 128 f64 = 128 KiB,
+/// L2-resident like the PARSEC simsmall inputs).
+const GRID: u64 = 128;
+
+const LCG_MUL: i64 = 6364136223846793005u64 as i64;
+const LCG_ADD: i64 = 1442695040888963407u64 as i64;
+
+fn seeded_f64s(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(0.5..2.0)).collect()
+}
+
+fn seeded_u64s(n: usize, seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen()).collect()
+}
+
+/// HPCC RandomAccess: `table[r >> s] ^= r` with a dependent LCG stream.
+pub fn randacc(iters: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let entries = (DEFAULT_TABLE_BYTES / 8) as u64;
+    let base = b.alloc_zeroed(entries);
+    b.li(Reg::X1, base as i64);
+    b.li(Reg::X2, 0x9E3779B97F4A7C15u64 as i64); // ran
+    b.li(Reg::X3, LCG_MUL);
+    b.li(Reg::X4, LCG_ADD);
+    b.li(Reg::X5, (entries - 1) as i64); // index mask
+    outer_loop(&mut b, iters, |b| {
+        lcg_step(b, Reg::X2, Reg::X3, Reg::X4); // 2 instrs, dependent
+        b.op_imm(AluOp::Srl, Reg::X6, Reg::X2, 21);
+        b.op(AluOp::And, Reg::X6, Reg::X6, Reg::X5);
+        b.op_imm(AluOp::Sll, Reg::X6, Reg::X6, 3);
+        b.op(AluOp::Add, Reg::X6, Reg::X6, Reg::X1);
+        b.ld(Reg::X7, Reg::X6, 0); // random-address load
+        b.op(AluOp::Xor, Reg::X7, Reg::X7, Reg::X2);
+        b.sd(Reg::X7, Reg::X6, 0); // random-address store
+    });
+    b.build()
+}
+
+/// STREAM: one iteration performs one element of copy, scale, add and
+/// triad across three unit-stride f64 arrays (wrapping at the end).
+pub fn stream(iters: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let a = b.alloc_f64s(&seeded_f64s(STREAM_ELEMS as usize, 1));
+    let c = b.alloc_f64s(&seeded_f64s(STREAM_ELEMS as usize, 2));
+    let dst = b.alloc_zeroed(STREAM_ELEMS);
+    b.li(Reg::X1, a as i64);
+    b.li(Reg::X2, c as i64);
+    b.li(Reg::X3, dst as i64);
+    b.li(Reg::X4, ((STREAM_ELEMS - 1) * 8) as i64); // byte offset mask
+    b.li(Reg::X5, 0); // offset
+    load_f64(&mut b, FReg::F1, Reg::X9, 3.0); // scalar s
+    outer_loop(&mut b, iters, |b| {
+        b.op(AluOp::Add, Reg::X6, Reg::X1, Reg::X5);
+        b.op(AluOp::Add, Reg::X7, Reg::X2, Reg::X5);
+        b.op(AluOp::Add, Reg::X8, Reg::X3, Reg::X5);
+        b.fld(FReg::F2, Reg::X6, 0); // a[i]
+        b.fld(FReg::F3, Reg::X7, 0); // c[i]
+        b.fma(FReg::F4, FReg::F1, FReg::F3, FReg::F2); // triad: a + s*c
+        b.fsd(FReg::F4, Reg::X8, 0); // dst[i]
+        // advance and wrap
+        b.addi(Reg::X5, Reg::X5, 8);
+        b.op(AluOp::And, Reg::X5, Reg::X5, Reg::X4);
+    });
+    b.build()
+}
+
+/// MiBench bitcount: SWAR popcount over a small input array (the real
+/// kernel scans a word table), almost purely compute bound — the table is
+/// 4 KiB and L1-resident.
+pub fn bitcount(iters: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let words = 512u64; // 4 KiB input table
+    let table = b.alloc_u64s(&seeded_u64s(words as usize, 9));
+    b.li(Reg::X1, table as i64);
+    b.li(Reg::X2, ((words - 1) * 8) as i64); // offset mask
+    b.li(Reg::X3, 0); // cursor
+    b.li(Reg::X4, 0x5555555555555555u64 as i64);
+    b.li(Reg::X5, 0x3333333333333333u64 as i64);
+    b.li(Reg::X6, 0x0F0F0F0F0F0F0F0Fu64 as i64);
+    b.li(Reg::X7, 0x0101010101010101u64 as i64);
+    b.li(Reg::X8, 0); // accumulator
+    let result = b.alloc_zeroed(1);
+    b.li(Reg::X13, result as i64);
+    outer_loop(&mut b, iters, |b| {
+        b.op(AluOp::Add, Reg::X9, Reg::X1, Reg::X3);
+        b.ld(Reg::X12, Reg::X9, 0); // input word (L1 hit)
+        popcount(b, Reg::X10, Reg::X12, Reg::X11, Reg::X4, Reg::X5, Reg::X6, Reg::X7);
+        b.op(AluOp::Add, Reg::X8, Reg::X8, Reg::X10);
+        b.sd(Reg::X8, Reg::X13, 0); // running result (hot line, L1 hit)
+        b.addi(Reg::X3, Reg::X3, 8);
+        b.op(AluOp::And, Reg::X3, Reg::X3, Reg::X2);
+    });
+    b.build()
+}
+
+/// PARSEC blackscholes: per option, a rational-polynomial CDF
+/// approximation with divides and a square root; one result store.
+pub fn blackscholes(iters: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let n = 4096u64;
+    let spots = b.alloc_f64s(&seeded_f64s(n as usize, 3));
+    let strikes = b.alloc_f64s(&seeded_f64s(n as usize, 4));
+    let out = b.alloc_zeroed(n);
+    b.li(Reg::X1, spots as i64);
+    b.li(Reg::X2, strikes as i64);
+    b.li(Reg::X3, out as i64);
+    b.li(Reg::X4, ((n - 1) * 8) as i64);
+    b.li(Reg::X5, 0);
+    load_f64(&mut b, FReg::F10, Reg::X9, 0.2316419);
+    load_f64(&mut b, FReg::F11, Reg::X9, 0.319381530);
+    load_f64(&mut b, FReg::F12, Reg::X9, -0.356563782);
+    load_f64(&mut b, FReg::F13, Reg::X9, 1.781477937);
+    load_f64(&mut b, FReg::F14, Reg::X9, 1.0);
+    load_f64(&mut b, FReg::F15, Reg::X9, 0.05); // rate
+    outer_loop(&mut b, iters, |b| {
+        b.op(AluOp::Add, Reg::X6, Reg::X1, Reg::X5);
+        b.op(AluOp::Add, Reg::X7, Reg::X2, Reg::X5);
+        b.fld(FReg::F1, Reg::X6, 0); // S
+        b.fld(FReg::F2, Reg::X7, 0); // K
+        b.fop(FpuOp::Div, FReg::F3, FReg::F1, FReg::F2); // S/K
+        b.fsqrt(FReg::F4, FReg::F3); // vol·sqrt(T) proxy
+        b.fma(FReg::F5, FReg::F3, FReg::F10, FReg::F14); // 1 + k·d
+        b.fop(FpuOp::Div, FReg::F5, FReg::F14, FReg::F5); // k = 1/(1+k·d)
+        b.fma(FReg::F6, FReg::F5, FReg::F12, FReg::F11); // poly(k)
+        b.fma(FReg::F6, FReg::F6, FReg::F5, FReg::F13);
+        b.fop(FpuOp::Mul, FReg::F6, FReg::F6, FReg::F5);
+        b.fma(FReg::F7, FReg::F4, FReg::F15, FReg::F6); // discount
+        b.fop(FpuOp::Mul, FReg::F8, FReg::F7, FReg::F1); // price
+        b.op(AluOp::Add, Reg::X8, Reg::X3, Reg::X5);
+        b.fsd(FReg::F8, Reg::X8, 0);
+        b.addi(Reg::X5, Reg::X5, 8);
+        b.op(AluOp::And, Reg::X5, Reg::X5, Reg::X4);
+    });
+    b.build()
+}
+
+/// PARSEC fluidanimate: neighbour relaxation over a 2-D grid with row
+/// strides (mixed locality) and FP blending.
+pub fn fluidanimate(iters: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let cells = GRID * GRID;
+    let grid = b.alloc_f64s(&seeded_f64s(cells as usize, 5));
+    b.li(Reg::X1, grid as i64);
+    b.li(Reg::X2, 8); // linear cursor (skip cell 0 edge)
+    b.li(Reg::X3, ((cells - 2 * GRID - 2) * 8) as i64); // wrap bound
+    b.li(Reg::X4, (GRID * 8) as i64); // row stride in bytes
+    load_f64(&mut b, FReg::F10, Reg::X9, 0.25);
+    load_f64(&mut b, FReg::F11, Reg::X9, 0.9);
+    outer_loop(&mut b, iters, |b| {
+        b.op(AluOp::Add, Reg::X5, Reg::X1, Reg::X2);
+        b.fld(FReg::F1, Reg::X5, 0); // self
+        b.fld(FReg::F2, Reg::X5, -8); // west
+        b.fld(FReg::F3, Reg::X5, 8); // east
+        b.op(AluOp::Add, Reg::X6, Reg::X5, Reg::X4);
+        b.fld(FReg::F4, Reg::X6, 0); // south (row stride away)
+        b.fop(FpuOp::Add, FReg::F5, FReg::F2, FReg::F3);
+        b.fop(FpuOp::Add, FReg::F5, FReg::F5, FReg::F4);
+        b.fma(FReg::F6, FReg::F5, FReg::F10, FReg::F1); // blend
+        b.fop(FpuOp::Mul, FReg::F6, FReg::F6, FReg::F11); // damping
+        b.fsd(FReg::F6, Reg::X5, 0);
+        b.addi(Reg::X2, Reg::X2, 8);
+        // wrap the cursor back to the interior start at the grid's end
+        let cont = b.new_label();
+        b.blt(Reg::X2, Reg::X3, cont);
+        b.li(Reg::X2, 8);
+        b.bind(cont);
+    });
+    b.build()
+}
+
+/// PARSEC swaptions: Monte-Carlo paths — an integer LCG draws a
+/// pseudo-uniform that feeds an FP discounted accumulation.
+pub fn swaptions(iters: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let out = b.alloc_zeroed(1024);
+    b.li(Reg::X1, 0x853C49E6748FEA9Bu64 as i64); // rng state
+    b.li(Reg::X2, LCG_MUL);
+    b.li(Reg::X3, LCG_ADD);
+    b.li(Reg::X4, out as i64);
+    b.li(Reg::X5, 1023 * 8);
+    b.li(Reg::X6, 0);
+    load_f64(&mut b, FReg::F10, Reg::X9, 1.0 / (1u64 << 53) as f64);
+    load_f64(&mut b, FReg::F11, Reg::X9, 0.98); // discount
+    load_f64(&mut b, FReg::F12, Reg::X9, 0.0); // running sum
+    outer_loop(&mut b, iters, |b| {
+        lcg_step(b, Reg::X1, Reg::X2, Reg::X3);
+        b.op_imm(AluOp::Srl, Reg::X10, Reg::X1, 11);
+        b.fcvt_from_int(FReg::F1, Reg::X10);
+        b.fop(FpuOp::Mul, FReg::F1, FReg::F1, FReg::F10); // uniform [0,1)
+        b.fop(FpuOp::Mul, FReg::F2, FReg::F1, FReg::F1); // payoff shape
+        b.fma(FReg::F12, FReg::F12, FReg::F11, FReg::F2); // discounted acc
+        // Store a path result every iteration (moderate traffic).
+        b.op(AluOp::And, Reg::X11, Reg::X6, Reg::X5);
+        b.op(AluOp::Add, Reg::X11, Reg::X11, Reg::X4);
+        b.fsd(FReg::F12, Reg::X11, 0);
+        b.addi(Reg::X6, Reg::X6, 8);
+    });
+    b.build()
+}
+
+/// PARSEC freqmine: hash-bucket counting — integer hashing feeding
+/// dependent load-increment-store chains over a large table.
+pub fn freqmine(iters: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let entries = (DEFAULT_TABLE_BYTES / 32) as u64; // 64K buckets = 512 KiB (L2)
+    let table = b.alloc_zeroed(entries);
+    let keys = b.alloc_u64s(&seeded_u64s(4096, 6));
+    b.li(Reg::X1, table as i64);
+    b.li(Reg::X2, keys as i64);
+    b.li(Reg::X3, 4095 * 8);
+    b.li(Reg::X4, (entries - 1) as i64);
+    b.li(Reg::X5, 0); // key cursor
+    b.li(Reg::X6, 0x9E3779B97F4A7C15u64 as i64); // hash multiplier
+    outer_loop(&mut b, iters, |b| {
+        b.op(AluOp::And, Reg::X10, Reg::X5, Reg::X3);
+        b.op(AluOp::Add, Reg::X10, Reg::X10, Reg::X2);
+        b.ld(Reg::X11, Reg::X10, 0); // key (sequential)
+        b.op(AluOp::Mul, Reg::X12, Reg::X11, Reg::X6); // hash
+        b.op_imm(AluOp::Srl, Reg::X12, Reg::X12, 24);
+        b.op(AluOp::And, Reg::X12, Reg::X12, Reg::X4);
+        b.op_imm(AluOp::Sll, Reg::X12, Reg::X12, 3);
+        b.op(AluOp::Add, Reg::X12, Reg::X12, Reg::X1);
+        b.ld(Reg::X13, Reg::X12, 0); // bucket count (irregular)
+        b.addi(Reg::X13, Reg::X13, 1);
+        b.sd(Reg::X13, Reg::X12, 0);
+        b.addi(Reg::X5, Reg::X5, 8);
+    });
+    b.build()
+}
+
+/// PARSEC bodytrack: particle weighting with a data-dependent branch
+/// (hard to predict) and mixed int/FP arithmetic.
+pub fn bodytrack(iters: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let n = 8192u64;
+    let weights = b.alloc_f64s(&seeded_f64s(n as usize, 7));
+    b.li(Reg::X1, weights as i64);
+    b.li(Reg::X2, ((n - 1) * 8) as i64);
+    b.li(Reg::X3, 0); // cursor
+    b.li(Reg::X4, 0x2545F4914F6CDD1Du64 as i64); // rng
+    b.li(Reg::X5, LCG_MUL);
+    b.li(Reg::X6, LCG_ADD);
+    b.li(Reg::X7, 0); // accepted count
+    load_f64(&mut b, FReg::F10, Reg::X9, 1.02);
+    load_f64(&mut b, FReg::F11, Reg::X9, 0.99);
+    outer_loop(&mut b, iters, |b| {
+        let reject = b.new_label();
+        b.op(AluOp::Add, Reg::X10, Reg::X1, Reg::X3);
+        b.fld(FReg::F1, Reg::X10, 0); // particle weight
+        lcg_step(b, Reg::X4, Reg::X5, Reg::X6);
+        b.op_imm(AluOp::Srl, Reg::X11, Reg::X4, 62); // 2 random bits
+        // Data-dependent branch: ~25% taken, essentially random.
+        b.beq(Reg::X11, Reg::X0, reject);
+        b.fop(FpuOp::Mul, FReg::F1, FReg::F1, FReg::F10); // strengthen
+        b.addi(Reg::X7, Reg::X7, 1);
+        b.bind(reject);
+        b.fop(FpuOp::Mul, FReg::F1, FReg::F1, FReg::F11); // decay
+        b.fsd(FReg::F1, Reg::X10, 0);
+        b.addi(Reg::X3, Reg::X3, 8);
+        b.op(AluOp::And, Reg::X3, Reg::X3, Reg::X2);
+    });
+    b.build()
+}
+
+/// PARSEC facesim: a regular 5-point stencil with FMAs over an f64 grid —
+/// streaming FP with high spatial locality.
+pub fn facesim(iters: i64) -> Program {
+    let mut b = ProgramBuilder::new();
+    let cells = GRID * GRID;
+    let src = b.alloc_f64s(&seeded_f64s(cells as usize, 8));
+    let dst = b.alloc_zeroed(cells);
+    b.li(Reg::X1, src as i64);
+    b.li(Reg::X2, dst as i64);
+    b.li(Reg::X3, (GRID * 8) as i64); // row stride
+    b.li(Reg::X4, 8 + GRID as i64 * 8); // cursor (interior start)
+    b.li(Reg::X5, ((cells - GRID - 1) * 8) as i64); // wrap bound
+    load_f64(&mut b, FReg::F10, Reg::X9, 0.2);
+    outer_loop(&mut b, iters, |b| {
+        b.op(AluOp::Add, Reg::X6, Reg::X1, Reg::X4);
+        b.fld(FReg::F1, Reg::X6, 0);
+        b.fld(FReg::F2, Reg::X6, -8);
+        b.fld(FReg::F3, Reg::X6, 8);
+        b.fop(FpuOp::Add, FReg::F4, FReg::F2, FReg::F3);
+        b.fma(FReg::F5, FReg::F4, FReg::F10, FReg::F1);
+        b.op(AluOp::Add, Reg::X7, Reg::X2, Reg::X4);
+        b.fsd(FReg::F5, Reg::X7, 0);
+        b.addi(Reg::X4, Reg::X4, 8);
+        // wrap to interior start when past the bound
+        let cont = b.new_label();
+        b.blt(Reg::X4, Reg::X5, cont);
+        b.li(Reg::X4, 8 + GRID as i64 * 8);
+        b.bind(cont);
+    });
+    b.build()
+}

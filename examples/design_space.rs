@@ -1,0 +1,67 @@
+//! Design-space exploration: how many checker cores, at what clock, with
+//! how much log SRAM? Reproduces the §VI-A trade-off study on two
+//! contrasting workloads and prints the area/power cost of each point.
+//!
+//! ```sh
+//! cargo run --release --example design_space
+//! ```
+
+use paradet::detect::{run_unchecked, PairedSystem, SystemConfig};
+use paradet::model::{AreaInputs, PowerInputs};
+use paradet::workloads::Workload;
+
+const INSTRS: u64 = 60_000;
+
+fn measure(cfg: &SystemConfig, w: Workload) -> (f64, f64) {
+    let program = w.build(w.iters_for_instrs(INSTRS));
+    let base = run_unchecked(cfg, &program, INSTRS).main_cycles.max(1);
+    let mut sys = PairedSystem::new(*cfg, &program);
+    let r = sys.run(INSTRS);
+    (r.main_cycles as f64 / base as f64, r.delays.mean_ns())
+}
+
+fn main() {
+    println!(
+        "{:<22} {:>9} {:>9} {:>10} {:>10} {:>8} {:>8}",
+        "configuration", "slowdown", "slowdown", "delay", "delay", "area", "power"
+    );
+    println!(
+        "{:<22} {:>9} {:>9} {:>10} {:>10} {:>8} {:>8}",
+        "", "(randacc)", "(bitcnt)", "(randacc)", "(bitcnt)", "ovh", "ovh"
+    );
+    for (cores, mhz) in [(3usize, 1000u64), (6, 1000), (12, 500), (12, 1000), (24, 500), (12, 2000)] {
+        let cfg = SystemConfig::paper_default().with_checkers(cores).with_checker_mhz(mhz);
+        let (s_mem, d_mem) = measure(&cfg, Workload::Randacc);
+        let (s_cpu, d_cpu) = measure(&cfg, Workload::Bitcount);
+        let area = AreaInputs { n_checkers: cores, ..AreaInputs::default() }.evaluate();
+        let power = PowerInputs {
+            n_checkers: cores,
+            checker_mhz: mhz as f64,
+            ..PowerInputs::default()
+        }
+        .evaluate();
+        println!(
+            "{:<22} {:>9.3} {:>9.3} {:>8.0}ns {:>8.0}ns {:>7.1}% {:>7.1}%",
+            format!("{cores} checkers @{mhz}MHz"),
+            s_mem,
+            s_cpu,
+            d_mem,
+            d_cpu,
+            area.overhead_vs_core * 100.0,
+            power.overhead * 100.0
+        );
+    }
+    println!();
+    println!("(paper's chosen point: 12 checkers @1GHz — slowdown <3.4%, ~24% area, ~16% power)");
+
+    println!("\nlog-size trade-off at 12 checkers @1GHz (randacc):");
+    for (kib, timeout) in [(3, Some(500u64)), (36, Some(5_000)), (360, Some(50_000))] {
+        let cfg = SystemConfig::paper_default().with_log(kib * 1024, timeout);
+        let (s, d) = measure(&cfg, Workload::Randacc);
+        println!(
+            "  {:>4} KiB log: slowdown {:.3}, mean detection delay {:>8.0} ns",
+            kib, s, d
+        );
+    }
+    println!("(bigger log -> lower overhead but linearly longer detection delay, Fig. 12)");
+}
