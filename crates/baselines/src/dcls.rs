@@ -133,7 +133,9 @@ impl DclsSystem {
             .stores
             .iter()
             .zip(rec_b.stores.iter())
-            .find(|((sa, ma, _), (sb, mb, _))| sa != sb || ma.addr != mb.addr || ma.value != mb.value)
+            .find(|((sa, ma, _), (sb, mb, _))| {
+                sa != sb || ma.addr != mb.addr || ma.value != mb.value
+            })
             .map(|((sa, _, ta), _)| LockstepMismatch { seq: *sa, at: *ta })
             .or_else(|| {
                 if rec_a.stores.len() != rec_b.stores.len() {
@@ -192,11 +194,8 @@ mod tests {
         let p = program();
         let mut sys = DclsSystem::new(OooConfig::default(), &p);
         let r = sys.run(u64::MAX);
-        let base = paradet_core::run_unchecked(
-            &paradet_core::SystemConfig::paper_default(),
-            &p,
-            u64::MAX,
-        );
+        let base =
+            paradet_core::run_unchecked(&paradet_core::SystemConfig::paper_default(), &p, u64::MAX);
         assert_eq!(r.cycles, base.main_cycles, "lockstep adds no slowdown");
     }
 

@@ -59,9 +59,11 @@ fn bench_log_size(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_log_size");
     g.sample_size(10);
     let program = Workload::Stream.build(Workload::Stream.iters_for_instrs(INSTRS));
-    for (name, bytes, timeout) in
-        [("3.6KiB", 3686usize, Some(500u64)), ("36KiB", 36 * 1024, Some(5_000)), ("360KiB", 360 * 1024, Some(50_000))]
-    {
+    for (name, bytes, timeout) in [
+        ("3.6KiB", 3686usize, Some(500u64)),
+        ("36KiB", 36 * 1024, Some(5_000)),
+        ("360KiB", 360 * 1024, Some(50_000)),
+    ] {
         let cfg = SystemConfig::paper_default().with_log(bytes, timeout);
         g.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
             b.iter(|| PairedSystem::new(*cfg, &program).run(INSTRS))
@@ -82,10 +84,8 @@ fn bench_rmt(c: &mut Criterion) {
             |b, &dup| {
                 let cfg = paradet_ooo::OooConfig { rmt_duplicate: dup, ..Default::default() };
                 b.iter(|| {
-                    let mut hier = MemHier::new(
-                        &MemConfig::paper_default(cfg.clock, Freq::from_mhz(1000)),
-                        0,
-                    );
+                    let mut hier =
+                        MemHier::new(&MemConfig::paper_default(cfg.clock, Freq::from_mhz(1000)), 0);
                     hier.data.load_image(&program);
                     let mut core = OooCore::new(cfg, &program);
                     core.run(&mut hier, &mut NullSink, INSTRS)

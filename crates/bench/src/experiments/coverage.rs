@@ -16,12 +16,8 @@ pub fn fault_coverage(trials_per_site: u64, instrs: u64) -> Table {
         &["workload", "site", "trials", "detected", "crashed", "SDC", "masked", "coverage"],
     );
     for w in [Workload::Freqmine, Workload::Bitcount] {
-        let cfg = CampaignConfig {
-            workload: w,
-            instrs,
-            trials_per_site,
-            ..CampaignConfig::default()
-        };
+        let cfg =
+            CampaignConfig { workload: w, instrs, trials_per_site, ..CampaignConfig::default() };
         let result = run_campaign(&cfg);
         for (site, s) in &result.per_site {
             t.row(&[

@@ -13,7 +13,9 @@ pub use comparison::fig01_comparison;
 pub use coverage::fault_coverage;
 pub use delays::{fig08_delay_density, fig11_freq_delay, fig12_logsize_delay};
 pub use hardware::area_power;
-pub use slowdown::{fig07_slowdown, fig09_freq_slowdown, fig10_checkpoint_overhead, fig13_core_scaling};
+pub use slowdown::{
+    fig07_slowdown, fig09_freq_slowdown, fig10_checkpoint_overhead, fig13_core_scaling,
+};
 pub use tables::{table1_config, table2_benchmarks};
 
 /// The log-size/timeout sweep of Fig. 10/12: (label, bytes, timeout).

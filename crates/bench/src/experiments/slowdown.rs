@@ -28,12 +28,7 @@ pub fn fig07_slowdown(r: &mut Runner) -> Table {
         ]);
     }
     let sum = Summary::of(&slowdowns);
-    t.row(&[
-        "geomean".to_string(),
-        String::new(),
-        String::new(),
-        format!("{:.4}", sum.geomean),
-    ]);
+    t.row(&["geomean".to_string(), String::new(), String::new(), format!("{:.4}", sum.geomean)]);
     let _ = t.write_csv(&out_dir().join("fig07_slowdown.csv"));
     t
 }

@@ -12,19 +12,46 @@ pub fn table1_config() -> Table {
     let m = &cfg.main;
     let rows: Vec<(&str, String)> = vec![
         ("main core", format!("{}-wide out-of-order, {}", m.width, m.clock)),
-        ("ROB / IQ / LQ / SQ", format!("{} / {} / {} / {}", m.rob_entries, m.iq_entries, m.lq_entries, m.sq_entries)),
+        (
+            "ROB / IQ / LQ / SQ",
+            format!("{} / {} / {} / {}", m.rob_entries, m.iq_entries, m.lq_entries, m.sq_entries),
+        ),
         ("phys regs (int/fp)", format!("{} / {}", m.phys_int, m.phys_fp)),
-        ("FUs", format!("{} int ALU, {} FP ALU, {} mul/div", m.int_alus, m.fp_alus, m.mul_div_units)),
-        ("predictor", format!("{}-entry local, {}-entry global, {}-entry chooser, {}-entry BTB, {}-entry RAS",
-            m.predictor.local_entries, m.predictor.global_entries, m.predictor.chooser_entries,
-            m.predictor.btb_entries, m.predictor.ras_depth)),
+        (
+            "FUs",
+            format!("{} int ALU, {} FP ALU, {} mul/div", m.int_alus, m.fp_alus, m.mul_div_units),
+        ),
+        (
+            "predictor",
+            format!(
+                "{}-entry local, {}-entry global, {}-entry chooser, {}-entry BTB, {}-entry RAS",
+                m.predictor.local_entries,
+                m.predictor.global_entries,
+                m.predictor.chooser_entries,
+                m.predictor.btb_entries,
+                m.predictor.ras_depth
+            ),
+        ),
         ("reg. checkpoint", format!("{} cycles commit pause", cfg.checkpoint_pause_cycles)),
         ("L1I / L1D", "32KiB 2-way, 2-cycle hit, 6 MSHRs".to_string()),
         ("L2", "1MiB 16-way, 12-cycle hit, 16 MSHRs, stride prefetcher".to_string()),
         ("DRAM", "DDR3-1600 11-11-11 800MHz, 8 banks".to_string()),
-        ("checker cores", format!("{}x in-order, {}-stage, {}", cfg.n_checkers, cfg.checker.pipeline_depth, cfg.checker.clock)),
-        ("log", format!("{}KiB total, {} entries/segment, {:?}-instruction timeout",
-            cfg.log.total_bytes / 1024, cfg.entries_per_segment(), cfg.log.timeout_insns)),
+        (
+            "checker cores",
+            format!(
+                "{}x in-order, {}-stage, {}",
+                cfg.n_checkers, cfg.checker.pipeline_depth, cfg.checker.clock
+            ),
+        ),
+        (
+            "log",
+            format!(
+                "{}KiB total, {} entries/segment, {:?}-instruction timeout",
+                cfg.log.total_bytes / 1024,
+                cfg.entries_per_segment(),
+                cfg.log.timeout_insns
+            ),
+        ),
         ("checker caches", "2KiB L0 I-cache per core, 16KiB shared L1I".to_string()),
     ];
     for (k, v) in rows {

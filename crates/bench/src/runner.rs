@@ -11,10 +11,7 @@ pub const DEFAULT_INSTRS: u64 = 150_000;
 
 /// Reads the per-run instruction budget.
 pub fn instr_budget() -> u64 {
-    std::env::var("PARADET_INSTRS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(DEFAULT_INSTRS)
+    std::env::var("PARADET_INSTRS").ok().and_then(|v| v.parse().ok()).unwrap_or(DEFAULT_INSTRS)
 }
 
 /// Where experiment CSVs are written (`EXPERIMENTS-data/` at the workspace

@@ -2,7 +2,7 @@
 
 use crate::replay::{CheckError, CheckOutcome, ReplayError, ReplaySource};
 use paradet_isa::{
-    crack, ArchState, DstReg, MemoryIface, MemWidth, NondetSource, Program, SrcReg, UopKind,
+    crack, ArchState, DstReg, MemWidth, MemoryIface, NondetSource, Program, SrcReg, UopKind,
 };
 use paradet_mem::{Freq, MemHier, Time};
 
@@ -321,9 +321,7 @@ impl CheckerCore {
                         state.retired += 1;
                         Ok(())
                     }
-                    _ => state
-                        .step(task.program, *mem, &mut paradet_isa::NoNondet)
-                        .map(|_| ()),
+                    _ => state.step(task.program, *mem, &mut paradet_isa::NoNondet).map(|_| ()),
                 }
             };
             instrs += 1;
@@ -486,10 +484,7 @@ mod tests {
     }
 
     fn mk_hier(n: usize) -> MemHier {
-        MemHier::new(
-            &MemConfig::paper_default(Freq::from_mhz(3200), Freq::from_mhz(1000)),
-            n,
-        )
+        MemHier::new(&MemConfig::paper_default(Freq::from_mhz(3200), Freq::from_mhz(1000)), n)
     }
 
     #[test]
@@ -623,11 +618,7 @@ mod tests {
     #[test]
     fn slower_clock_takes_longer() {
         let (program, start, end, count, mut src1) = golden_segment(test_program());
-        let mut src2 = VecSource {
-            entries: src1.entries.clone(),
-            pos: 0,
-            check_times: Vec::new(),
-        };
+        let mut src2 = VecSource { entries: src1.entries.clone(), pos: 0, check_times: Vec::new() };
         let mut hier = mk_hier(2);
         let mut fast = CheckerCore::new(0, CheckerConfig::paper_default(Freq::from_mhz(2000)));
         let mut slow = CheckerCore::new(1, CheckerConfig::paper_default(Freq::from_mhz(250)));

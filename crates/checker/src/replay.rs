@@ -1,7 +1,7 @@
 //! The replay interface between a checker core and its log segment.
 
-use paradet_mem::Time;
 use paradet_isa::MemWidth;
+use paradet_mem::Time;
 use std::fmt;
 
 /// An error raised by the log while replaying (a detected fault, §IV-B:

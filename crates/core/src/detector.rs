@@ -155,7 +155,13 @@ impl Detector {
     /// Seals whatever remains (entries and instructions since the last
     /// boundary) and checks it — used at halt, crash, or experiment cutoff
     /// (§IV-H: process termination is held until checks complete).
-    pub fn finalize(&mut self, committed: &ArchState, instr_count: u64, at: Time, hier: &mut MemHier) {
+    pub fn finalize(
+        &mut self,
+        committed: &ArchState,
+        instr_count: u64,
+        at: Time,
+        hier: &mut MemHier,
+    ) {
         if self.mode == DetectionMode::Off {
             return;
         }
@@ -277,7 +283,14 @@ impl Detector {
 }
 
 impl DetectionSink for Detector {
-    fn on_load_executed(&mut self, rob_slot: usize, addr: u64, value: u64, width: MemWidth, at: Time) {
+    fn on_load_executed(
+        &mut self,
+        rob_slot: usize,
+        addr: u64,
+        value: u64,
+        width: MemWidth,
+        at: Time,
+    ) {
         if self.mode == DetectionMode::Off {
             return;
         }
@@ -303,11 +316,8 @@ impl DetectionSink for Detector {
                 } else if self.lfu_enabled {
                     // Forward the execute-time duplicate (§IV-C); fall back
                     // to the commit-path value if the slot was reallocated.
-                    let v = self
-                        .lfu
-                        .forward(ev.rob_slot, m.addr)
-                        .map(|e| e.value)
-                        .unwrap_or(m.value);
+                    let v =
+                        self.lfu.forward(ev.rob_slot, m.addr).map(|e| e.value).unwrap_or(m.value);
                     (EntryKind::Load, v)
                 } else {
                     // Naive design: forward the register-resident value at

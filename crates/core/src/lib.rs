@@ -242,10 +242,7 @@ mod tests {
         let mut sys = PairedSystem::new(SystemConfig::paper_default(), &program);
         sys.arm_fault(ArmedFault::new(1000, FaultTarget::PcBit { bit: 4 }));
         let report = sys.run_to_halt();
-        assert!(
-            report.detected() || report.crashed,
-            "control-flow corruption must surface"
-        );
+        assert!(report.detected() || report.crashed, "control-flow corruption must surface");
         assert!(report.wall_time >= report.main_time, "checks completed before reporting");
     }
 
@@ -308,16 +305,11 @@ mod tests {
     #[test]
     fn delays_scale_inversely_with_checker_clock() {
         let program = store_loop(3000);
-        let fast = PairedSystem::new(
-            SystemConfig::paper_default().with_checker_mhz(2000),
-            &program,
-        )
-        .run_to_halt();
-        let slow = PairedSystem::new(
-            SystemConfig::paper_default().with_checker_mhz(250),
-            &program,
-        )
-        .run_to_halt();
+        let fast =
+            PairedSystem::new(SystemConfig::paper_default().with_checker_mhz(2000), &program)
+                .run_to_halt();
+        let slow = PairedSystem::new(SystemConfig::paper_default().with_checker_mhz(250), &program)
+            .run_to_halt();
         assert!(
             slow.delays.mean_ns() > fast.delays.mean_ns() * 2.0,
             "250MHz checks must be much slower: {:.0} vs {:.0}",
@@ -329,11 +321,9 @@ mod tests {
     #[test]
     fn delays_scale_with_log_size() {
         let program = store_loop(20_000);
-        let small = PairedSystem::new(
-            SystemConfig::paper_default().with_log(3600, Some(500)),
-            &program,
-        )
-        .run_to_halt();
+        let small =
+            PairedSystem::new(SystemConfig::paper_default().with_log(3600, Some(500)), &program)
+                .run_to_halt();
         let large = PairedSystem::new(
             SystemConfig::paper_default().with_log(360 * 1024, Some(50_000)),
             &program,

@@ -169,7 +169,10 @@ impl ReplaySource for SegmentReader<'_> {
             return Err(ReplayError::StoreAddrMismatch { got: addr, logged: e.addr });
         }
         if e.value != width.truncate(value) {
-            return Err(ReplayError::StoreValueMismatch { got: width.truncate(value), logged: e.value });
+            return Err(ReplayError::StoreValueMismatch {
+                got: width.truncate(value),
+                logged: e.value,
+            });
         }
         Ok(())
     }
@@ -221,10 +224,7 @@ mod tests {
         let mut d = DelayStats::new();
         let mut sd = DelayStats::new();
         let mut r = SegmentReader::new(&entries, &mut d, &mut sd);
-        assert_eq!(
-            r.replay_load(0x100, MemWidth::D, Time::ZERO),
-            Err(ReplayError::KindMismatch)
-        );
+        assert_eq!(r.replay_load(0x100, MemWidth::D, Time::ZERO), Err(ReplayError::KindMismatch));
     }
 
     #[test]
@@ -241,10 +241,7 @@ mod tests {
         let mut d = DelayStats::new();
         let mut sd = DelayStats::new();
         let mut r = SegmentReader::new(&entries, &mut d, &mut sd);
-        assert_eq!(
-            r.check_store(0x100, 0xFFFF_FFFF_1234_5678, MemWidth::W, Time::ZERO),
-            Ok(())
-        );
+        assert_eq!(r.check_store(0x100, 0xFFFF_FFFF_1234_5678, MemWidth::W, Time::ZERO), Ok(()));
     }
 
     #[test]
@@ -253,10 +250,7 @@ mod tests {
         let mut d = DelayStats::new();
         let mut sd = DelayStats::new();
         let mut r = SegmentReader::new(&entries, &mut d, &mut sd);
-        assert_eq!(
-            r.replay_load(0, MemWidth::D, Time::ZERO),
-            Err(ReplayError::LogExhausted)
-        );
+        assert_eq!(r.replay_load(0, MemWidth::D, Time::ZERO), Err(ReplayError::LogExhausted));
     }
 
     #[test]

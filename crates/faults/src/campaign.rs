@@ -76,9 +76,7 @@ impl FaultSite {
             FaultSite::StoreValue => FaultTarget::StoreValueBit { bit: rng.gen_range(0..64) },
             FaultSite::StoreAddr => FaultTarget::StoreAddrBit { bit: rng.gen_range(0..20) },
             FaultSite::LoadValue => FaultTarget::LoadValueBit { bit: rng.gen_range(0..64) },
-            FaultSite::LoadCapture => {
-                FaultTarget::LoadCaptureBit { bit: rng.gen_range(0..64) }
-            }
+            FaultSite::LoadCapture => FaultTarget::LoadCaptureBit { bit: rng.gen_range(0..64) },
             FaultSite::Pc => FaultTarget::PcBit { bit: rng.gen_range(2..16) },
             FaultSite::AluStuckAt => FaultTarget::AluStuckAt {
                 unit: rng.gen_range(0..3),
@@ -213,20 +211,14 @@ fn run_trial(
     sys.arm_fault(fault);
     let report = sys.run(cfg.instrs);
     if report.detected() {
-        let latency = report
-            .first_error()
-            .map(|e| e.confirm_time.saturating_sub(Time::from_fs(0)));
+        let latency = report.first_error().map(|e| e.confirm_time.saturating_sub(Time::from_fs(0)));
         return (Outcome::Detected, latency);
     }
     if report.crashed {
         return (Outcome::Crashed, None);
     }
     // No detection: compare final state with golden.
-    let regs_differ = sys
-        .core()
-        .committed_state()
-        .first_register_mismatch(golden_state)
-        .is_some();
+    let regs_differ = sys.core().committed_state().first_register_mismatch(golden_state).is_some();
     let mem_differs = sys.hier().data.first_difference(golden_mem).is_some();
     let counts_differ = report.instrs != golden.instrs;
     if regs_differ || mem_differs || counts_differ {
@@ -340,10 +332,7 @@ mod tests {
         };
         let r = run_campaign(&cfg);
         let (_, s) = r.per_site[0];
-        assert!(
-            s.sdc > 0,
-            "without the LFU some pre-capture load faults must escape: {s:?}"
-        );
+        assert!(s.sdc > 0, "without the LFU some pre-capture load faults must escape: {s:?}");
     }
 
     #[test]

@@ -84,10 +84,7 @@ impl FlatMemory {
     /// Writes one byte.
     pub fn write_byte(&mut self, addr: u64, val: u8) {
         let page = addr / Self::PAGE as u64;
-        let p = self
-            .pages
-            .entry(page)
-            .or_insert_with(|| Box::new([0u8; Self::PAGE]));
+        let p = self.pages.entry(page).or_insert_with(|| Box::new([0u8; Self::PAGE]));
         p[(addr % Self::PAGE as u64) as usize] = val;
     }
 
@@ -304,8 +301,18 @@ impl ArchState {
                 let v1 = mem.load(a1, MemWidth::D);
                 self.set_x(rd1, v0);
                 self.set_x(rd2, v1);
-                accesses.push(MemAccess { is_store: false, addr: a0, value: v0, width: MemWidth::D });
-                accesses.push(MemAccess { is_store: false, addr: a1, value: v1, width: MemWidth::D });
+                accesses.push(MemAccess {
+                    is_store: false,
+                    addr: a0,
+                    value: v0,
+                    width: MemWidth::D,
+                });
+                accesses.push(MemAccess {
+                    is_store: false,
+                    addr: a1,
+                    value: v1,
+                    width: MemWidth::D,
+                });
             }
             I::Stp { rs2a, rs2b, rs1, imm } => {
                 let base = self.x(rs1);
@@ -315,8 +322,18 @@ impl ArchState {
                 let v1 = self.x(rs2b);
                 mem.store(a0, MemWidth::D, v0);
                 mem.store(a1, MemWidth::D, v1);
-                accesses.push(MemAccess { is_store: true, addr: a0, value: v0, width: MemWidth::D });
-                accesses.push(MemAccess { is_store: true, addr: a1, value: v1, width: MemWidth::D });
+                accesses.push(MemAccess {
+                    is_store: true,
+                    addr: a0,
+                    value: v0,
+                    width: MemWidth::D,
+                });
+                accesses.push(MemAccess {
+                    is_store: true,
+                    addr: a1,
+                    value: v1,
+                    width: MemWidth::D,
+                });
             }
             I::FLoad { fd, rs1, imm } => {
                 let addr = self.x(rs1).wrapping_add(imm as u64);

@@ -54,10 +54,8 @@ mod reg;
 mod uop;
 
 pub use asm::{Label, ProgramBuilder};
-pub use exec::{
-    ArchState, ExecError, FlatMemory, MemoryIface, NoNondet, NondetSource, StepInfo,
-};
+pub use exec::{ArchState, ExecError, FlatMemory, MemoryIface, NoNondet, NondetSource, StepInfo};
 pub use insn::{AluOp, BranchCond, FpuOp, Instruction, MemWidth};
 pub use program::{DataImage, Program, TEXT_BASE};
-pub use uop::{crack, DstReg, FMovKind, MemKind, MicroOp, SrcReg, UopKind, MAX_UOPS_PER_INSN};
 pub use reg::{FReg, Reg};
+pub use uop::{crack, DstReg, FMovKind, MemKind, MicroOp, SrcReg, UopKind, MAX_UOPS_PER_INSN};

@@ -178,10 +178,7 @@ impl MicroOp {
 
     /// Whether this micro-op can redirect control flow.
     pub fn is_control(&self) -> bool {
-        matches!(
-            self.kind,
-            UopKind::Branch { .. } | UopKind::Jump { .. } | UopKind::JumpReg { .. }
-        )
+        matches!(self.kind, UopKind::Branch { .. } | UopKind::Jump { .. } | UopKind::JumpReg { .. })
     }
 
     /// Whether this micro-op produces a non-deterministic result that must be
@@ -219,20 +216,14 @@ fn int_dst(r: Reg) -> Option<DstReg> {
 /// final entry always has `last == true`.
 pub fn crack(insn: &Instruction) -> Vec<MicroOp> {
     use Instruction as I;
-    let one = |kind, srcs, dst| {
-        vec![MicroOp { kind, srcs, dst, uop_index: 0, last: true }]
-    };
+    let one = |kind, srcs, dst| vec![MicroOp { kind, srcs, dst, uop_index: 0, last: true }];
     match *insn {
-        I::Op { op, rd, rs1, rs2 } => one(
-            UopKind::IntAlu { op, imm: None },
-            [int_src(rs1), int_src(rs2), None],
-            int_dst(rd),
-        ),
-        I::OpImm { op, rd, rs1, imm } => one(
-            UopKind::IntAlu { op, imm: Some(imm) },
-            [int_src(rs1), None, None],
-            int_dst(rd),
-        ),
+        I::Op { op, rd, rs1, rs2 } => {
+            one(UopKind::IntAlu { op, imm: None }, [int_src(rs1), int_src(rs2), None], int_dst(rd))
+        }
+        I::OpImm { op, rd, rs1, imm } => {
+            one(UopKind::IntAlu { op, imm: Some(imm) }, [int_src(rs1), None, None], int_dst(rd))
+        }
         I::Load { width, signed, rd, rs1, imm } => one(
             UopKind::Mem { kind: MemKind::Load { signed }, width, imm, fp: false },
             [int_src(rs1), None, None],
@@ -271,12 +262,7 @@ pub fn crack(insn: &Instruction) -> Vec<MicroOp> {
         ],
         I::Stp { rs2a, rs2b, rs1, imm } => vec![
             MicroOp {
-                kind: UopKind::Mem {
-                    kind: MemKind::Store,
-                    width: MemWidth::D,
-                    imm,
-                    fp: false,
-                },
+                kind: UopKind::Mem { kind: MemKind::Store, width: MemWidth::D, imm, fp: false },
                 srcs: [int_src(rs1), int_src(rs2a), None],
                 dst: None,
                 uop_index: 0,
@@ -310,11 +296,9 @@ pub fn crack(insn: &Instruction) -> Vec<MicroOp> {
             [int_src(rs1), Some(SrcReg::Fp(fs2)), None],
             None,
         ),
-        I::Branch { cond, rs1, rs2, offset } => one(
-            UopKind::Branch { cond, offset },
-            [int_src(rs1), int_src(rs2), None],
-            None,
-        ),
+        I::Branch { cond, rs1, rs2, offset } => {
+            one(UopKind::Branch { cond, offset }, [int_src(rs1), int_src(rs2), None], None)
+        }
         I::Jal { rd, offset } => one(UopKind::Jump { offset }, none3(), int_dst(rd)),
         I::Jalr { rd, rs1, imm } => {
             one(UopKind::JumpReg { imm }, [int_src(rs1), None, None], int_dst(rd))
@@ -329,11 +313,9 @@ pub fn crack(insn: &Instruction) -> Vec<MicroOp> {
             [Some(SrcReg::Fp(fs1)), Some(SrcReg::Fp(fs2)), Some(SrcReg::Fp(fs3))],
             Some(DstReg::Fp(fd)),
         ),
-        I::FSqrt { fd, fs1 } => one(
-            UopKind::FSqrt,
-            [Some(SrcReg::Fp(fs1)), None, None],
-            Some(DstReg::Fp(fd)),
-        ),
+        I::FSqrt { fd, fs1 } => {
+            one(UopKind::FSqrt, [Some(SrcReg::Fp(fs1)), None, None], Some(DstReg::Fp(fd)))
+        }
         I::FMovFromInt { fd, rs1 } => one(
             UopKind::FMov { kind: FMovKind::BitsToFp },
             [int_src(rs1), None, None],
@@ -366,12 +348,8 @@ mod tests {
 
     #[test]
     fn single_uop_instructions() {
-        let uops = crack(&Instruction::Op {
-            op: AluOp::Add,
-            rd: Reg::X1,
-            rs1: Reg::X2,
-            rs2: Reg::X3,
-        });
+        let uops =
+            crack(&Instruction::Op { op: AluOp::Add, rd: Reg::X1, rs1: Reg::X2, rs2: Reg::X3 });
         assert_eq!(uops.len(), 1);
         assert!(uops[0].last);
         assert_eq!(uops[0].dst, Some(DstReg::Int(Reg::X1)));
@@ -379,12 +357,7 @@ mod tests {
 
     #[test]
     fn ldp_cracks_into_two_loads() {
-        let uops = crack(&Instruction::Ldp {
-            rd1: Reg::X1,
-            rd2: Reg::X2,
-            rs1: Reg::X3,
-            imm: 16,
-        });
+        let uops = crack(&Instruction::Ldp { rd1: Reg::X1, rd2: Reg::X2, rs1: Reg::X3, imm: 16 });
         assert_eq!(uops.len(), 2);
         assert!(uops.iter().all(|u| u.is_load()));
         assert!(!uops[0].last);
@@ -402,24 +375,14 @@ mod tests {
 
     #[test]
     fn stp_cracks_into_two_stores() {
-        let uops = crack(&Instruction::Stp {
-            rs2a: Reg::X1,
-            rs2b: Reg::X2,
-            rs1: Reg::X3,
-            imm: 0,
-        });
+        let uops = crack(&Instruction::Stp { rs2a: Reg::X1, rs2b: Reg::X2, rs1: Reg::X3, imm: 0 });
         assert_eq!(uops.len(), 2);
         assert!(uops.iter().all(|u| u.is_store()));
     }
 
     #[test]
     fn x0_is_not_a_dependency() {
-        let uops = crack(&Instruction::OpImm {
-            op: AluOp::Add,
-            rd: Reg::X0,
-            rs1: Reg::X0,
-            imm: 1,
-        });
+        let uops = crack(&Instruction::OpImm { op: AluOp::Add, rd: Reg::X0, rs1: Reg::X0, imm: 1 });
         assert_eq!(uops[0].srcs, [None, None, None]);
         assert_eq!(uops[0].dst, None);
     }

@@ -36,10 +36,7 @@ impl CacheConfig {
         assert!(self.size_bytes > 0 && self.ways > 0 && self.line_bytes > 0);
         assert!(self.line_bytes.is_power_of_two(), "line size must be a power of two");
         let per_way = self.size_bytes / self.ways;
-        assert!(
-            per_way.is_multiple_of(self.line_bytes),
-            "cache geometry inconsistent: {self:?}"
-        );
+        assert!(per_way.is_multiple_of(self.line_bytes), "cache geometry inconsistent: {self:?}");
         let sets = per_way / self.line_bytes;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         sets
@@ -244,13 +241,8 @@ impl Cache {
 
         let fill_done = fill(line_base, false, start + self.cfg.hit_latency);
         self.mshr_busy[slot] = fill_done;
-        self.sets[set_idx][victim] = Line {
-            tag,
-            valid: true,
-            dirty: write,
-            ready_at: fill_done,
-            lru: self.lru_clock,
-        };
+        self.sets[set_idx][victim] =
+            Line { tag, valid: true, dirty: write, ready_at: fill_done, lru: self.lru_clock };
         AccessResult { done: fill_done + self.cfg.hit_latency, hit: false }
     }
 
@@ -357,7 +349,10 @@ mod tests {
         // for the fill.
         let r2 = c.access(0x1010, false, Time::from_ns(1), &mut next.fill());
         assert!(r2.hit);
-        assert_eq!(r2.done, r1.done.saturating_sub(Time::from_ns(1)) + Time::from_ns(1) + Time::ZERO);
+        assert_eq!(
+            r2.done,
+            r1.done.saturating_sub(Time::from_ns(1)) + Time::from_ns(1) + Time::ZERO
+        );
         assert!(r2.done >= r1.done);
     }
 

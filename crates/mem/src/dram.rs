@@ -80,7 +80,12 @@ impl Dram {
     pub fn new(cfg: DramConfig) -> Dram {
         assert!(cfg.banks.is_power_of_two(), "bank count must be a power of two");
         assert!(cfg.row_bytes.is_power_of_two(), "row size must be a power of two");
-        Dram { banks: vec![Bank::default(); cfg.banks], bus_free: Time::ZERO, stats: DramStats::default(), cfg }
+        Dram {
+            banks: vec![Bank::default(); cfg.banks],
+            bus_free: Time::ZERO,
+            stats: DramStats::default(),
+            cfg,
+        }
     }
 
     /// This device's configuration.
@@ -177,6 +182,7 @@ mod tests {
     fn row_conflict_pays_precharge() {
         let mut d = dram();
         let t1 = d.access(0x0, Time::ZERO); // bank 0, row 0
+
         // Same bank, different row under XOR interleave: row 1 with bank
         // field 1 maps back to bank 1^1 = 0.
         let conflict_addr = (1u64 << 16) + (1u64 << 13);
@@ -190,8 +196,10 @@ mod tests {
     fn different_banks_overlap_but_share_bus() {
         let mut d = dram();
         let a = d.access(0x0, Time::ZERO); // bank 0
-        let b = d.access(8192, Time::ZERO); // bank 1, issued same instant
-        // Bank 1's CAS overlaps bank 0's, but the burst must wait for the bus.
+
+        // Bank 1, issued the same instant: its CAS overlaps bank 0's, but
+        // the burst must wait for the bus.
+        let b = d.access(8192, Time::ZERO);
         assert_eq!(a, cyc(26));
         assert_eq!(b, cyc(30)); // burst serialized: 26 + 4
     }

@@ -279,10 +279,7 @@ mod tests {
             tp = ph.dread(0x1000, addr, tp);
             tn = nh.dread(0x1000, addr, tn);
         }
-        assert!(
-            tp < tn,
-            "prefetching should accelerate a linear stream: {tp} vs {tn}"
-        );
+        assert!(tp < tn, "prefetching should accelerate a linear stream: {tp} vs {tn}");
         assert!(ph.stats().prefetch.issued > 100);
     }
 

@@ -58,7 +58,11 @@ impl StridePrefetcher {
     /// Panics if `entries` is not a power of two.
     pub fn new(cfg: PrefetcherConfig) -> StridePrefetcher {
         assert!(cfg.entries.is_power_of_two(), "table size must be a power of two");
-        StridePrefetcher { table: vec![Entry::default(); cfg.entries], stats: PrefetchStats::default(), cfg }
+        StridePrefetcher {
+            table: vec![Entry::default(); cfg.entries],
+            stats: PrefetchStats::default(),
+            cfg,
+        }
     }
 
     /// Trains on a demand access from `pc` to `addr` and returns the
@@ -103,6 +107,7 @@ mod tests {
         assert!(p.observe(pc, 0x8000).is_empty()); // allocate
         assert!(p.observe(pc, 0x8040).is_empty()); // learn stride, conf 0
         assert!(p.observe(pc, 0x8080).is_empty()); // conf 1
+
         // Third identical stride reaches the threshold: prefetch `degree`
         // (default 4) strides ahead.
         let out = p.observe(pc, 0x80c0);

@@ -90,8 +90,7 @@ mod tests {
 
     #[test]
     fn fewer_checkers_cost_less() {
-        let mut i = AreaInputs::default();
-        i.n_checkers = 6;
+        let i = AreaInputs { n_checkers: 6, ..Default::default() };
         let r = i.evaluate();
         assert!(r.overhead_vs_core < AreaInputs::default().evaluate().overhead_vs_core);
     }

@@ -46,14 +46,8 @@ impl PowerInputs {
     /// Evaluates the model.
     pub fn evaluate(&self) -> PowerReport {
         let main_w = self.main_uw_per_mhz * self.main_mhz / 1e6;
-        let checkers_w =
-            self.checker_uw_per_mhz * self.checker_mhz * self.n_checkers as f64 / 1e6;
-        PowerReport {
-            main_w,
-            checkers_w,
-            overhead: checkers_w / main_w,
-            dcls_overhead: 1.0,
-        }
+        let checkers_w = self.checker_uw_per_mhz * self.checker_mhz * self.n_checkers as f64 / 1e6;
+        PowerReport { main_w, checkers_w, overhead: checkers_w / main_w, dcls_overhead: 1.0 }
     }
 }
 
@@ -72,8 +66,7 @@ mod tests {
 
     #[test]
     fn slower_checkers_burn_less() {
-        let mut i = PowerInputs::default();
-        i.checker_mhz = 250.0;
+        let i = PowerInputs { checker_mhz: 250.0, ..Default::default() };
         assert!(i.evaluate().overhead < 0.05);
     }
 }

@@ -32,8 +32,8 @@ use crate::predictor::TournamentPredictor;
 use crate::resources::{FifoOccupancy, SlotPool, UnorderedOccupancy};
 use crate::types::{CommitEvent, CommitGate, DetectionSink, MemEffect};
 use paradet_isa::{
-    crack, ArchState, DstReg, ExecError, Instruction, MemKind, NondetSource, Program,
-    Reg, SrcReg, UopKind,
+    crack, ArchState, DstReg, ExecError, Instruction, MemKind, NondetSource, Program, Reg, SrcReg,
+    UopKind,
 };
 use paradet_mem::{MemHier, Time};
 use std::collections::VecDeque;
@@ -460,7 +460,8 @@ impl OooCore {
                         (start + l, if op.is_mul_div() { None } else { Some(unit) })
                     }
                     UopKind::FpAlu { op } => {
-                        let (occ, l) = if op.is_div() { (lat.fp_div, lat.fp_div) } else { (1, lat.fp_alu) };
+                        let (occ, l) =
+                            if op.is_div() { (lat.fp_div, lat.fp_div) } else { (1, lat.fp_alu) };
                         let (_, start) = self.fp_alus.take(ready, occ);
                         let (_, start) = self.issue_slots.take(start, 1);
                         (start + l, None)
@@ -604,7 +605,12 @@ impl OooCore {
         let mut mem_effects: Vec<MemEffect> = step
             .mem
             .iter()
-            .map(|a| MemEffect { is_store: a.is_store, addr: a.addr, value: a.value, width: a.width })
+            .map(|a| MemEffect {
+                is_store: a.is_store,
+                addr: a.addr,
+                value: a.value,
+                width: a.width,
+            })
             .collect();
         // Captured (LFU) values default to the true loaded values.
         let mut captured: Vec<u64> =
@@ -678,7 +684,8 @@ impl OooCore {
         // assigned unit matches.
         if let Some((unit, bit, value)) = self.stuck {
             for (k, u) in uops.iter().enumerate() {
-                if let (UopKind::IntAlu { .. }, Some(used)) = (u.kind, alu_units.get(k).copied().flatten())
+                if let (UopKind::IntAlu { .. }, Some(used)) =
+                    (u.kind, alu_units.get(k).copied().flatten())
                 {
                     if used == unit as usize % self.cfg.int_alus {
                         if let Some(DstReg::Int(r)) = u.dst {
@@ -727,8 +734,7 @@ impl OooCore {
                 if taken {
                     self.pred.btb_update(pc, step.next_pc);
                 }
-                let correct =
-                    p.taken == taken && (!taken || btb_target == Some(step.next_pc));
+                let correct = p.taken == taken && (!taken || btb_target == Some(step.next_pc));
                 if correct {
                     if taken {
                         // Correctly-predicted taken branch ends the fetch

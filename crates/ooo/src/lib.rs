@@ -51,8 +51,7 @@ pub use types::{CommitEvent, CommitGate, DetectionSink, MemEffect, NullSink};
 mod tests {
     use super::*;
     use paradet_isa::{
-        AluOp, ArchState, FlatMemory, MemWidth, MemoryIface, NoNondet, Program, ProgramBuilder,
-        Reg,
+        AluOp, ArchState, FlatMemory, MemWidth, MemoryIface, NoNondet, Program, ProgramBuilder, Reg,
     };
     use paradet_mem::{Freq, MemConfig, MemHier, Time};
 
@@ -277,7 +276,13 @@ mod tests {
             mems: u64,
         }
         impl DetectionSink for Recorder {
-            fn on_commit(&mut self, ev: &CommitEvent, at: Time, _c: &ArchState, _h: &mut MemHier) -> CommitGate {
+            fn on_commit(
+                &mut self,
+                ev: &CommitEvent,
+                at: Time,
+                _c: &ArchState,
+                _h: &mut MemHier,
+            ) -> CommitGate {
                 self.times.push(at);
                 self.seqs.push(ev.seq);
                 if ev.mem.is_some() {
@@ -314,7 +319,13 @@ mod tests {
             until: Time,
         }
         impl DetectionSink for StallOnce {
-            fn on_commit(&mut self, ev: &CommitEvent, at: Time, _c: &ArchState, _h: &mut MemHier) -> CommitGate {
+            fn on_commit(
+                &mut self,
+                ev: &CommitEvent,
+                at: Time,
+                _c: &ArchState,
+                _h: &mut MemHier,
+            ) -> CommitGate {
                 if !self.stalled && ev.instr_index == 1 {
                     self.stalled = true;
                     self.until = at + Time::from_us(1);
@@ -347,7 +358,13 @@ mod tests {
     fn pause_gate_delays_following_commits() {
         struct PauseAt2;
         impl DetectionSink for PauseAt2 {
-            fn on_commit(&mut self, ev: &CommitEvent, _at: Time, _c: &ArchState, _h: &mut MemHier) -> CommitGate {
+            fn on_commit(
+                &mut self,
+                ev: &CommitEvent,
+                _at: Time,
+                _c: &ArchState,
+                _h: &mut MemHier,
+            ) -> CommitGate {
                 if ev.instr_index == 2 {
                     CommitGate::AcceptWithPause(16)
                 } else {
@@ -379,8 +396,7 @@ mod tests {
         let mut core = OooCore::new(cfg, &program);
         core.run(&mut hier, &mut NullSink, 10_000_000);
         assert!(core.halted());
-        let slowdown =
-            core.stats.last_commit_cycle as f64 / normal.stats.last_commit_cycle as f64;
+        let slowdown = core.stats.last_commit_cycle as f64 / normal.stats.last_commit_cycle as f64;
         assert!(
             slowdown > 1.15,
             "RMT duplication should cost ≳15% on a wide-ILP loop, got {slowdown:.2}x"
@@ -428,7 +444,13 @@ mod tests {
             value: Option<u64>,
         }
         impl DetectionSink for CatchStore {
-            fn on_commit(&mut self, ev: &CommitEvent, _at: Time, _c: &ArchState, _h: &mut MemHier) -> CommitGate {
+            fn on_commit(
+                &mut self,
+                ev: &CommitEvent,
+                _at: Time,
+                _c: &ArchState,
+                _h: &mut MemHier,
+            ) -> CommitGate {
                 if let Some(m) = ev.mem {
                     if m.is_store {
                         self.value = Some(m.value);

@@ -152,12 +152,8 @@ impl UnorderedOccupancy {
         let mut t = earliest;
         self.release.retain(|&r| r > t);
         while self.release.len() >= self.cap {
-            let (idx, &min) = self
-                .release
-                .iter()
-                .enumerate()
-                .min_by_key(|(_, &r)| r)
-                .expect("non-empty");
+            let (idx, &min) =
+                self.release.iter().enumerate().min_by_key(|(_, &r)| r).expect("non-empty");
             t = t.max(min);
             self.release.swap_remove(idx);
             self.release.retain(|&r| r > t);
@@ -241,6 +237,7 @@ mod tests {
         u.push(50); // op issuing late
         u.acquire(0);
         u.push(5); // op issuing early
+
         // Full at cycle 1: earliest release is 5, not 50.
         let t = u.acquire(1);
         assert_eq!(t, 5);
@@ -252,6 +249,7 @@ mod tests {
         let mut f = FifoOccupancy::new(1);
         f.push(10);
         f.push(20); // second in-flight entry before any acquire
+
         // Next acquire must wait for both recorded releases.
         assert_eq!(f.acquire(0), 20);
     }

@@ -135,9 +135,6 @@ mod tests {
             ),
             0,
         );
-        assert_eq!(
-            NullSink.on_commit(&ev, Time::ZERO, &state, &mut hier),
-            CommitGate::Accept
-        );
+        assert_eq!(NullSink.on_commit(&ev, Time::ZERO, &state, &mut hier), CommitGate::Accept);
     }
 }

@@ -46,7 +46,8 @@ mod tests {
     #[test]
     fn density_integrates_to_roughly_one() {
         // N(500, 50) samples via a deterministic spread.
-        let samples: Vec<f64> = (0..1000).map(|i| 500.0 + 50.0 * ((i as f64 / 1000.0) - 0.5) * 6.0).collect();
+        let samples: Vec<f64> =
+            (0..1000).map(|i| 500.0 + 50.0 * ((i as f64 / 1000.0) - 0.5) * 6.0).collect();
         let pts = gaussian_kde(&samples, 0.0, 1000.0, 200);
         let dx = 1000.0 / 199.0;
         let integral: f64 = pts.iter().map(|p| p.density * dx).sum();

@@ -80,6 +80,7 @@ pub fn stream(iters: i64) -> Program {
         b.fld(FReg::F3, Reg::X7, 0); // c[i]
         b.fma(FReg::F4, FReg::F1, FReg::F3, FReg::F2); // triad: a + s*c
         b.fsd(FReg::F4, Reg::X8, 0); // dst[i]
+
         // advance and wrap
         b.addi(Reg::X5, Reg::X5, 8);
         b.op(AluOp::And, Reg::X5, Reg::X5, Reg::X4);
@@ -212,6 +213,7 @@ pub fn swaptions(iters: i64) -> Program {
         b.fop(FpuOp::Mul, FReg::F1, FReg::F1, FReg::F10); // uniform [0,1)
         b.fop(FpuOp::Mul, FReg::F2, FReg::F1, FReg::F1); // payoff shape
         b.fma(FReg::F12, FReg::F12, FReg::F11, FReg::F2); // discounted acc
+
         // Store a path result every iteration (moderate traffic).
         b.op(AluOp::And, Reg::X11, Reg::X6, Reg::X5);
         b.op(AluOp::Add, Reg::X11, Reg::X11, Reg::X4);
@@ -272,7 +274,7 @@ pub fn bodytrack(iters: i64) -> Program {
         b.fld(FReg::F1, Reg::X10, 0); // particle weight
         lcg_step(b, Reg::X4, Reg::X5, Reg::X6);
         b.op_imm(AluOp::Srl, Reg::X11, Reg::X4, 62); // 2 random bits
-        // Data-dependent branch: ~25% taken, essentially random.
+                                                     // Data-dependent branch: ~25% taken, essentially random.
         b.beq(Reg::X11, Reg::X0, reject);
         b.fop(FpuOp::Mul, FReg::F1, FReg::F1, FReg::F10); // strengthen
         b.addi(Reg::X7, Reg::X7, 1);

@@ -91,7 +91,9 @@ impl Workload {
     /// One-line description of the synthetic kernel's character.
     pub fn description(self) -> &'static str {
         match self {
-            Workload::Randacc => "dependent random XOR updates over a large table (memory bound, irregular)",
+            Workload::Randacc => {
+                "dependent random XOR updates over a large table (memory bound, irregular)"
+            }
             Workload::Stream => "copy/scale/add/triad over large FP arrays (memory bound, regular)",
             Workload::Bitcount => "integer popcount bit-twiddling (compute bound)",
             Workload::Blackscholes => "FP option-pricing polynomial with div/sqrt",
@@ -251,10 +253,9 @@ mod tests {
                     density < 0.12,
                     "bitcount must be compute bound, got {density:.3} mem/instr"
                 ),
-                Workload::Randacc | Workload::Stream => assert!(
-                    density > 0.15,
-                    "{w} must be memory heavy, got {density:.3} mem/instr"
-                ),
+                Workload::Randacc | Workload::Stream => {
+                    assert!(density > 0.15, "{w} must be memory heavy, got {density:.3} mem/instr")
+                }
                 _ => assert!(density > 0.02, "{w} does some memory traffic: {density:.3}"),
             }
         }
@@ -275,10 +276,7 @@ mod tests {
             let target = 30_000;
             let p = w.build(w.iters_for_instrs(target));
             let (_, _, n) = run_golden(&p, 10_000_000);
-            assert!(
-                n >= target,
-                "{w} built for {target} instrs only retired {n}"
-            );
+            assert!(n >= target, "{w} built for {target} instrs only retired {n}");
         }
     }
 

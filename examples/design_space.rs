@@ -29,17 +29,15 @@ fn main() {
         "{:<22} {:>9} {:>9} {:>10} {:>10} {:>8} {:>8}",
         "", "(randacc)", "(bitcnt)", "(randacc)", "(bitcnt)", "ovh", "ovh"
     );
-    for (cores, mhz) in [(3usize, 1000u64), (6, 1000), (12, 500), (12, 1000), (24, 500), (12, 2000)] {
+    for (cores, mhz) in [(3usize, 1000u64), (6, 1000), (12, 500), (12, 1000), (24, 500), (12, 2000)]
+    {
         let cfg = SystemConfig::paper_default().with_checkers(cores).with_checker_mhz(mhz);
         let (s_mem, d_mem) = measure(&cfg, Workload::Randacc);
         let (s_cpu, d_cpu) = measure(&cfg, Workload::Bitcount);
         let area = AreaInputs { n_checkers: cores, ..AreaInputs::default() }.evaluate();
-        let power = PowerInputs {
-            n_checkers: cores,
-            checker_mhz: mhz as f64,
-            ..PowerInputs::default()
-        }
-        .evaluate();
+        let power =
+            PowerInputs { n_checkers: cores, checker_mhz: mhz as f64, ..PowerInputs::default() }
+                .evaluate();
         println!(
             "{:<22} {:>9.3} {:>9.3} {:>8.0}ns {:>8.0}ns {:>7.1}% {:>7.1}%",
             format!("{cores} checkers @{mhz}MHz"),
@@ -58,10 +56,7 @@ fn main() {
     for (kib, timeout) in [(3, Some(500u64)), (36, Some(5_000)), (360, Some(50_000))] {
         let cfg = SystemConfig::paper_default().with_log(kib * 1024, timeout);
         let (s, d) = measure(&cfg, Workload::Randacc);
-        println!(
-            "  {:>4} KiB log: slowdown {:.3}, mean detection delay {:>8.0} ns",
-            kib, s, d
-        );
+        println!("  {:>4} KiB log: slowdown {:.3}, mean detection delay {:>8.0} ns", kib, s, d);
     }
     println!("(bigger log -> lower overhead but linearly longer detection delay, Fig. 12)");
 }

@@ -29,7 +29,9 @@ fn main() {
         let report = sys.run_to_halt();
         match report.first_error() {
             Some(e) => println!("  {name:32} -> DETECTED: {}", e.error),
-            None if report.crashed => println!("  {name:32} -> CRASHED (reported after checks, §IV-H)"),
+            None if report.crashed => {
+                println!("  {name:32} -> CRASHED (reported after checks, §IV-H)")
+            }
             None => println!("  {name:32} -> not detected"),
         }
     }
@@ -50,11 +52,8 @@ fn main() {
 
     // --- A statistical campaign -------------------------------------------
     println!("\nstatistical campaign (8 sites x 10 trials):");
-    let campaign = CampaignConfig {
-        trials_per_site: 10,
-        instrs: 10_000,
-        ..CampaignConfig::default()
-    };
+    let campaign =
+        CampaignConfig { trials_per_site: 10, instrs: 10_000, ..CampaignConfig::default() };
     let result = run_campaign(&campaign);
     for (site, s) in &result.per_site {
         println!(

@@ -48,6 +48,8 @@ fn main() {
 
     assert!(report.halted && !report.detected());
     assert_eq!(system.core().committed_state().x(Reg::X4), 500_500);
-    println!("\nresult register x4 = {} (= sum 1..=1000) — fully verified",
-        system.core().committed_state().x(Reg::X4));
+    println!(
+        "\nresult register x4 = {} (= sum 1..=1000) — fully verified",
+        system.core().committed_state().x(Reg::X4)
+    );
 }

@@ -113,10 +113,7 @@ fn wall_time_covers_the_tail_of_checking() {
     let mut sys = PairedSystem::new(cfg, &program);
     let report = sys.run_to_halt();
     assert!(report.halted);
-    assert!(
-        report.wall_time > report.main_time,
-        "checker tail should extend past the last commit"
-    );
+    assert!(report.wall_time > report.main_time, "checker tail should extend past the last commit");
 }
 
 #[test]

@@ -1,9 +1,7 @@
 //! Integration tests spanning the whole stack: workloads → paired system →
 //! detection, plus cross-checks between the OoO core and the golden model.
 
-use paradet::detect::{
-    run_unchecked, DetectionMode, PairedSystem, RunReport, SystemConfig,
-};
+use paradet::detect::{run_unchecked, DetectionMode, PairedSystem, RunReport, SystemConfig};
 use paradet::isa::{ArchState, FlatMemory, NoNondet};
 use paradet::mem::Time;
 use paradet::ooo::{ArmedFault, FaultTarget};
@@ -132,10 +130,7 @@ fn faults_detected_across_all_workloads() {
             FaultTarget::IntRegBit { reg: paradet::isa::Reg::X1, bit: 13 },
         ));
         let report = sys.run(INSTRS);
-        assert!(
-            report.detected() || report.crashed,
-            "{w}: base-pointer corruption escaped"
-        );
+        assert!(report.detected() || report.crashed, "{w}: base-pointer corruption escaped");
     }
 }
 
@@ -159,11 +154,9 @@ fn checkpoint_only_mode_brackets_full_detection_overhead() {
 fn smaller_logs_seal_more_and_delay_less() {
     let w = Workload::Freqmine;
     let program = w.build(w.iters_for_instrs(INSTRS));
-    let small = PairedSystem::new(
-        SystemConfig::paper_default().with_log(3686, Some(500)),
-        &program,
-    )
-    .run(INSTRS);
+    let small =
+        PairedSystem::new(SystemConfig::paper_default().with_log(3686, Some(500)), &program)
+            .run(INSTRS);
     let large = PairedSystem::new(
         SystemConfig::paper_default().with_log(360 * 1024, Some(50_000)),
         &program,

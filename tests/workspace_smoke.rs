@@ -1,0 +1,47 @@
+//! Workspace-level smoke test for the build surface: the umbrella crate's
+//! re-exports, the default configuration, and the headline detection flow
+//! must work end to end.
+
+use paradet::detect::{run_unchecked, PairedSystem, SystemConfig};
+use paradet::workloads::Workload;
+
+#[test]
+fn bitcount_runs_clean_with_sane_slowdown() {
+    let program = Workload::Bitcount.build(1_000);
+    let cfg = SystemConfig::default();
+
+    let mut system = PairedSystem::new(cfg, &program);
+    let report = system.run_to_halt();
+    assert!(report.halted, "bitcount must commit halt");
+    assert!(!report.crashed, "fault-free run must not crash");
+    assert!(report.errors.is_empty(), "fault-free run must detect no errors");
+    assert!(report.instrs > 0);
+
+    // Slowdown over the unchecked baseline: the paper reports geomean ~1.1x
+    // for the default 12-checker configuration. Anything far outside
+    // [1.0, 4.0] means the detection machinery (or the baseline) is broken.
+    let base = run_unchecked(&cfg, &program, u64::MAX);
+    assert!(base.halted);
+    let slowdown = report.main_cycles as f64 / base.main_cycles.max(1) as f64;
+    assert!(
+        (1.0..4.0).contains(&slowdown),
+        "slowdown {slowdown:.3} outside sane range (paired {} vs unchecked {} cycles)",
+        report.main_cycles,
+        base.main_cycles
+    );
+}
+
+#[test]
+fn umbrella_reexports_cover_every_subsystem() {
+    // One symbol per re-exported crate: breaking any edge fails to compile.
+    let _ = paradet::isa::Reg::X1;
+    let _ = paradet::mem::Time::ZERO;
+    let _ = paradet::ooo::OooConfig::default();
+    let _ = paradet::checker::CheckerConfig::default();
+    let _ = paradet::detect::SystemConfig::default();
+    let _ = paradet::workloads::Workload::Bitcount;
+    let _ = std::any::type_name::<paradet::faults::CampaignConfig>();
+    let _ = std::any::type_name::<paradet::baselines::RmtReport>();
+    let _ = std::any::type_name::<paradet::model::AreaInputs>();
+    let _ = std::any::type_name::<paradet::stats::Summary>();
+}
