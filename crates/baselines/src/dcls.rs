@@ -78,16 +78,18 @@ pub struct DclsSystem {
 }
 
 impl DclsSystem {
-    /// Builds the pair; both cores share the configuration and program.
+    /// Builds the pair; both cores share the configuration and one shared
+    /// copy of the program (a single clone, not one per core).
     pub fn new(cfg: OooConfig, program: &Program) -> DclsSystem {
         let mem_cfg = MemConfig::paper_default(cfg.clock, cfg.clock);
         let mut hier_a = MemHier::new(&mem_cfg, 0);
         let mut hier_b = MemHier::new(&mem_cfg, 0);
         hier_a.data.load_image(program);
         hier_b.data.load_image(program);
+        let program = std::sync::Arc::new(program.clone());
         DclsSystem {
-            primary: OooCore::new(cfg, program),
-            secondary: OooCore::new(cfg, program),
+            primary: OooCore::new_shared(cfg, std::sync::Arc::clone(&program)),
+            secondary: OooCore::new_shared(cfg, program),
             hier_a,
             hier_b,
         }

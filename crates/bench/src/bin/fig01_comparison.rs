@@ -1,5 +1,5 @@
 //! Regenerates the Fig. 1(d) scheme comparison with measured numbers.
 fn main() {
-    let mut r = paradet_bench::runner::Runner::new();
-    print!("{}", paradet_bench::experiments::fig01_comparison(&mut r).render());
+    let r = paradet_bench::runner::Runner::new();
+    print!("{}", paradet_bench::experiments::fig01_comparison(&r).render());
 }

@@ -1,5 +1,5 @@
 //! Regenerates Fig. 7: normalized slowdown at default settings.
 fn main() {
-    let mut r = paradet_bench::runner::Runner::new();
-    print!("{}", paradet_bench::experiments::fig07_slowdown(&mut r).render());
+    let r = paradet_bench::runner::Runner::new();
+    print!("{}", paradet_bench::experiments::fig07_slowdown(&r).render());
 }

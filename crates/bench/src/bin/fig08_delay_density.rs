@@ -1,5 +1,5 @@
 //! Regenerates Fig. 8: detection-delay distribution.
 fn main() {
-    let mut r = paradet_bench::runner::Runner::new();
-    print!("{}", paradet_bench::experiments::fig08_delay_density(&mut r).render());
+    let r = paradet_bench::runner::Runner::new();
+    print!("{}", paradet_bench::experiments::fig08_delay_density(&r).render());
 }

@@ -1,5 +1,5 @@
 //! Regenerates Fig. 9: slowdown vs checker-core clock.
 fn main() {
-    let mut r = paradet_bench::runner::Runner::new();
-    print!("{}", paradet_bench::experiments::fig09_freq_slowdown(&mut r).render());
+    let r = paradet_bench::runner::Runner::new();
+    print!("{}", paradet_bench::experiments::fig09_freq_slowdown(&r).render());
 }

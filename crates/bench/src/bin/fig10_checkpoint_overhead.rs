@@ -1,5 +1,5 @@
 //! Regenerates Fig. 10: checkpoint-only slowdown vs log size/timeout.
 fn main() {
-    let mut r = paradet_bench::runner::Runner::new();
-    print!("{}", paradet_bench::experiments::fig10_checkpoint_overhead(&mut r).render());
+    let r = paradet_bench::runner::Runner::new();
+    print!("{}", paradet_bench::experiments::fig10_checkpoint_overhead(&r).render());
 }

@@ -1,6 +1,6 @@
 //! Regenerates Fig. 11: store-check delay vs checker clock.
 fn main() {
-    let mut r = paradet_bench::runner::Runner::new();
-    let (a, b) = paradet_bench::experiments::fig11_freq_delay(&mut r);
+    let r = paradet_bench::runner::Runner::new();
+    let (a, b) = paradet_bench::experiments::fig11_freq_delay(&r);
     print!("{}\n{}", a.render(), b.render());
 }

@@ -1,6 +1,6 @@
 //! Regenerates Fig. 12: store-check delay vs log size/timeout.
 fn main() {
-    let mut r = paradet_bench::runner::Runner::new();
-    let (a, b) = paradet_bench::experiments::fig12_logsize_delay(&mut r);
+    let r = paradet_bench::runner::Runner::new();
+    let (a, b) = paradet_bench::experiments::fig12_logsize_delay(&r);
     print!("{}\n{}", a.render(), b.render());
 }

@@ -1,5 +1,5 @@
 //! Regenerates Fig. 13: slowdown vs checker core count and clock.
 fn main() {
-    let mut r = paradet_bench::runner::Runner::new();
-    print!("{}", paradet_bench::experiments::fig13_core_scaling(&mut r).render());
+    let r = paradet_bench::runner::Runner::new();
+    print!("{}", paradet_bench::experiments::fig13_core_scaling(&r).render());
 }

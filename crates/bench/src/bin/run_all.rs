@@ -19,7 +19,7 @@ fn main() {
     // promote a smoke run to the full 150k budget.
     let override_instrs = std::env::var("PARADET_INSTRS").ok().and_then(|v| v.parse::<u64>().ok());
     let default_instrs = if smoke { SMOKE_INSTRS } else { paradet_bench::runner::DEFAULT_INSTRS };
-    let mut r = Runner::with_instrs(override_instrs.unwrap_or(default_instrs));
+    let r = Runner::with_instrs(override_instrs.unwrap_or(default_instrs));
     let (cov_trials, cov_instrs) = if smoke { (2, 2_000) } else { (10, 20_000) };
 
     let mut shown = 0usize;
@@ -36,21 +36,24 @@ fn main() {
         shown += 1;
     };
 
+    // Thread count goes to stderr: stdout must stay byte-identical across
+    // PARADET_THREADS settings (the documented determinism check diffs it).
+    eprintln!("[{} worker threads]", paradet_par::num_threads());
     println!("paradet experiment suite — {} instructions per run\n", r.instrs());
     show("table1_config", &[&ex::table1_config()]);
     show("table2_benchmarks", &[&ex::table2_benchmarks()]);
-    show("fig07_slowdown", &[&ex::fig07_slowdown(&mut r)]);
-    show("fig08_delay_density", &[&ex::fig08_delay_density(&mut r)]);
-    show("fig09_freq_slowdown", &[&ex::fig09_freq_slowdown(&mut r)]);
-    show("fig10_checkpoint_overhead", &[&ex::fig10_checkpoint_overhead(&mut r)]);
-    let (a, b) = ex::fig11_freq_delay(&mut r);
+    show("fig07_slowdown", &[&ex::fig07_slowdown(&r)]);
+    show("fig08_delay_density", &[&ex::fig08_delay_density(&r)]);
+    show("fig09_freq_slowdown", &[&ex::fig09_freq_slowdown(&r)]);
+    show("fig10_checkpoint_overhead", &[&ex::fig10_checkpoint_overhead(&r)]);
+    let (a, b) = ex::fig11_freq_delay(&r);
     show("fig11_freq_delay", &[&a, &b]);
-    let (a, b) = ex::fig12_logsize_delay(&mut r);
+    let (a, b) = ex::fig12_logsize_delay(&r);
     show("fig12_logsize_delay", &[&a, &b]);
-    show("fig13_core_scaling", &[&ex::fig13_core_scaling(&mut r)]);
-    show("fig01_comparison", &[&ex::fig01_comparison(&mut r)]);
+    show("fig13_core_scaling", &[&ex::fig13_core_scaling(&r)]);
+    show("fig01_comparison", &[&ex::fig01_comparison(&r)]);
     show("area_power", &[&ex::area_power()]);
-    show("sec6d_bigger_cores", &[&ex::sec6d_bigger_cores(&mut r)]);
+    show("sec6d_bigger_cores", &[&ex::sec6d_bigger_cores(&r)]);
     show("fault_coverage", &[&ex::fault_coverage(cov_trials, cov_instrs)]);
 
     println!(

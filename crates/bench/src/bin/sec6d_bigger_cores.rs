@@ -1,5 +1,5 @@
 //! Regenerates the SVI-D bigger-cores scaling argument.
 fn main() {
-    let mut r = paradet_bench::runner::Runner::new();
-    print!("{}", paradet_bench::experiments::sec6d_bigger_cores(&mut r).render());
+    let r = paradet_bench::runner::Runner::new();
+    print!("{}", paradet_bench::experiments::sec6d_bigger_cores(&r).render());
 }

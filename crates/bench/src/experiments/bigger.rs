@@ -3,6 +3,7 @@
 //! with core size while checker throughput scales linearly with the
 //! area/power devoted to it, so *relative* overhead shrinks.
 
+use super::par_grid;
 use crate::runner::{out_dir, Runner};
 use paradet_core::SystemConfig;
 use paradet_model::AreaInputs;
@@ -76,31 +77,31 @@ fn hosts() -> Vec<(&'static str, OooConfig, usize, f64)> {
 /// Sweeps host-core aggressiveness: slowdown stays bounded (more checkers
 /// absorb the higher commit rate) while the checkers' *relative* area
 /// shrinks against the growing host.
-pub fn sec6d_bigger_cores(r: &mut Runner) -> Table {
+pub fn sec6d_bigger_cores(r: &Runner) -> Table {
     let mut t = Table::new(
         "SVI-D: scaling to bigger main cores",
         &["host core", "checkers", "IPC", "slowdown(bitcount)", "slowdown(freqmine)", "area ovh"],
     );
-    for (name, main, checkers, host_mm2) in hosts() {
+    let hosts = hosts();
+    let host_idx: Vec<usize> = (0..hosts.len()).collect();
+    let cells = par_grid(&host_idx, &[Workload::Bitcount, Workload::Freqmine], |h, &w| {
+        let (_, main, checkers, _) = hosts[h];
         let cfg = SystemConfig { main, n_checkers: checkers, ..SystemConfig::paper_default() };
-        let mut ipc = 0.0;
-        let mut slow = Vec::new();
-        for w in [Workload::Bitcount, Workload::Freqmine] {
-            let program = w.build(w.iters_for_instrs(r.instrs()));
-            let base = paradet_core::run_unchecked(&cfg, &program, r.instrs());
-            let full = {
-                let mut sys = paradet_core::PairedSystem::new(cfg, &program);
-                sys.run(r.instrs())
-            };
-            if w == Workload::Bitcount {
-                ipc = base.ipc();
-            }
-            slow.push(full.main_cycles as f64 / base.main_cycles.max(1) as f64);
-        }
+        let program = r.program(w);
+        let base = paradet_core::run_unchecked_shared(&cfg, &program, r.instrs());
+        let full = {
+            let mut sys = paradet_core::PairedSystem::new_shared(cfg, &program);
+            sys.run(r.instrs())
+        };
+        (base.ipc(), full.main_cycles as f64 / base.main_cycles.max(1) as f64)
+    });
+    for ((name, _, checkers, host_mm2), row) in hosts.iter().zip(&cells) {
+        let (ipc, slow_bitcount) = row[0];
+        let (_, slow_freqmine) = row[1];
         let area = AreaInputs {
-            main_core_mm2: host_mm2,
-            n_checkers: checkers,
-            detection_sram_kib: 80.0 * checkers as f64 / 12.0,
+            main_core_mm2: *host_mm2,
+            n_checkers: *checkers,
+            detection_sram_kib: 80.0 * *checkers as f64 / 12.0,
             ..AreaInputs::default()
         }
         .evaluate();
@@ -108,8 +109,8 @@ pub fn sec6d_bigger_cores(r: &mut Runner) -> Table {
             name.to_string(),
             checkers.to_string(),
             format!("{ipc:.2}"),
-            format!("{:.3}", slow[0]),
-            format!("{:.3}", slow[1]),
+            format!("{slow_bitcount:.3}"),
+            format!("{slow_freqmine:.3}"),
             format!("{:.1}%", area.overhead_vs_core * 100.0),
         ]);
     }

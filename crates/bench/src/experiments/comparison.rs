@@ -1,6 +1,7 @@
 //! Fig. 1(d): the lockstep / RMT / paradet comparison, with measured
 //! performance and modelled area/energy.
 
+use super::par_grid;
 use crate::runner::{out_dir, Runner};
 use paradet_baselines::{rmt_slowdown, DclsSystem};
 use paradet_core::SystemConfig;
@@ -11,18 +12,25 @@ use paradet_workloads::Workload;
 /// Regenerates Fig. 1(d) with measured numbers: performance overhead is the
 /// geomean slowdown across the nine benchmarks; area and energy factors
 /// come from the §VI-B/C model.
-pub fn fig01_comparison(r: &mut Runner) -> Table {
+pub fn fig01_comparison(r: &Runner) -> Table {
     let cfg = SystemConfig::paper_default();
+    let cells = par_grid(&Workload::all(), &[()], |w, ()| {
+        let base = r.baseline(&cfg, w).main_cycles.max(1);
+        let ours = r.run(&cfg, w).main_cycles as f64 / base as f64;
+        let program = r.program(w);
+        let rmt = rmt_slowdown(&cfg, &program, r.instrs());
+        let mut d = DclsSystem::new(cfg.main, &program);
+        let dcls = d.run(r.instrs()).cycles as f64 / base as f64;
+        (ours, rmt, dcls)
+    });
     let mut ours = Vec::new();
     let mut rmt = Vec::new();
     let mut dcls = Vec::new();
-    for w in Workload::all() {
-        let base = r.baseline(&cfg, w).main_cycles.max(1);
-        ours.push(r.run(&cfg, w).main_cycles as f64 / base as f64);
-        let program = w.build(w.iters_for_instrs(r.instrs()));
-        rmt.push(rmt_slowdown(&cfg, &program, r.instrs()));
-        let mut d = DclsSystem::new(cfg.main, &program);
-        dcls.push(d.run(r.instrs()).cycles as f64 / base as f64);
+    for cell in &cells {
+        let (o, rm, dc) = cell[0];
+        ours.push(o);
+        rmt.push(rm);
+        dcls.push(dc);
     }
     let area = AreaInputs::default().evaluate();
     let power = PowerInputs::default().evaluate();

@@ -1,4 +1,11 @@
 //! One function per table/figure of the paper.
+//!
+//! Sweeps are parallel over their workload×config grid (`PARADET_THREADS`
+//! workers, see `paradet-par`): every grid point is an independent
+//! simulation, results are assembled in row-major order, and the shared
+//! [`Runner`](crate::runner::Runner) caches programs and baselines behind
+//! interior mutability — so tables, CSVs, and figures are byte-identical at
+//! any thread count.
 
 mod bigger;
 mod comparison;
@@ -17,6 +24,24 @@ pub use slowdown::{
     fig07_slowdown, fig09_freq_slowdown, fig10_checkpoint_overhead, fig13_core_scaling,
 };
 pub use tables::{table1_config, table2_benchmarks};
+
+/// Evaluates `f` over the `rows × cols` grid in parallel (claim granularity
+/// 1 — every point is a whole simulation) and returns the results in
+/// row-major order, one `Vec` per row. Deterministic: the output layout
+/// depends only on the grid, never on scheduling.
+pub(crate) fn par_grid<R1, C, R, F>(rows: &[R1], cols: &[C], f: F) -> Vec<Vec<R>>
+where
+    R1: Copy + Sync,
+    C: Sync,
+    R: Send,
+    F: Fn(R1, &C) -> R + Sync,
+{
+    let points: Vec<(usize, usize)> =
+        (0..rows.len()).flat_map(|i| (0..cols.len()).map(move |j| (i, j))).collect();
+    let flat = paradet_par::par_map_chunked(1, &points, |_, &(i, j)| f(rows[i], &cols[j]));
+    let mut it = flat.into_iter();
+    (0..rows.len()).map(|_| it.by_ref().take(cols.len()).collect()).collect()
+}
 
 /// The log-size/timeout sweep of Fig. 10/12: (label, bytes, timeout).
 pub const LOG_SWEEP: [(&str, usize, Option<u64>); 5] = [

@@ -1,9 +1,16 @@
 //! Sweep runner with baseline caching and common CLI conventions.
+//!
+//! The runner is shared by reference across the worker threads of a
+//! parallel sweep (see `paradet-par`): programs and unchecked baselines are
+//! cached behind interior mutability, so concurrent sweep points reuse them
+//! instead of recomputing, and no `&mut self` forces sequential use.
 
-use paradet_core::{run_unchecked, PairedSystem, RunReport, SystemConfig};
+use paradet_core::{run_unchecked_shared, PairedSystem, RunReport, SystemConfig};
+use paradet_isa::Program;
 use paradet_workloads::Workload;
 use std::collections::HashMap;
 use std::path::PathBuf;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Default dynamic-instruction budget per run. Override with the
 /// `PARADET_INSTRS` environment variable.
@@ -22,22 +29,27 @@ pub fn out_dir() -> PathBuf {
     })
 }
 
-/// A sweep runner that caches the unchecked-baseline run per workload.
+/// A sweep runner that caches built programs and the unchecked-baseline run
+/// per workload. All methods take `&self`; the caches are safe to hit from
+/// many sweep points at once, and a baseline is computed exactly once even
+/// under concurrency (late arrivals block on the in-flight computation
+/// rather than redoing it).
 #[derive(Debug, Default)]
 pub struct Runner {
     instrs: u64,
-    baselines: HashMap<&'static str, RunReport>,
+    programs: Mutex<HashMap<&'static str, Arc<Program>>>,
+    baselines: Mutex<HashMap<&'static str, Arc<OnceLock<RunReport>>>>,
 }
 
 impl Runner {
     /// Creates a runner with the environment-configured budget.
     pub fn new() -> Runner {
-        Runner { instrs: instr_budget(), baselines: HashMap::new() }
+        Runner::with_instrs(instr_budget())
     }
 
     /// Creates a runner with an explicit budget.
     pub fn with_instrs(instrs: u64) -> Runner {
-        Runner { instrs, baselines: HashMap::new() }
+        Runner { instrs, ..Runner::default() }
     }
 
     /// The per-run instruction budget.
@@ -45,24 +57,40 @@ impl Runner {
         self.instrs
     }
 
+    /// The built program for `workload` at this runner's budget (cached,
+    /// shared — no per-run deep clone).
+    pub fn program(&self, workload: Workload) -> Arc<Program> {
+        let mut programs = self.programs.lock().expect("program cache poisoned");
+        Arc::clone(
+            programs.entry(workload.name()).or_insert_with(|| {
+                Arc::new(workload.build(workload.iters_for_instrs(self.instrs)))
+            }),
+        )
+    }
+
     /// Runs `workload` under `cfg` with full detection.
     pub fn run(&self, cfg: &SystemConfig, workload: Workload) -> RunReport {
-        let program = workload.build(workload.iters_for_instrs(self.instrs));
-        let mut sys = PairedSystem::new(*cfg, &program);
+        let program = self.program(workload);
+        let mut sys = PairedSystem::new_shared(*cfg, &program);
         sys.run(self.instrs)
     }
 
-    /// Runs the unchecked baseline for `workload` (cached).
-    pub fn baseline(&mut self, cfg: &SystemConfig, workload: Workload) -> &RunReport {
-        let instrs = self.instrs;
-        self.baselines.entry(workload.name()).or_insert_with(|| {
-            let program = workload.build(workload.iters_for_instrs(instrs));
-            run_unchecked(cfg, &program, instrs)
+    /// Runs the unchecked baseline for `workload` (cached; computed at most
+    /// once per workload even when parallel sweep points race for it).
+    pub fn baseline(&self, cfg: &SystemConfig, workload: Workload) -> RunReport {
+        let cell = {
+            let mut baselines = self.baselines.lock().expect("baseline cache poisoned");
+            Arc::clone(baselines.entry(workload.name()).or_default())
+        };
+        cell.get_or_init(|| {
+            let program = self.program(workload);
+            run_unchecked_shared(cfg, &program, self.instrs)
         })
+        .clone()
     }
 
     /// Normalized slowdown of `cfg` over the unchecked baseline.
-    pub fn slowdown(&mut self, cfg: &SystemConfig, workload: Workload) -> f64 {
+    pub fn slowdown(&self, cfg: &SystemConfig, workload: Workload) -> f64 {
         let base_cycles = self.baseline(cfg, workload).main_cycles.max(1);
         let full = self.run(cfg, workload);
         full.main_cycles as f64 / base_cycles as f64

@@ -18,10 +18,12 @@ use crate::delay::DelayStats;
 use crate::error::DetectedError;
 use crate::lfu::LoadForwardingUnit;
 use crate::log::{EntryKind, LogEntry, Segment, SegmentReader, SegmentState};
+use crate::scratch::SimScratch;
 use paradet_checker::{CheckerCore, SegmentTask};
 use paradet_isa::{ArchState, Instruction, MemWidth, Program};
 use paradet_mem::{MemHier, Time};
 use paradet_ooo::{CommitEvent, CommitGate, DetectionSink};
+use std::sync::Arc;
 
 /// Why a segment was sealed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,7 +67,7 @@ pub struct Detector {
     timeout: Option<u64>,
     interrupt_interval: Option<Time>,
     next_interrupt: Time,
-    program: Program,
+    program: Arc<Program>,
     /// The checker cores (public for statistics inspection).
     pub checkers: Vec<CheckerCore>,
     /// The load forwarding unit (public for statistics inspection).
@@ -97,8 +99,20 @@ pub struct Detector {
 
 impl Detector {
     /// Builds the detection hardware for `program` starting from its entry
-    /// state.
+    /// state. Deep-clones `program` once; hot loops should share it via
+    /// [`Detector::new_shared`].
     pub fn new(cfg: &SystemConfig, program: &Program) -> Detector {
+        Detector::new_shared(cfg, Arc::new(program.clone()), &mut SimScratch::new())
+    }
+
+    /// Builds the detection hardware sharing `program` (no deep clone) and
+    /// drawing log-segment buffers from `scratch` instead of allocating
+    /// fresh ones — the per-trial construction fast path.
+    pub fn new_shared(
+        cfg: &SystemConfig,
+        program: Arc<Program>,
+        scratch: &mut SimScratch,
+    ) -> Detector {
         let entries = cfg.entries_per_segment();
         Detector {
             mode: cfg.mode,
@@ -107,12 +121,14 @@ impl Detector {
             timeout: cfg.log.timeout_insns,
             interrupt_interval: cfg.interrupt_interval,
             next_interrupt: cfg.interrupt_interval.unwrap_or(Time::MAX),
-            program: program.clone(),
             checkers: (0..cfg.n_checkers).map(|i| CheckerCore::new(i, cfg.checker)).collect(),
             lfu: LoadForwardingUnit::new(cfg.main.rob_entries),
-            segs: (0..cfg.n_checkers).map(|_| Segment::new(entries)).collect(),
+            segs: (0..cfg.n_checkers)
+                .map(|_| Segment::with_buffer(entries, scratch.take_seg_buf()))
+                .collect(),
             cur: 0,
-            chain_ckpt: ArchState::at_entry(program),
+            chain_ckpt: ArchState::at_entry(&program),
+            program,
             base_instr: 0,
             seal_seq: 0,
             finishes: Vec::new(),
@@ -121,6 +137,15 @@ impl Detector {
             errors: Vec::new(),
             stats: DetectorStats::default(),
             log_fault: None,
+        }
+    }
+
+    /// Returns the detector's reusable allocations (the segments' log-entry
+    /// buffers) to `scratch` so the next [`Detector::new_shared`] skips
+    /// reallocating them.
+    pub fn recycle_into(self, scratch: &mut SimScratch) {
+        for seg in self.segs {
+            scratch.put_seg_buf(seg.entries);
         }
     }
 
@@ -215,20 +240,19 @@ impl Detector {
                 seg.reset();
                 seg.state = SegmentState::Filling;
                 seg.base_instr = self.base_instr;
-                seg.start_ckpt = Some(self.chain_ckpt.clone());
             }
-            seg.end_ckpt = Some(committed.clone());
             seg.instr_count = instr_count - seg.base_instr;
             seg.seal_time = at;
         }
-        // Chain the checkpoint for the next segment.
-        self.chain_ckpt = committed.clone();
-        self.base_instr = instr_count;
 
         match self.mode {
             DetectionMode::Full => {
                 // Run the checker eagerly; its finish time frees the
-                // segment's storage.
+                // segment's storage. The segment's start checkpoint *is*
+                // the current chain checkpoint (it only advances below, at
+                // the end of this seal) and its end checkpoint *is*
+                // `committed`, so the check borrows both instead of the
+                // segment storing clones.
                 let Detector {
                     segs,
                     checkers,
@@ -239,6 +263,7 @@ impl Detector {
                     errors,
                     seal_seq,
                     log_fault,
+                    chain_ckpt,
                     ..
                 } = self;
                 let seg = &mut segs[cur];
@@ -251,8 +276,8 @@ impl Detector {
                 }
                 let task = SegmentTask {
                     program,
-                    start: seg.start_ckpt.as_ref().expect("sealed segment has a start checkpoint"),
-                    end: seg.end_ckpt.as_ref().expect("sealed segment has an end checkpoint"),
+                    start: chain_ckpt,
+                    end: committed,
                     instr_count: seg.instr_count,
                     ready_at: at,
                 };
@@ -277,6 +302,11 @@ impl Detector {
             }
             DetectionMode::Off => unreachable!("seal is never called in Off mode"),
         }
+        // Chain the checkpoint for the next segment, reusing the existing
+        // allocation (`clone_from`) instead of cloning twice per seal as the
+        // old segment-resident start/end checkpoint copies did.
+        self.chain_ckpt.clone_from(committed);
+        self.base_instr = instr_count;
         self.seal_seq += 1;
         self.cur = (cur + 1) % self.segs.len();
     }
@@ -351,7 +381,6 @@ impl DetectionSink for Detector {
             if seg.state == SegmentState::Free {
                 seg.state = SegmentState::Filling;
                 seg.base_instr = self.base_instr;
-                seg.start_ckpt = Some(self.chain_ckpt.clone());
             }
             debug_assert!(seg.entries.len() < seg.capacity, "macro-op boundary rule violated");
             seg.entries.push(entry);

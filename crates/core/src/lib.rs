@@ -52,6 +52,7 @@ mod detector;
 mod error;
 mod lfu;
 mod log;
+mod scratch;
 mod system;
 
 pub use config::{DetectionMode, LogConfig, SystemConfig};
@@ -61,7 +62,10 @@ pub use error::DetectedError;
 pub use lfu::{LfuEntry, LfuStats, LoadForwardingUnit};
 pub use log::{EntryKind, LogEntry, Segment, SegmentReader, SegmentState};
 pub use paradet_isa::MAX_UOPS_PER_INSN;
-pub use system::{normalized_slowdown, run_unchecked, PairedSystem, RunReport};
+pub use scratch::SimScratch;
+pub use system::{
+    normalized_slowdown, run_unchecked, run_unchecked_shared, PairedSystem, RunReport,
+};
 
 #[cfg(test)]
 mod tests {

@@ -9,7 +9,7 @@
 
 use crate::delay::DelayStats;
 use paradet_checker::{ReplayError, ReplaySource};
-use paradet_isa::{ArchState, MemWidth};
+use paradet_isa::MemWidth;
 use paradet_mem::Time;
 
 /// What one log entry records.
@@ -54,6 +54,11 @@ pub enum SegmentState {
 }
 
 /// One partition of the load-store log.
+///
+/// Start/end register checkpoints are *not* stored here: checks run eagerly
+/// at seal time, when the detector's chained checkpoint (start) and the
+/// committed state (end) are both live — storing copies per segment was two
+/// redundant `ArchState` clones per seal.
 #[derive(Debug, Clone)]
 pub struct Segment {
     /// Captured entries, in commit order.
@@ -62,10 +67,6 @@ pub struct Segment {
     pub capacity: usize,
     /// Lifecycle state.
     pub state: SegmentState,
-    /// Architectural state at the segment's first instruction.
-    pub start_ckpt: Option<ArchState>,
-    /// Architectural state at the segment's last instruction.
-    pub end_ckpt: Option<ArchState>,
     /// Dynamic index of the first instruction covered.
     pub base_instr: u64,
     /// Number of macro-instructions covered (set at seal).
@@ -77,24 +78,33 @@ pub struct Segment {
 impl Segment {
     /// Creates an empty, free segment.
     pub fn new(capacity: usize) -> Segment {
+        Segment::with_buffer(capacity, Vec::with_capacity(capacity))
+    }
+
+    /// Creates an empty, free segment around a recycled entry buffer (see
+    /// [`SimScratch`](crate::SimScratch)); the buffer is grown to `capacity`
+    /// if it arrived smaller.
+    pub fn with_buffer(capacity: usize, mut buffer: Vec<LogEntry>) -> Segment {
+        buffer.clear();
+        if buffer.capacity() < capacity {
+            // reserve() counts from len (0 after the clear).
+            buffer.reserve(capacity);
+        }
         Segment {
-            entries: Vec::with_capacity(capacity),
+            entries: buffer,
             capacity,
             state: SegmentState::Free,
-            start_ckpt: None,
-            end_ckpt: None,
             base_instr: 0,
             instr_count: 0,
             seal_time: Time::ZERO,
         }
     }
 
-    /// Clears the segment back to `Free` for reuse.
+    /// Clears the segment back to `Free` for reuse (the entry buffer's
+    /// allocation is retained).
     pub fn reset(&mut self) {
         self.entries.clear();
         self.state = SegmentState::Free;
-        self.start_ckpt = None;
-        self.end_ckpt = None;
         self.instr_count = 0;
     }
 

@@ -1,0 +1,124 @@
+//! Recycled allocations for back-to-back simulations.
+//!
+//! Fault campaigns and sweeps construct a fresh [`PairedSystem`] per trial;
+//! before this existed, every construction reallocated each log segment's
+//! entry buffer (12 × 170 entries at Table I settings) just to drop them a
+//! few milliseconds later. A [`SimScratch`] is a small pool, owned by one
+//! worker thread, that carries those buffers from a finished system into
+//! the next one.
+//!
+//! [`PairedSystem`]: crate::PairedSystem
+
+use crate::log::LogEntry;
+
+/// A per-worker pool of reusable simulation allocations.
+///
+/// Typical use inside a trial loop:
+///
+/// ```
+/// use paradet_core::{PairedSystem, SimScratch, SystemConfig};
+/// use paradet_isa::{ProgramBuilder, Reg};
+/// use std::sync::Arc;
+///
+/// let mut b = ProgramBuilder::new();
+/// b.li(Reg::X1, 1);
+/// b.halt();
+/// let program = Arc::new(b.build());
+///
+/// let mut scratch = SimScratch::new();
+/// for _trial in 0..3 {
+///     let mut sys =
+///         PairedSystem::new_with_scratch(SystemConfig::paper_default(), &program, &mut scratch);
+///     let report = sys.run_to_halt();
+///     assert!(report.halted);
+///     sys.recycle_into(&mut scratch); // buffers feed the next trial
+/// }
+/// ```
+#[derive(Debug, Default)]
+pub struct SimScratch {
+    seg_bufs: Vec<Vec<LogEntry>>,
+}
+
+impl SimScratch {
+    /// Creates an empty pool.
+    pub fn new() -> SimScratch {
+        SimScratch::default()
+    }
+
+    /// Takes one segment buffer from the pool, or a fresh empty `Vec` if
+    /// the pool is dry. The buffer is returned as-is;
+    /// [`Segment::with_buffer`](crate::Segment::with_buffer) is the single
+    /// place that clears it and grows it to capacity.
+    pub fn take_seg_buf(&mut self) -> Vec<LogEntry> {
+        self.seg_bufs.pop().unwrap_or_default()
+    }
+
+    /// Returns a segment buffer to the pool.
+    pub fn put_seg_buf(&mut self, buf: Vec<LogEntry>) {
+        self.seg_bufs.push(buf);
+    }
+
+    /// Number of pooled segment buffers (for tests and diagnostics).
+    pub fn pooled_seg_bufs(&self) -> usize {
+        self.seg_bufs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Recycled buffers must be invisible to the simulation: a run built
+    /// from another run's scratch reports exactly what a fresh-allocation
+    /// run reports.
+    #[test]
+    fn recycled_runs_match_fresh_runs() {
+        use crate::{PairedSystem, SystemConfig};
+        use paradet_isa::{AluOp, ProgramBuilder, Reg};
+        use std::sync::Arc;
+
+        let mut b = ProgramBuilder::new();
+        let buf = b.alloc_zeroed(8);
+        b.li(Reg::X1, buf as i64);
+        b.li(Reg::X2, 0);
+        b.li(Reg::X3, 200);
+        let top = b.label_here();
+        b.ld(Reg::X4, Reg::X1, 0);
+        b.op(AluOp::Add, Reg::X4, Reg::X4, Reg::X2);
+        b.sd(Reg::X4, Reg::X1, 0);
+        b.addi(Reg::X2, Reg::X2, 1);
+        b.blt(Reg::X2, Reg::X3, top);
+        b.halt();
+        let program = Arc::new(b.build());
+        let cfg = SystemConfig::paper_default();
+
+        let fresh = PairedSystem::new_shared(cfg, &program).run_to_halt();
+        let mut scratch = SimScratch::new();
+        let mut last = None;
+        for _ in 0..3 {
+            let mut sys = PairedSystem::new_with_scratch(cfg, &program, &mut scratch);
+            let report = sys.run_to_halt();
+            sys.recycle_into(&mut scratch);
+            last = Some(report);
+        }
+        assert!(scratch.pooled_seg_bufs() > 0, "buffers actually round-tripped");
+        assert_eq!(format!("{fresh:?}"), format!("{:?}", last.unwrap()));
+    }
+
+    #[test]
+    fn take_round_trips_buffers() {
+        let mut s = SimScratch::new();
+        let mut buf = s.take_seg_buf();
+        assert!(buf.is_empty());
+        buf.reserve(8);
+        s.put_seg_buf(buf);
+        assert_eq!(s.pooled_seg_bufs(), 1);
+        // Pooled buffers come back with their allocation intact; growing to
+        // a segment's capacity is Segment::with_buffer's job.
+        let buf = s.take_seg_buf();
+        assert!(buf.capacity() >= 8);
+        assert_eq!(s.pooled_seg_bufs(), 0);
+        let seg = crate::Segment::with_buffer(32, buf);
+        assert!(seg.entries.capacity() >= 32);
+    }
+}

@@ -5,9 +5,11 @@ use crate::config::SystemConfig;
 use crate::delay::DelayStats;
 use crate::detector::{Detector, DetectorStats};
 use crate::error::DetectedError;
+use crate::scratch::SimScratch;
 use paradet_isa::Program;
 use paradet_mem::{HierStats, MemHier, Time};
 use paradet_ooo::{ArmedFault, CoreError, CoreStats, NullSink, OooCore};
+use std::sync::Arc;
 
 /// Complete result of one simulated run.
 #[derive(Debug, Clone)]
@@ -93,15 +95,43 @@ pub struct PairedSystem {
 
 impl PairedSystem {
     /// Builds the system and loads `program`'s data image into memory.
+    ///
+    /// Deep-clones `program` once (shared between the main core and the
+    /// detection hardware); trial loops that build many systems over the
+    /// same program should use [`PairedSystem::new_shared`] or
+    /// [`PairedSystem::new_with_scratch`] to skip the clone entirely.
     pub fn new(cfg: SystemConfig, program: &Program) -> PairedSystem {
+        PairedSystem::new_shared(cfg, &Arc::new(program.clone()))
+    }
+
+    /// Builds the system around a shared program: no `Program` deep clone
+    /// anywhere on the construction path.
+    pub fn new_shared(cfg: SystemConfig, program: &Arc<Program>) -> PairedSystem {
+        PairedSystem::new_with_scratch(cfg, program, &mut SimScratch::new())
+    }
+
+    /// Builds the system around a shared program, recycling buffers pooled
+    /// in `scratch` (see [`SimScratch`]) — the fast path for back-to-back
+    /// trials.
+    pub fn new_with_scratch(
+        cfg: SystemConfig,
+        program: &Arc<Program>,
+        scratch: &mut SimScratch,
+    ) -> PairedSystem {
         let mut hier = MemHier::new(&cfg.mem_config(), cfg.n_checkers);
         hier.data.load_image(program);
         PairedSystem {
-            core: OooCore::new(cfg.main, program),
-            det: Detector::new(&cfg, program),
+            core: OooCore::new_shared(cfg.main, Arc::clone(program)),
+            det: Detector::new_shared(&cfg, Arc::clone(program), scratch),
             hier,
             cfg,
         }
+    }
+
+    /// Tears the system down, returning its reusable allocations to
+    /// `scratch` for the next [`PairedSystem::new_with_scratch`].
+    pub fn recycle_into(self, scratch: &mut SimScratch) {
+        self.det.recycle_into(scratch);
     }
 
     /// The system configuration.
@@ -198,9 +228,18 @@ impl PairedSystem {
 /// Equivalent to `SystemConfig { mode: Off, … }` but without the detection
 /// structures even being constructed.
 pub fn run_unchecked(cfg: &SystemConfig, program: &Program, max_instrs: u64) -> RunReport {
+    run_unchecked_shared(cfg, &Arc::new(program.clone()), max_instrs)
+}
+
+/// [`run_unchecked`] over a shared program: no `Program` deep clone.
+pub fn run_unchecked_shared(
+    cfg: &SystemConfig,
+    program: &Arc<Program>,
+    max_instrs: u64,
+) -> RunReport {
     let mut hier = MemHier::new(&cfg.mem_config(), 0);
     hier.data.load_image(program);
-    let mut core = OooCore::new(cfg.main, program);
+    let mut core = OooCore::new_shared(cfg.main, Arc::clone(program));
     let mut n = 0u64;
     let mut crashed = false;
     while n < max_instrs {

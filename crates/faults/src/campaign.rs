@@ -1,12 +1,20 @@
 //! Campaign runner: golden run, fault arming, outcome classification.
+//!
+//! Trials are embarrassingly parallel and run across worker threads
+//! (`PARADET_THREADS`, see `paradet-par`). Each trial's RNG is seeded from
+//! the campaign seed, the fault-site class, and the trial index — never
+//! from a shared sequential stream — so the campaign result is
+//! **bit-identical at any thread count**, and a trial's fault does not
+//! depend on which other sites or trials the campaign happens to run.
 
-use paradet_core::{PairedSystem, SystemConfig};
+use paradet_core::{PairedSystem, SimScratch, SystemConfig};
 use paradet_isa::{FReg, Program, Reg};
 use paradet_mem::Time;
 use paradet_ooo::{ArmedFault, FaultTarget};
 use paradet_workloads::Workload;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// A fault-injection site class (each trial randomizes the strike point and
 /// bit within the class).
@@ -45,6 +53,23 @@ impl FaultSite {
             FaultSite::Pc,
             FaultSite::AluStuckAt,
         ]
+    }
+
+    /// A stable identifier mixed into per-trial seeds. Tied to the site
+    /// class itself (not its position in `CampaignConfig::sites`), so
+    /// reordering or subsetting the site list never changes the faults any
+    /// surviving (site, trial) pair draws.
+    pub fn id(self) -> u64 {
+        match self {
+            FaultSite::IntReg => 0,
+            FaultSite::FpReg => 1,
+            FaultSite::StoreValue => 2,
+            FaultSite::StoreAddr => 3,
+            FaultSite::LoadValue => 4,
+            FaultSite::LoadCapture => 5,
+            FaultSite::Pc => 6,
+            FaultSite::AluStuckAt => 7,
+        }
     }
 
     /// A short display name.
@@ -198,66 +223,121 @@ impl CampaignResult {
     }
 }
 
+/// Derives the RNG seed for stream `stream`, item `index` of a campaign
+/// with base seed `seed` (SplitMix64-style finalizer).
+///
+/// Every trial draws from its own generator seeded this way, which is what
+/// makes campaigns order-independent: the (seed, stream, index) triple — not
+/// the position in any loop, nor the thread that happens to run it —
+/// determines the fault.
+fn derive_seed(seed: u64, stream: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(index.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The RNG seed of fault trial `trial` on `site`, for campaign seed `seed`.
+///
+/// Public so the test-suite can assert the stability guarantee directly.
+pub fn trial_seed(seed: u64, site: FaultSite, trial: u64) -> u64 {
+    derive_seed(seed, site.id(), trial)
+}
+
+/// The concrete fault armed for trial `trial` on `site` in a campaign with
+/// base seed `seed` and per-trial budget `instrs`.
+///
+/// A pure function of its arguments: no shared RNG stream, so the fault is
+/// independent of which other sites/trials the campaign runs, their order,
+/// and the thread count. (`instrs` must be ≥ 2, which every campaign
+/// satisfies by construction.)
+pub fn trial_fault(seed: u64, site: FaultSite, trial: u64, instrs: u64) -> ArmedFault {
+    let mut rng = StdRng::seed_from_u64(trial_seed(seed, site, trial));
+    let at_instr = rng.gen_range(1..instrs * 8 / 10);
+    ArmedFault::new(at_instr, site.sample(&mut rng))
+}
+
+/// Stream tag for over-detection trials (distinct from every `FaultSite::id`).
+const OVERDETECTION_STREAM: u64 = 0xFACE;
+
 /// Runs one trial with the given fault armed.
 fn run_trial(
     cfg: &CampaignConfig,
-    program: &Program,
+    program: &Arc<Program>,
     golden: &paradet_core::RunReport,
     golden_state: &paradet_isa::ArchState,
     golden_mem: &paradet_isa::FlatMemory,
     fault: ArmedFault,
+    scratch: &mut SimScratch,
 ) -> (Outcome, Option<Time>) {
-    let mut sys = PairedSystem::new(cfg.system, program);
+    let mut sys = PairedSystem::new_with_scratch(cfg.system, program, scratch);
     sys.arm_fault(fault);
     let report = sys.run(cfg.instrs);
-    if report.detected() {
+    let outcome = if report.detected() {
         let latency = report.first_error().map(|e| e.confirm_time.saturating_sub(Time::from_fs(0)));
-        return (Outcome::Detected, latency);
-    }
-    if report.crashed {
-        return (Outcome::Crashed, None);
-    }
-    // No detection: compare final state with golden.
-    let regs_differ = sys.core().committed_state().first_register_mismatch(golden_state).is_some();
-    let mem_differs = sys.hier().data.first_difference(golden_mem).is_some();
-    let counts_differ = report.instrs != golden.instrs;
-    if regs_differ || mem_differs || counts_differ {
-        (Outcome::SilentDataCorruption, None)
+        (Outcome::Detected, latency)
+    } else if report.crashed {
+        (Outcome::Crashed, None)
     } else {
-        (Outcome::Masked, None)
-    }
+        // No detection: compare final state with golden.
+        let regs_differ =
+            sys.core().committed_state().first_register_mismatch(golden_state).is_some();
+        let mem_differs = sys.hier().data.first_difference(golden_mem).is_some();
+        let counts_differ = report.instrs != golden.instrs;
+        if regs_differ || mem_differs || counts_differ {
+            (Outcome::SilentDataCorruption, None)
+        } else {
+            (Outcome::Masked, None)
+        }
+    };
+    sys.recycle_into(scratch);
+    outcome
 }
 
 /// Runs a full campaign: one golden run, then `trials_per_site` faulted
-/// runs per site class.
+/// runs per site class, in parallel across `PARADET_THREADS` workers with
+/// bit-identical results at any thread count.
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignResult {
-    let program = cfg.workload.build(cfg.workload.iters_for_instrs(cfg.instrs));
+    let program = Arc::new(cfg.workload.build(cfg.workload.iters_for_instrs(cfg.instrs)));
     // Golden run (same detection config so timing-visible state like
     // instruction counts is comparable).
-    let mut gold_sys = PairedSystem::new(cfg.system, &program);
+    let mut gold_sys = PairedSystem::new_shared(cfg.system, &program);
     let golden = gold_sys.run(cfg.instrs);
     assert!(!golden.detected(), "golden run must be clean");
     let golden_state = gold_sys.core().committed_state().clone();
     let golden_mem = gold_sys.hier().data.clone();
 
-    let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut trials = Vec::new();
-    let mut per_site: Vec<(FaultSite, SiteResult)> = Vec::new();
-    for &site in &cfg.sites {
-        let mut agg = SiteResult::default();
-        for _ in 0..cfg.trials_per_site {
-            let at_instr = rng.gen_range(1..cfg.instrs * 8 / 10);
-            let fault = ArmedFault::new(at_instr, site.sample(&mut rng));
+    // One work item per (site, trial), in reporting order. Trial cost is
+    // wildly uneven (a crash ends a run early; an SDC runs to the budget
+    // plus a full state diff), so claim granularity 1 for balance.
+    let points: Vec<(FaultSite, u64)> = cfg
+        .sites
+        .iter()
+        .flat_map(|&site| (0..cfg.trials_per_site).map(move |t| (site, t)))
+        .collect();
+    let trials: Vec<TrialResult> =
+        paradet_par::par_map_init_chunked(1, &points, SimScratch::new, |scratch, _, &(site, t)| {
+            let fault = trial_fault(cfg.seed, site, t, cfg.instrs);
             let (outcome, lat) =
-                run_trial(cfg, &program, &golden, &golden_state, &golden_mem, fault);
+                run_trial(cfg, &program, &golden, &golden_state, &golden_mem, fault, scratch);
+            TrialResult { site, fault, outcome, detect_latency: lat }
+        });
+
+    // Aggregate per site; `trials` is site-major in `cfg.sites` order.
+    let mut per_site: Vec<(FaultSite, SiteResult)> = Vec::with_capacity(cfg.sites.len());
+    for (i, &site) in cfg.sites.iter().enumerate() {
+        let mut agg = SiteResult::default();
+        let base = i * cfg.trials_per_site as usize;
+        for trial in &trials[base..base + cfg.trials_per_site as usize] {
             agg.trials += 1;
-            match outcome {
+            match trial.outcome {
                 Outcome::Detected => agg.detected += 1,
                 Outcome::Crashed => agg.crashed += 1,
                 Outcome::SilentDataCorruption => agg.sdc += 1,
                 Outcome::Masked => agg.masked += 1,
             }
-            trials.push(TrialResult { site, fault, outcome, detect_latency: lat });
         }
         per_site.push((site, agg));
     }
@@ -267,20 +347,22 @@ pub fn run_campaign(cfg: &CampaignConfig) -> CampaignResult {
 /// Exercises §IV-I over-detection: corrupts a log entry inside the
 /// detection hardware on otherwise-clean runs; returns
 /// `(false_positives, trials)`. Every false positive is an error report
-/// with a perfectly healthy main core.
+/// with a perfectly healthy main core. Trials run in parallel with the same
+/// per-trial seeding scheme (and so the same thread-count independence) as
+/// [`run_campaign`].
 pub fn run_overdetection_trials(cfg: &CampaignConfig, trials: u64) -> (u64, u64) {
-    let program = cfg.workload.build(cfg.workload.iters_for_instrs(cfg.instrs));
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xFACE);
-    let mut fp = 0;
-    for _ in 0..trials {
-        let mut sys = PairedSystem::new(cfg.system, &program);
+    let program = Arc::new(cfg.workload.build(cfg.workload.iters_for_instrs(cfg.instrs)));
+    let idx: Vec<u64> = (0..trials).collect();
+    let detected = paradet_par::par_map_init_chunked(1, &idx, SimScratch::new, |scratch, _, &t| {
+        let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, OVERDETECTION_STREAM, t));
+        let mut sys = PairedSystem::new_with_scratch(cfg.system, &program, scratch);
         sys.arm_log_fault(rng.gen_range(0..4), rng.gen_range(0..64), rng.gen_range(0..64));
         let report = sys.run(cfg.instrs);
-        if report.detected() {
-            fp += 1;
-        }
-    }
-    (fp, trials)
+        let fp = report.detected();
+        sys.recycle_into(scratch);
+        fp
+    });
+    (detected.iter().filter(|&&fp| fp).count() as u64, trials)
 }
 
 #[cfg(test)]

@@ -25,6 +25,6 @@
 mod campaign;
 
 pub use campaign::{
-    run_campaign, run_overdetection_trials, CampaignConfig, CampaignResult, FaultSite, Outcome,
-    SiteResult, TrialResult,
+    run_campaign, run_overdetection_trials, trial_fault, trial_seed, CampaignConfig,
+    CampaignResult, FaultSite, Outcome, SiteResult, TrialResult,
 };

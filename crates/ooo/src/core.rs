@@ -37,6 +37,7 @@ use paradet_isa::{
 };
 use paradet_mem::{MemHier, Time};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Running statistics of the core.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -129,7 +130,7 @@ impl NondetSource for SuppliedNondet {
 #[derive(Debug)]
 pub struct OooCore {
     cfg: OooConfig,
-    program: Program,
+    program: Arc<Program>,
     state: ArchState,
     pred: TournamentPredictor,
     // Resource pools, all in core cycles.
@@ -174,8 +175,18 @@ pub struct OooCore {
 
 impl OooCore {
     /// Creates a core positioned at `program`'s entry point.
+    ///
+    /// Deep-clones `program` once; hot loops constructing many cores over
+    /// the same program should share it via [`OooCore::new_shared`].
     pub fn new(cfg: OooConfig, program: &Program) -> OooCore {
-        let state = ArchState::at_entry(program);
+        OooCore::new_shared(cfg, Arc::new(program.clone()))
+    }
+
+    /// Creates a core positioned at `program`'s entry point, sharing the
+    /// program instead of cloning it (the per-run allocation hot path for
+    /// fault campaigns and sweeps).
+    pub fn new_shared(cfg: OooConfig, program: Arc<Program>) -> OooCore {
+        let state = ArchState::at_entry(&program);
         OooCore {
             pred: TournamentPredictor::new(cfg.predictor),
             fetch_slots: SlotPool::new(cfg.width),
@@ -209,7 +220,7 @@ impl OooCore {
             faults: Vec::new(),
             stuck: None,
             stats: CoreStats::default(),
-            program: program.clone(),
+            program,
             state,
             cfg,
         }

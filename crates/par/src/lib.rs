@@ -1,0 +1,296 @@
+//! Dependency-free scoped data parallelism for the paradet workspace.
+//!
+//! The build environment has no crates.io access, so this crate vendors the
+//! small slice of rayon-style functionality the experiment pipeline needs,
+//! in the spirit of the `shims/` crates: [`scope`] (a thin wrapper over
+//! [`std::thread::scope`]), [`par_map`] / [`par_map_chunked`] /
+//! [`par_map_init`] (order-preserving parallel maps over a slice), and a
+//! thread-count policy ([`num_threads`]) driven by the `PARADET_THREADS`
+//! environment variable.
+//!
+//! # Determinism
+//!
+//! Every parallel map returns results **in input order**, and the worker
+//! count never influences *what* is computed for an item — only *where*.
+//! Callers that also keep their per-item computations independent of
+//! execution order (paradet does this by deriving per-trial RNG seeds from
+//! the item's identity, never from a shared sequential stream) therefore get
+//! bit-identical results at any thread count, including 1.
+//!
+//! # Thread-count policy
+//!
+//! [`num_threads`] resolves, in order:
+//!
+//! 1. a scoped programmatic override installed by [`with_threads`]
+//!    (used by the determinism test-suite; it nests and restores),
+//! 2. the `PARADET_THREADS` environment variable (clamped to ≥ 1),
+//! 3. [`std::thread::available_parallelism`].
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of worker threads parallel maps on this thread will use.
+///
+/// Resolution order: [`with_threads`] override, then `PARADET_THREADS`,
+/// then [`std::thread::available_parallelism`]; always at least 1.
+pub fn num_threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(|o| o.get()) {
+        return n.max(1);
+    }
+    if let Some(n) = std::env::var("PARADET_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
+        return n.max(1);
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `f` with [`num_threads`] forced to `n` on the current thread.
+///
+/// Nests: the previous override (if any) is restored on exit, including on
+/// panic. This is how the test-suite compares 1-thread and 8-thread runs
+/// without racing on the process environment.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|o| o.set(self.0));
+        }
+    }
+    let _restore = Restore(THREAD_OVERRIDE.with(|o| o.replace(Some(n.max(1)))));
+    f()
+}
+
+/// A thin wrapper over [`std::thread::scope`], re-exported so callers that
+/// need irregular fork-join shapes (not a map over a slice) depend only on
+/// this crate's API.
+pub fn scope<'env, F, T>(f: F) -> T
+where
+    F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> T,
+{
+    std::thread::scope(f)
+}
+
+/// Order-preserving parallel map: `f(index, &item)` for every item, with
+/// results returned in input order.
+///
+/// Equivalent to [`par_map_chunked`] with an automatically chosen claim
+/// granularity (about four claims per worker, to balance load against
+/// atomic traffic).
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = num_threads();
+    let chunk = (items.len() / (workers * 4).max(1)).max(1);
+    par_map_chunked(chunk, items, f)
+}
+
+/// Order-preserving parallel map with an explicit claim granularity:
+/// workers claim `chunk` consecutive items at a time from a shared atomic
+/// cursor (work stealing by over-decomposition).
+///
+/// `chunk = 1` maximizes balance for items of very uneven cost (e.g. fault
+/// trials that crash early vs. run to the budget); larger chunks amortize
+/// the claim for cheap uniform items.
+pub fn par_map_chunked<T, R, F>(chunk: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    par_map_init_chunked(chunk, items, || (), |(), i, t| f(i, t))
+}
+
+/// Order-preserving parallel map with per-worker scratch state: `init()`
+/// runs once on each worker thread, and its result is threaded through every
+/// call that worker makes.
+///
+/// This is the allocation-recycling hook: a worker's scratch (e.g. pooled
+/// log-segment buffers) is reused across all items it processes instead of
+/// being reallocated per item.
+pub fn par_map_init<T, R, S, F, I>(items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let workers = num_threads();
+    let chunk = (items.len() / (workers * 4).max(1)).max(1);
+    par_map_init_chunked(chunk, items, init, f)
+}
+
+/// [`par_map_init`] with an explicit claim granularity.
+pub fn par_map_init_chunked<T, R, S, F, I>(chunk: usize, items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let chunk = chunk.max(1);
+    let workers = num_threads().min(items.len()).max(1);
+    if workers == 1 {
+        // Serial fast path: no threads, no atomics — and the reference
+        // ordering the parallel path must reproduce.
+        let mut scratch = init();
+        return items.iter().enumerate().map(|(i, t)| f(&mut scratch, i, t)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let mut out: Vec<Option<R>> = Vec::with_capacity(items.len());
+    out.resize_with(items.len(), || None);
+    let slots = SendSlots(out.as_mut_ptr(), std::marker::PhantomData);
+
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                let cursor = &cursor;
+                let f = &f;
+                let init = &init;
+                let slots = &slots;
+                s.spawn(move || {
+                    let mut scratch = init();
+                    loop {
+                        let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= items.len() {
+                            break;
+                        }
+                        let end = (start + chunk).min(items.len());
+                        for (i, item) in items[start..end].iter().enumerate() {
+                            let idx = start + i;
+                            let r = f(&mut scratch, idx, item);
+                            // SAFETY: `idx` is claimed by exactly one worker
+                            // (the atomic cursor hands out disjoint ranges),
+                            // every slot outlives the scope, and the main
+                            // thread does not touch `out` until the scope
+                            // joins all workers.
+                            unsafe { *slots.0.add(idx) = Some(r) };
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            // Propagate worker panics to the caller.
+            if let Err(p) = h.join() {
+                std::panic::resume_unwind(p);
+            }
+        }
+    });
+
+    out.into_iter().map(|r| r.expect("every index was claimed exactly once")).collect()
+}
+
+/// A raw pointer to the result slots, asserted shareable across the scope's
+/// workers (they write disjoint indices; see the safety comment at the write
+/// site).
+struct SendSlots<R>(*mut Option<R>, std::marker::PhantomData<R>);
+unsafe impl<R: Send> Sync for SendSlots<R> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let got = with_threads(8, || par_map(&items, |i, &x| (i as u64) * 1000 + x * x));
+        let want: Vec<u64> =
+            items.iter().enumerate().map(|(i, &x)| i as u64 * 1000 + x * x).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn thread_counts_agree_bitwise() {
+        let items: Vec<u64> = (0..257).collect();
+        let f = |i: usize, x: &u64| i as u64 ^ x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let serial = with_threads(1, || par_map(&items, f));
+        for n in [2, 3, 8, 33] {
+            assert_eq!(with_threads(n, || par_map(&items, f)), serial, "n={n}");
+        }
+    }
+
+    #[test]
+    fn empty_and_single_item() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, |_, &x| x).is_empty());
+        assert_eq!(with_threads(8, || par_map(&[7u32], |i, &x| (i, x))), vec![(0, 7)]);
+    }
+
+    #[test]
+    fn chunked_claims_cover_all_items() {
+        let items: Vec<usize> = (0..100).collect();
+        for chunk in [1, 3, 7, 100, 1000] {
+            let got = with_threads(4, || par_map_chunked(chunk, &items, |_, &x| x + 1));
+            assert_eq!(got, (1..=100).collect::<Vec<_>>(), "chunk={chunk}");
+        }
+    }
+
+    #[test]
+    fn init_scratch_is_per_worker_and_reused() {
+        use std::sync::atomic::AtomicUsize;
+        let inits = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..64).collect();
+        let got = with_threads(4, || {
+            par_map_init(
+                &items,
+                || {
+                    inits.fetch_add(1, Ordering::Relaxed);
+                    0u64
+                },
+                |scratch, _, &x| {
+                    *scratch += 1; // scratch survives across this worker's items
+                    x as u64
+                },
+            )
+        });
+        assert_eq!(got.len(), 64);
+        assert!(inits.load(Ordering::Relaxed) <= 4, "one init per worker at most");
+    }
+
+    #[test]
+    fn with_threads_nests_and_restores() {
+        assert_eq!(with_threads(3, num_threads), 3);
+        with_threads(2, || {
+            assert_eq!(num_threads(), 2);
+            assert_eq!(with_threads(5, num_threads), 5);
+            assert_eq!(num_threads(), 2);
+        });
+    }
+
+    #[test]
+    fn scope_joins_workers() {
+        let total = AtomicUsize::new(0);
+        scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    total.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_propagates() {
+        let items: Vec<u32> = (0..16).collect();
+        with_threads(4, || {
+            par_map(&items, |_, &x| {
+                if x == 9 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+    }
+}

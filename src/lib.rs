@@ -20,6 +20,7 @@
 //! | [`baselines`] | `paradet-baselines` | dual-core lockstep and RMT |
 //! | [`model`] | `paradet-model` | analytic area/power model |
 //! | [`stats`] | `paradet-stats` | histograms, KDE, report tables |
+//! | [`par`] | `paradet-par` | scoped thread pool for trials and sweeps |
 //!
 //! # Quickstart
 //!
@@ -43,5 +44,6 @@ pub use paradet_isa as isa;
 pub use paradet_mem as mem;
 pub use paradet_model as model;
 pub use paradet_ooo as ooo;
+pub use paradet_par as par;
 pub use paradet_stats as stats;
 pub use paradet_workloads as workloads;

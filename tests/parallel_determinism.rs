@@ -1,0 +1,117 @@
+//! Serial-vs-parallel determinism: the experiment pipeline must produce
+//! bit-identical results at any thread count.
+//!
+//! Thread counts are pinned with `paradet::par::with_threads` (a scoped,
+//! thread-local override) rather than the `PARADET_THREADS` environment
+//! variable, so these tests cannot race with each other over process state.
+
+use paradet::faults::{
+    run_campaign, run_overdetection_trials, trial_fault, trial_seed, CampaignConfig, FaultSite,
+};
+use paradet::par::with_threads;
+use paradet_bench::experiments::fig07_slowdown;
+use paradet_bench::runner::Runner;
+use proptest::prelude::*;
+
+fn small_campaign_cfg() -> CampaignConfig {
+    CampaignConfig {
+        instrs: 3_000,
+        trials_per_site: 4,
+        sites: vec![FaultSite::IntReg, FaultSite::StoreValue, FaultSite::Pc],
+        ..CampaignConfig::default()
+    }
+}
+
+/// `run_campaign` at 1 and 8 threads: identical trials (site, fault,
+/// outcome, latency) and identical per-site aggregates, bit for bit.
+#[test]
+fn campaign_is_bit_identical_across_thread_counts() {
+    let cfg = small_campaign_cfg();
+    let serial = with_threads(1, || run_campaign(&cfg));
+    let parallel = with_threads(8, || run_campaign(&cfg));
+    assert_eq!(serial.trials.len(), parallel.trials.len());
+    for (a, b) in serial.trials.iter().zip(parallel.trials.iter()) {
+        assert_eq!(a.site, b.site);
+        assert_eq!(a.fault, b.fault);
+        assert_eq!(a.outcome, b.outcome);
+        assert_eq!(a.detect_latency, b.detect_latency);
+    }
+    // Full structural identity, aggregates included.
+    assert_eq!(format!("{serial:?}"), format!("{parallel:?}"));
+}
+
+/// Over-detection trials: same false-positive count at any thread count.
+#[test]
+fn overdetection_is_bit_identical_across_thread_counts() {
+    let cfg = CampaignConfig { instrs: 3_000, ..CampaignConfig::default() };
+    let serial = with_threads(1, || run_overdetection_trials(&cfg, 6));
+    let parallel = with_threads(8, || run_overdetection_trials(&cfg, 6));
+    assert_eq!(serial, parallel);
+}
+
+/// A representative sweep (Fig. 7 over all nine workloads, baseline cache
+/// included) produces identical CSV bytes at 1 and 8 threads.
+#[test]
+fn sweep_csv_bytes_are_identical_across_thread_counts() {
+    let csv_at = |threads: usize, path: &std::path::Path| {
+        let table = with_threads(threads, || fig07_slowdown(&Runner::with_instrs(2_000)));
+        table.write_csv(path).expect("write sweep CSV");
+        std::fs::read(path).expect("read sweep CSV back")
+    };
+    let dir = std::env::temp_dir();
+    let serial = csv_at(1, &dir.join("paradet_fig07_t1.csv"));
+    let parallel = csv_at(8, &dir.join("paradet_fig07_t8.csv"));
+    assert!(!serial.is_empty());
+    assert_eq!(serial, parallel, "CSV bytes differ between 1 and 8 threads");
+}
+
+/// Reordering or subsetting the site list never changes the fault any
+/// surviving (site, trial) pair draws — campaign-level check of the
+/// per-trial seeding contract.
+#[test]
+fn site_reordering_preserves_per_trial_faults() {
+    let forward = small_campaign_cfg();
+    let mut reversed = small_campaign_cfg();
+    reversed.sites.reverse();
+    let a = run_campaign(&forward);
+    let b = run_campaign(&reversed);
+    for ta in &a.trials {
+        // Match by (site, position-within-site): trials are site-major.
+        let matching: Vec<_> = b.trials.iter().filter(|tb| tb.site == ta.site).collect();
+        let pos = a.trials.iter().filter(|t| t.site == ta.site).position(|t| std::ptr::eq(t, ta));
+        let tb = matching[pos.unwrap()];
+        assert_eq!(ta.fault, tb.fault, "fault for {:?} changed with site order", ta.site);
+        assert_eq!(ta.outcome, tb.outcome);
+    }
+}
+
+proptest! {
+    /// Per-trial seeds are a pure function of (seed, site, trial): deriving
+    /// them in any shuffled order gives the same value per pair, and the
+    /// armed fault follows suit.
+    #[test]
+    fn trial_seeding_is_stable_under_reordering(
+        seed in any::<u64>(),
+        site_a in 0usize..8,
+        site_b in 0usize..8,
+        trial_a in 0u64..10_000,
+        trial_b in 0u64..10_000,
+    ) {
+        let sites = FaultSite::all();
+        let (sa, sb) = (sites[site_a], sites[site_b]);
+        // Derivation order cannot matter: compute b-then-a and a-then-b.
+        let b_first = (trial_seed(seed, sb, trial_b), trial_seed(seed, sa, trial_a));
+        let a_first = (trial_seed(seed, sa, trial_a), trial_seed(seed, sb, trial_b));
+        prop_assert_eq!(b_first.1, a_first.0);
+        prop_assert_eq!(b_first.0, a_first.1);
+        // Distinct (site, trial) pairs get distinct seeds (SplitMix64
+        // dispersion; a collision here would correlate two trials' faults).
+        if (sa, trial_a) != (sb, trial_b) {
+            prop_assert_ne!(b_first.1, b_first.0);
+        }
+        // And the concrete fault is reproducible from the pair alone.
+        let f1 = trial_fault(seed, sa, trial_a, 3_000);
+        let f2 = trial_fault(seed, sa, trial_a, 3_000);
+        prop_assert_eq!(f1, f2);
+    }
+}
