@@ -15,9 +15,13 @@
 //!   `PARADET_BENCH_TOLERANCE`, a fraction, e.g. `0.3`).
 //!
 //! Budget comes from `PARADET_INSTRS` (default 150k); thread count from
-//! `PARADET_THREADS`. Workload throughput is measured serially (parallel
-//! timing would contend and distort per-workload numbers); the campaign and
-//! experiment-suite sections measure the parallel pipeline itself.
+//! `PARADET_THREADS`. Workload throughput is one simulation at a time (the
+//! decoupled checker farm inside each run still uses `PARADET_THREADS`
+//! workers); the dedicated farm section measures the farm's single-run
+//! scaling (Minstr/s replayed, wall-time win over a 1-worker farm); the
+//! campaign and experiment-suite sections measure the across-run parallel
+//! pipeline. The JSON's `result` objects are deterministic simulation
+//! outputs — CI diffs them across thread counts.
 
 use paradet_bench::experiments as ex;
 use paradet_bench::runner::{instr_budget, out_dir, Runner};
@@ -28,6 +32,50 @@ use std::time::Instant;
 struct WorkloadSpeed {
     name: &'static str,
     minstr_per_s: f64,
+    /// Deterministic simulation results (bit-identical at any thread
+    /// count) carried into the JSON so CI can diff result rows across
+    /// `PARADET_THREADS` settings.
+    instrs: u64,
+    seals: u64,
+    mean_delay_ns: f64,
+}
+
+/// The farm-scaling metric: one 12-checker run (the fig13 "12c@1GHz"
+/// point) with the decoupled checker farm at 1 worker vs. the configured
+/// thread count.
+struct FarmSpeed {
+    workload: &'static str,
+    threads: usize,
+    /// Macro-instructions the farm replayed within the one run.
+    replayed_instrs: u64,
+    /// Replay throughput of the parallel run.
+    minstr_per_s: f64,
+    /// Wall-time win of the parallel farm over the serial fast path.
+    speedup_vs_serial: f64,
+}
+
+/// Best-of-three single runs of `w` under `cfg` with the farm pinned to
+/// `farm_threads`; returns (wall, report, instrs replayed by the farm).
+fn farm_run(
+    cfg: paradet_core::SystemConfig,
+    program: &std::sync::Arc<paradet_isa::Program>,
+    instrs: u64,
+    farm_threads: usize,
+) -> (std::time::Duration, paradet_core::RunReport, u64) {
+    paradet_par::with_threads(farm_threads, || {
+        let mut best: Option<(std::time::Duration, paradet_core::RunReport, u64)> = None;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let mut sys = paradet_core::PairedSystem::new_shared(cfg, program);
+            let r = sys.run(instrs);
+            let replayed: u64 = sys.detector().checkers.iter().map(|c| c.stats.instrs).sum();
+            let dt = t0.elapsed();
+            if best.as_ref().is_none_or(|(b, _, _)| dt < *b) {
+                best = Some((dt, r, replayed));
+            }
+        }
+        best.expect("three reps ran")
+    })
 }
 
 fn main() {
@@ -71,8 +119,40 @@ fn main() {
             r.detector.seals,
             r.delays.mean_ns()
         );
-        speeds.push(WorkloadSpeed { name: w.name(), minstr_per_s });
+        speeds.push(WorkloadSpeed {
+            name: w.name(),
+            minstr_per_s,
+            instrs: r.instrs,
+            seals: r.detector.seals,
+            mean_delay_ns: r.delays.mean_ns(),
+        });
     }
+
+    // --- Farm scaling within ONE run (the decoupled checker farm) --------
+    // 12 checkers at 1 GHz is the paper-default / fig13 big-farm point; the
+    // functional replays run on farm workers while the main-core simulation
+    // stays on this thread, so wall time shrinks with host threads even for
+    // a single simulation.
+    let farm_w = Workload::Freqmine;
+    let farm_program = std::sync::Arc::new(farm_w.build(farm_w.iters_for_instrs(instrs)));
+    let (serial_dt, serial_r, _) = farm_run(cfg, &farm_program, instrs, 1);
+    let (farm_dt, farm_r, replayed) = farm_run(cfg, &farm_program, instrs, threads);
+    assert_eq!(
+        format!("{serial_r:?}"),
+        format!("{farm_r:?}"),
+        "farm width changed simulated results"
+    );
+    let farm = FarmSpeed {
+        workload: farm_w.name(),
+        threads,
+        replayed_instrs: replayed,
+        minstr_per_s: replayed as f64 / farm_dt.as_secs_f64() / 1e6,
+        speedup_vs_serial: serial_dt.as_secs_f64() / farm_dt.as_secs_f64(),
+    };
+    println!(
+        "farm: {} replayed {} instrs over 12 checkers in {:.2?} ({:.2} Minstr/s, {:.2}x vs 1-worker farm, {} threads)",
+        farm.workload, farm.replayed_instrs, farm_dt, farm.minstr_per_s, farm.speedup_vs_serial, threads
+    );
 
     // --- Campaign trial throughput (parallel across PARADET_THREADS) -----
     let camp_cfg = CampaignConfig { instrs: instrs.min(20_000), ..CampaignConfig::default() };
@@ -81,13 +161,14 @@ fn main() {
     let result = run_campaign(&camp_cfg);
     let camp_dt = t0.elapsed();
     let trials_per_s = n_trials as f64 / camp_dt.as_secs_f64();
+    let coverage = result.overall_coverage();
     println!(
         "campaign: {} trials in {:.2?} ({:.1} trials/s, {} threads, coverage {:.0}%)",
         n_trials,
         camp_dt,
         trials_per_s,
         threads,
-        result.overall_coverage() * 100.0
+        coverage * 100.0
     );
 
     // --- Experiment-suite wall time (the run_all sweep set) --------------
@@ -112,7 +193,16 @@ fn main() {
         if let Some(dir) = path.parent() {
             let _ = std::fs::create_dir_all(dir);
         }
-        let json = render_json(instrs, threads, &speeds, n_trials, trials_per_s, run_all_wall_s);
+        let json = render_json(
+            instrs,
+            threads,
+            &speeds,
+            &farm,
+            n_trials,
+            trials_per_s,
+            coverage,
+            run_all_wall_s,
+        );
         std::fs::write(&path, json).expect("write BENCH_speed.json");
         println!("wrote {}", path.display());
     }
@@ -158,30 +248,43 @@ fn main() {
 
 /// Renders `BENCH_speed.json` (hand-rolled: the workspace is deliberately
 /// dependency-free, so no serde).
+///
+/// Schema v2: workload rows carry the deterministic simulation results
+/// (`instrs`, `seals`, `mean_delay_ns`) on separate lines from the
+/// host-perf numbers, and the campaign row carries `coverage` — CI diffs
+/// the result lines between `PARADET_THREADS=1` and the default to prove
+/// the pipeline (checker farm included) is thread-count invariant.
+#[allow(clippy::too_many_arguments)]
 fn render_json(
     instrs: u64,
     threads: usize,
     speeds: &[WorkloadSpeed],
+    farm: &FarmSpeed,
     campaign_trials: u64,
     trials_per_s: f64,
+    coverage: f64,
     run_all_wall_s: f64,
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"paradet-bench-speed/v1\",\n");
+    s.push_str("  \"schema\": \"paradet-bench-speed/v2\",\n");
     s.push_str(&format!("  \"instrs\": {instrs},\n"));
     s.push_str(&format!("  \"threads\": {threads},\n"));
     s.push_str("  \"workloads\": [\n");
     for (i, w) in speeds.iter().enumerate() {
         let comma = if i + 1 < speeds.len() { "," } else { "" };
         s.push_str(&format!(
-            "    {{ \"name\": \"{}\", \"minstr_per_s\": {:.4} }}{comma}\n",
-            w.name, w.minstr_per_s
+            "    {{ \"name\": \"{}\", \"minstr_per_s\": {:.4},\n      \"result\": {{ \"instrs\": {}, \"seals\": {}, \"mean_delay_ns\": {:.6} }} }}{comma}\n",
+            w.name, w.minstr_per_s, w.instrs, w.seals, w.mean_delay_ns
         ));
     }
     s.push_str("  ],\n");
     s.push_str(&format!(
-        "  \"campaign\": {{ \"trials\": {campaign_trials}, \"trials_per_s\": {trials_per_s:.2} }},\n"
+        "  \"farm\": {{ \"workload\": \"{}\", \"threads\": {}, \"minstr_per_s\": {:.4}, \"speedup_vs_serial\": {:.3},\n    \"result\": {{ \"replayed_instrs\": {} }} }},\n",
+        farm.workload, farm.threads, farm.minstr_per_s, farm.speedup_vs_serial, farm.replayed_instrs
+    ));
+    s.push_str(&format!(
+        "  \"campaign\": {{ \"trials\": {campaign_trials}, \"trials_per_s\": {trials_per_s:.2},\n    \"result\": {{ \"coverage\": {coverage:.6} }} }},\n"
     ));
     s.push_str(&format!("  \"run_all_wall_s\": {run_all_wall_s:.3}\n"));
     s.push_str("}\n");

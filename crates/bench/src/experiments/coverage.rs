@@ -3,33 +3,60 @@
 
 use crate::runner::out_dir;
 use paradet_core::SystemConfig;
-use paradet_faults::{run_campaign, run_overdetection_trials, CampaignConfig, FaultSite};
-use paradet_stats::Table;
+use paradet_faults::{
+    run_campaign, run_overdetection_trials, CampaignConfig, FaultSite, SiteResult,
+};
+use paradet_stats::{wilson_interval, Table};
 use paradet_workloads::Workload;
+
+/// Formats the 95% Wilson interval on a rate of `successes` in `trials` as
+/// a percentage range.
+fn ci95(successes: u64, trials: u64) -> String {
+    let (lo, hi) = wilson_interval(successes, trials, 1.96);
+    format!("[{:.0}%, {:.0}%]", lo * 100.0, hi * 100.0)
+}
+
+/// One coverage row: counts, the point rate, and its 95% Wilson interval
+/// over unmasked faults.
+fn site_row(t: &mut Table, workload: &str, site: &str, s: &SiteResult) {
+    let unmasked = s.trials - s.masked;
+    t.row(&[
+        workload.to_string(),
+        site.to_string(),
+        s.trials.to_string(),
+        s.detected.to_string(),
+        s.crashed.to_string(),
+        s.sdc.to_string(),
+        s.masked.to_string(),
+        format!("{:.0}%", s.coverage() * 100.0),
+        ci95(s.detected + s.crashed, unmasked),
+    ]);
+}
 
 /// Runs the fault campaign on two representative workloads (one memory
 /// bound, one compute bound) plus the no-LFU ablation, and prints coverage
-/// per site.
+/// per site with 95% Wilson confidence intervals.
 pub fn fault_coverage(trials_per_site: u64, instrs: u64) -> Table {
     let mut t = Table::new(
         "Fault-injection coverage (per unmasked fault)",
-        &["workload", "site", "trials", "detected", "crashed", "SDC", "masked", "coverage"],
+        &[
+            "workload",
+            "site",
+            "trials",
+            "detected",
+            "crashed",
+            "SDC",
+            "masked",
+            "coverage",
+            "cov 95% CI",
+        ],
     );
     for w in [Workload::Freqmine, Workload::Bitcount] {
         let cfg =
             CampaignConfig { workload: w, instrs, trials_per_site, ..CampaignConfig::default() };
         let result = run_campaign(&cfg);
         for (site, s) in &result.per_site {
-            t.row(&[
-                w.name().to_string(),
-                site.name().to_string(),
-                s.trials.to_string(),
-                s.detected.to_string(),
-                s.crashed.to_string(),
-                s.sdc.to_string(),
-                s.masked.to_string(),
-                format!("{:.0}%", s.coverage() * 100.0),
-            ]);
+            site_row(&mut t, w.name(), site.name(), s);
         }
     }
     // The LFU ablation: the naive design leaks pre-capture load faults.
@@ -43,16 +70,7 @@ pub fn fault_coverage(trials_per_site: u64, instrs: u64) -> Table {
     };
     let result = run_campaign(&ablation);
     for (site, s) in &result.per_site {
-        t.row(&[
-            "freqmine (no LFU)".to_string(),
-            site.name().to_string(),
-            s.trials.to_string(),
-            s.detected.to_string(),
-            s.crashed.to_string(),
-            s.sdc.to_string(),
-            s.masked.to_string(),
-            format!("{:.0}%", s.coverage() * 100.0),
-        ]);
+        site_row(&mut t, "freqmine (no LFU)", site.name(), s);
     }
     // Over-detection (§IV-I): faults in the detection hardware itself.
     let od_cfg = CampaignConfig { instrs, ..CampaignConfig::default() };
@@ -66,6 +84,7 @@ pub fn fault_coverage(trials_per_site: u64, instrs: u64) -> Table {
         "0".to_string(),
         (n - fp).to_string(),
         format!("{:.0}% false-positive", fp as f64 / n as f64 * 100.0),
+        ci95(fp, n),
     ]);
     let _ = t.write_csv(&out_dir().join("fault_coverage.csv"));
     t

@@ -1,9 +1,16 @@
 //! The in-order checker core: timing model and replay driver.
+//!
+//! Checking is two-phase (see [`crate::trace`]): [`replay_segment`] is the
+//! expensive, purely functional phase (crack, architectural step, log
+//! comparison) that any worker thread can run, and
+//! [`CheckerCore::fold_timing`] is the cheap timing phase that consumes the
+//! replay's [`ReplayTrace`] against the shared [`MemHier`] and this core's
+//! `free_at` on the simulation thread. [`CheckerCore::run_segment`] chains
+//! the two for callers that want the classic one-call interface.
 
 use crate::replay::{CheckError, CheckOutcome, ReplayError, ReplaySource};
-use paradet_isa::{
-    crack, ArchState, DstReg, MemWidth, MemoryIface, NondetSource, Program, SrcReg, UopKind,
-};
+use crate::trace::{encode_dst, encode_srcs, ReplayTrace};
+use paradet_isa::{ArchState, MemWidth, MemoryIface, Program, UopKind};
 use paradet_mem::{Freq, MemHier, Time};
 
 /// Functional-unit latencies of the checker pipeline, in checker cycles.
@@ -99,12 +106,17 @@ pub struct CheckerStats {
 /// Adapter: routes the golden model's memory interface to the log segment,
 /// capturing any replay error (the `MemoryIface` signature is infallible, so
 /// errors are latched and surfaced after the step).
+///
+/// Purely functional: check *times* are the timing fold's business, so the
+/// source sees [`Time::ZERO`] throughout.
 struct LogMemory<'a> {
     src: &'a mut dyn ReplaySource,
-    now: Time,
     error: Option<ReplayError>,
     loads: u64,
     stores: u64,
+    /// Entries consumed whose checks passed (the ones the timing fold
+    /// records detection delays for).
+    passed: u64,
 }
 
 impl MemoryIface for LogMemory<'_> {
@@ -113,8 +125,11 @@ impl MemoryIface for LogMemory<'_> {
             return 0;
         }
         self.loads += 1;
-        match self.src.replay_load(addr, width, self.now) {
-            Ok(v) => v,
+        match self.src.replay_load(addr, width, Time::ZERO) {
+            Ok(v) => {
+                self.passed += 1;
+                v
+            }
             Err(e) => {
                 self.error = Some(e);
                 0
@@ -127,27 +142,9 @@ impl MemoryIface for LogMemory<'_> {
             return;
         }
         self.stores += 1;
-        if let Err(e) = self.src.check_store(addr, val, width, self.now) {
-            self.error = Some(e);
-        }
-    }
-}
-
-struct LogNondet<'a, 'b> {
-    mem: &'a mut LogMemory<'b>,
-}
-
-impl NondetSource for LogNondet<'_, '_> {
-    fn next_nondet(&mut self) -> u64 {
-        if self.mem.error.is_some() {
-            return 0;
-        }
-        match self.mem.src.replay_nondet(self.mem.now) {
-            Ok(v) => v,
-            Err(e) => {
-                self.mem.error = Some(e);
-                0
-            }
+        match self.src.check_store(addr, val, width, Time::ZERO) {
+            Ok(()) => self.passed += 1,
+            Err(e) => self.error = Some(e),
         }
     }
 }
@@ -204,165 +201,239 @@ impl CheckerCore {
         self.free_at
     }
 
+    /// Folds a finished replay's timing trace through the shared memory
+    /// hierarchy and this core's availability, in seal order: pipeline fill,
+    /// per-line I-fetches, in-order micro-op issue against the scoreboard,
+    /// and the end-of-segment register comparison.
+    ///
+    /// `on_check(entry_index, check_time)` fires for every log entry that
+    /// passed its check, in consumption order — the hook detection-delay
+    /// accounting hangs off.
+    ///
+    /// Returns the verdict paired with the finish time; updates `free_at`
+    /// and the running statistics exactly as the eager one-call path did.
+    pub fn fold_timing(
+        &mut self,
+        ready_at: Time,
+        replay: &ReplayOutcome,
+        hier: &mut MemHier,
+        mut on_check: impl FnMut(usize, Time),
+    ) -> CheckOutcome {
+        let period = self.cfg.clock.period().as_fs();
+        let start_time = ready_at.max(self.free_at);
+        // Convert to this core's cycle domain.
+        let mut cycle = start_time.as_fs().div_ceil(period) + self.cfg.pipeline_depth;
+
+        let mut reg_ready = [0u64; 64];
+        let mut line_ready = 0u64;
+        let mut entry_idx = 0usize;
+        let id = self.id;
+        replay.trace.walk(|ev| match ev {
+            crate::trace::TraceEvent::Op(new_line) => {
+                // Fetch timing: one I-cache access per new line.
+                if let Some(line) = new_line {
+                    line_ready = hier.checker_ifetch_cycle(id, line, cycle, period);
+                }
+                cycle = cycle.max(line_ready);
+            }
+            crate::trace::TraceEvent::Uop(u) => {
+                // In-order issue, one micro-op per cycle, stalling on
+                // operand readiness (scoreboard with forwarding).
+                let issue = (cycle + 1).max(u.srcs_ready(&reg_ready));
+                u.retire(&mut reg_ready, issue + u.lat());
+                cycle = issue;
+            }
+            crate::trace::TraceEvent::Checked(n) => {
+                // The check timestamp is the macro-op's issue time.
+                let now = Time::from_fs(cycle * period);
+                for _ in 0..n {
+                    on_check(entry_idx, now);
+                    entry_idx += 1;
+                }
+            }
+        });
+
+        cycle += self.cfg.pipeline_depth + self.cfg.register_check_cycles;
+        let finish_time = Time::from_fs(cycle * period);
+        self.stats.segments += 1;
+        self.stats.instrs += replay.instrs;
+        self.stats.loads += replay.loads;
+        self.stats.stores += replay.stores;
+        if matches!(replay.result, Err(ref e) if !matches!(e, CheckError::Exec)) {
+            self.stats.errors += 1;
+        }
+        self.stats.busy_fs += finish_time.saturating_sub(start_time).as_fs();
+        self.free_at = finish_time;
+        CheckOutcome { finish_time, result: replay.result.clone(), instrs_replayed: replay.instrs }
+    }
+
     /// Replays and checks one segment to completion, returning the verdict
     /// and finish time. The core is busy until
     /// [`finish_time`](CheckOutcome::finish_time).
+    ///
+    /// One-call convenience over the two-phase interface: a fresh
+    /// [`replay_segment`] immediately folded by
+    /// [`fold_timing`](CheckerCore::fold_timing). The decoupled farm calls
+    /// the phases separately (replay on a worker, fold at the join).
     pub fn run_segment(
         &mut self,
         task: SegmentTask<'_>,
         source: &mut dyn ReplaySource,
         hier: &mut MemHier,
     ) -> CheckOutcome {
-        let clock = self.cfg.clock;
-        let period = clock.period().as_fs();
-        let start_time = task.ready_at.max(self.free_at);
-        // Convert to this core's cycle domain.
-        let mut cycle = start_time.as_fs().div_ceil(period) + self.cfg.pipeline_depth;
+        let mut trace = ReplayTrace::new();
+        let replay = replay_segment(&self.cfg, task, source, &mut trace);
+        self.fold_timing(task.ready_at, &replay, hier, |_, _| {})
+    }
+}
 
-        let mut state = task.start.clone();
-        let mut reg_ready_int = [0u64; 32];
-        let mut reg_ready_fp = [0u64; 32];
-        let mut last_fetch_line = u64::MAX;
-        let mut line_ready = 0u64;
-        let mut instrs = 0u64;
-        let mut verdict: Result<(), CheckError> = Ok(());
+/// The result of the functional replay phase: the verdict plus the
+/// [`ReplayTrace`] the timing fold consumes.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// `Ok` if the segment verified clean.
+    pub result: Result<(), CheckError>,
+    /// Macro-instructions replayed.
+    pub instrs: u64,
+    /// Loads replayed from the log.
+    pub loads: u64,
+    /// Stores checked against the log.
+    pub stores: u64,
+    /// The timing trace (taken by value into the outcome so farm jobs can
+    /// recycle its buffers).
+    pub trace: ReplayTrace,
+}
 
-        let mut log = LogMemory { src: source, now: Time::ZERO, error: None, loads: 0, stores: 0 };
+/// The functional replay phase: architectural re-execution of one segment
+/// against its log, with no timing and no shared state.
+///
+/// Needs only the shared program, the owned checkpoint pair and the sealed
+/// entries — everything a worker thread can hold — and leaves the timing
+/// facts in `trace` (cleared first; pass a recycled buffer to avoid
+/// allocation). The `source` sees [`Time::ZERO`] for every check `now`:
+/// real check times exist only in the fold.
+pub fn replay_segment(
+    cfg: &CheckerConfig,
+    task: SegmentTask<'_>,
+    source: &mut dyn ReplaySource,
+    out_trace: &mut ReplayTrace,
+) -> ReplayOutcome {
+    out_trace.clear();
+    let mut state = task.start.clone();
+    let mut last_fetch_line = u64::MAX;
+    let mut instrs = 0u64;
+    let mut verdict: Result<(), CheckError> = Ok(());
 
-        while instrs < task.instr_count {
-            if state.halted {
-                break;
-            }
-            let pc = state.pc;
-            let insn = match task.program.instr_at(pc) {
-                Some(i) => *i,
-                None => {
-                    verdict = Err(CheckError::Exec);
-                    break;
-                }
-            };
-            // Fetch timing: one I-cache access per new line.
-            let line = pc & !63;
-            if line != last_fetch_line {
-                let done = hier.checker_ifetch(self.id, line, Time::from_fs(cycle * period));
-                line_ready = done.as_fs().div_ceil(period);
-                last_fetch_line = line;
-            }
-            cycle = cycle.max(line_ready);
+    let mut log = LogMemory { src: source, error: None, loads: 0, stores: 0, passed: 0 };
 
-            // In-order issue of the macro-op's micro-ops, one per cycle,
-            // stalling on operand readiness (scoreboard with forwarding).
-            let uops = crack(&insn);
-            for u in &uops {
-                let srcs_ready = u
-                    .srcs
-                    .iter()
-                    .flatten()
-                    .map(|s| match s {
-                        SrcReg::Int(r) => reg_ready_int[r.index()],
-                        SrcReg::Fp(r) => reg_ready_fp[r.index()],
-                    })
-                    .max()
-                    .unwrap_or(0);
-                let issue = (cycle + 1).max(srcs_ready);
-                let lat = &self.cfg.lat;
-                let l = match u.kind {
-                    UopKind::IntAlu { op, .. } => {
-                        if matches!(op, paradet_isa::AluOp::Div | paradet_isa::AluOp::Rem) {
-                            lat.div
-                        } else if op.is_mul_div() {
-                            lat.mul
-                        } else {
-                            lat.int_alu
-                        }
-                    }
-                    UopKind::FpAlu { op } => {
-                        if op.is_div() {
-                            lat.fp_div
-                        } else {
-                            lat.fp_alu
-                        }
-                    }
-                    UopKind::Fma => lat.fp_alu,
-                    UopKind::FSqrt => lat.fsqrt,
-                    UopKind::Mem { .. } => lat.log_read,
-                    _ => lat.int_alu,
-                };
-                let complete = issue + l;
-                match u.dst {
-                    Some(DstReg::Int(r)) => reg_ready_int[r.index()] = complete,
-                    Some(DstReg::Fp(r)) => reg_ready_fp[r.index()] = complete,
-                    None => {}
-                }
-                cycle = issue;
-            }
-
-            // Functional replay of the whole macro-op, with loads/stores
-            // routed to the log. The check timestamp is the issue time.
-            log.now = Time::from_fs(cycle * period);
-            let mut nondet = LogNondet { mem: &mut log };
-            let step = {
-                let LogNondet { mem } = &mut nondet;
-                // Split borrows: ArchState::step takes mem and nondet
-                // separately, so replay nondet via a closure-free two-phase:
-                // RdCycle is the only nondet op and performs no memory
-                // access, so we can special-case it.
-                match insn {
-                    paradet_isa::Instruction::RdCycle { rd } => {
-                        let v = match mem.src.replay_nondet(mem.now) {
-                            Ok(v) => v,
-                            Err(e) => {
-                                mem.error = Some(e);
-                                0
-                            }
-                        };
-                        state.set_x(rd, v);
-                        state.pc += 4;
-                        state.retired += 1;
-                        Ok(())
-                    }
-                    _ => state.step(task.program, *mem, &mut paradet_isa::NoNondet).map(|_| ()),
-                }
-            };
-            instrs += 1;
-
-            if let Some(e) = log.error {
-                self.stats.errors += 1;
-                verdict = Err(CheckError::Replay { at_instr: instrs - 1, error: e });
-                break;
-            }
-            if step.is_err() {
+    while instrs < task.instr_count {
+        if state.halted {
+            break;
+        }
+        let pc = state.pc;
+        let insn = match task.program.instr_at(pc) {
+            Some(i) => *i,
+            None => {
                 verdict = Err(CheckError::Exec);
                 break;
             }
+        };
+        // One I-cache access per new line (the fold charges it).
+        let line = pc & !63;
+        let new_line = if line != last_fetch_line {
+            last_fetch_line = line;
+            Some(line)
+        } else {
+            None
+        };
+        out_trace.begin_op(new_line);
+
+        // Pre-cracked at program build: no per-instruction decode allocation
+        // on the replay path.
+        let uops = task.program.uops_at(pc).expect("fetched instruction has micro-ops");
+        for u in uops {
+            let lat = &cfg.lat;
+            let l = match u.kind {
+                UopKind::IntAlu { op, .. } => {
+                    if matches!(op, paradet_isa::AluOp::Div | paradet_isa::AluOp::Rem) {
+                        lat.div
+                    } else if op.is_mul_div() {
+                        lat.mul
+                    } else {
+                        lat.int_alu
+                    }
+                }
+                UopKind::FpAlu { op } => {
+                    if op.is_div() {
+                        lat.fp_div
+                    } else {
+                        lat.fp_alu
+                    }
+                }
+                UopKind::Fma => lat.fp_alu,
+                UopKind::FSqrt => lat.fsqrt,
+                UopKind::Mem { .. } => lat.log_read,
+                _ => lat.int_alu,
+            };
+            out_trace.push_uop(encode_srcs(&u.srcs), encode_dst(&u.dst), l);
         }
 
-        // End-of-segment validation (§IV-B): all entries consumed, then the
-        // register checkpoint compared.
-        if verdict.is_ok() {
-            if instrs >= task.instr_count && !log.src.exhausted() {
-                // Replayed as many instructions as the main core committed
-                // but did not consume the log: divergence timeout.
-                self.stats.errors += 1;
-                verdict = Err(CheckError::Divergence);
-            } else if !log.src.exhausted() {
-                self.stats.errors += 1;
-                verdict = Err(CheckError::EntriesLeftOver);
-            } else if let Some(reg) = state.first_register_mismatch(task.end) {
-                self.stats.errors += 1;
-                verdict = Err(CheckError::RegisterMismatch { reg });
+        // Functional replay of the whole macro-op, loads/stores routed to
+        // the log. RdCycle is the only nondeterministic op and performs no
+        // memory access, so it is special-cased around `ArchState::step`'s
+        // separate mem/nondet parameters.
+        let passed_before = log.passed;
+        let step = match insn {
+            paradet_isa::Instruction::RdCycle { rd } => {
+                match log.src.replay_nondet(Time::ZERO) {
+                    Ok(v) => {
+                        log.passed += 1;
+                        state.set_x(rd, v);
+                    }
+                    Err(e) => {
+                        log.error = Some(e);
+                        state.set_x(rd, 0);
+                    }
+                }
+                state.pc += 4;
+                state.retired += 1;
+                Ok(())
             }
-        }
+            _ => state.step(task.program, &mut log, &mut paradet_isa::NoNondet).map(|_| ()),
+        };
+        instrs += 1;
+        out_trace.set_entries((log.passed - passed_before) as u8);
 
-        cycle += self.cfg.pipeline_depth + self.cfg.register_check_cycles;
-        let finish_time = Time::from_fs(cycle * period);
-        self.stats.segments += 1;
-        self.stats.instrs += instrs;
-        self.stats.loads += log.loads;
-        self.stats.stores += log.stores;
-        self.stats.busy_fs += finish_time.saturating_sub(start_time).as_fs();
-        self.free_at = finish_time;
-        CheckOutcome { finish_time, result: verdict, instrs_replayed: instrs }
+        if let Some(e) = log.error {
+            verdict = Err(CheckError::Replay { at_instr: instrs - 1, error: e });
+            break;
+        }
+        if step.is_err() {
+            verdict = Err(CheckError::Exec);
+            break;
+        }
+    }
+
+    // End-of-segment validation (§IV-B): all entries consumed, then the
+    // register checkpoint compared.
+    if verdict.is_ok() {
+        if instrs >= task.instr_count && !log.src.exhausted() {
+            // Replayed as many instructions as the main core committed
+            // but did not consume the log: divergence timeout.
+            verdict = Err(CheckError::Divergence);
+        } else if !log.src.exhausted() {
+            verdict = Err(CheckError::EntriesLeftOver);
+        } else if let Some(reg) = state.first_register_mismatch(task.end) {
+            verdict = Err(CheckError::RegisterMismatch { reg });
+        }
+    }
+
+    ReplayOutcome {
+        result: verdict,
+        instrs,
+        loads: log.loads,
+        stores: log.stores,
+        trace: std::mem::take(out_trace),
     }
 }
 

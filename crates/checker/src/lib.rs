@@ -11,13 +11,22 @@
 //! The crate deliberately knows nothing about the log's layout: the
 //! detection system (in `paradet-core`) hands each replay a
 //! [`ReplaySource`], and this crate contributes the *core model* — timing
-//! and architectural replay.
+//! and architectural replay. The two are decoupled: [`replay_segment`] is
+//! the purely functional phase (runnable on any worker thread of the
+//! checker farm), and [`CheckerCore::fold_timing`] replays its
+//! [`ReplayTrace`] against the memory hierarchy in seal order on the
+//! simulation thread.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod core;
 mod replay;
+mod trace;
 
-pub use crate::core::{CheckerConfig, CheckerCore, CheckerLatencies, CheckerStats, SegmentTask};
+pub use crate::core::{
+    replay_segment, CheckerConfig, CheckerCore, CheckerLatencies, CheckerStats, ReplayOutcome,
+    SegmentTask,
+};
 pub use replay::{CheckError, CheckOutcome, ReplayError, ReplaySource};
+pub use trace::ReplayTrace;

@@ -75,6 +75,20 @@ pub struct SystemConfig {
     /// If set, an "interrupt" fires this often and forces an early register
     /// checkpoint at the next instruction boundary (§IV-G).
     pub interrupt_interval: Option<Time>,
+    /// Check sealed segments inline on the sealing thread (the pre-farm
+    /// legacy path) instead of dispatching them to the decoupled checker
+    /// farm and joining lazily in seal order.
+    ///
+    /// The farm is the authoritative timing semantics and is bit-identical
+    /// at any worker count. The legacy path differs from it in exactly one
+    /// modelling choice: *where in the shared-L2/DRAM access stream* a
+    /// checker's I-fetch misses land (at the seal vs. at the lazy join).
+    /// Whenever checker I-fetches are satisfied by the private checker
+    /// L0/L1I — every shipped workload except `randacc`, whose data
+    /// footprint evicts text from L2 — the two are bit-identical; under
+    /// L2 contention the lazy join's linearization differs slightly.
+    /// Kept as the test-suite reference while the farm bakes.
+    pub eager_check: bool,
 }
 
 impl SystemConfig {
@@ -89,6 +103,7 @@ impl SystemConfig {
             mode: DetectionMode::Full,
             lfu_enabled: true,
             interrupt_interval: None,
+            eager_check: false,
         }
     }
 

@@ -8,10 +8,31 @@
 //! (§IV-D: "If all log segments are full, we stall the main core until a
 //! checker core finishes").
 //!
-//! Checker replays are simulated *eagerly* at seal time: a segment's data
-//! is complete when it seals, so its check outcome and finish time are
-//! causally determined at that instant, and the finish time is exactly what
-//! later commits need for their stall decisions.
+//! # The decoupled checker farm
+//!
+//! Checking a sealed segment is two-phase (see `paradet-checker`). The
+//! expensive **functional replay** needs only the shared program, an owned
+//! start/end checkpoint pair and the sealed entries, so `seal` packages
+//! those into a [`SealedJob`] and dispatches it to a farm of persistent
+//! worker threads (`paradet_par::Farm`) — host parallelism that mirrors
+//! the paper's architectural parallelism, where checker cores genuinely
+//! run concurrently with the main core. The cheap **timing fold** then
+//! consumes the replay's trace against the shared [`MemHier`] and the
+//! checker's availability.
+//!
+//! Timing folds happen on the simulation thread, **lazily and in seal
+//! order**, at the first point the simulation actually needs a finish
+//! time: when the segment ring wraps around to a still-checking segment
+//! (the stall decision in `on_commit`) and at [`Detector::finalize`].
+//! Those join points depend only on simulated state — never on how fast a
+//! worker happens to run — so delays, finish times, errors, checker
+//! statistics and cache statistics are bit-identical at any farm width,
+//! including the serial fast path. The legacy inline path
+//! (`SystemConfig::eager_check`) folds at the seal instead of the lazy
+//! join; the two agree bit-for-bit whenever checker I-fetches hit the
+//! private checker L0/L1I (all shipped workloads except `randacc`, whose
+//! footprint evicts text from the shared L2 — see
+//! `SystemConfig::eager_check` for the exact boundary).
 
 use crate::config::{DetectionMode, SystemConfig};
 use crate::delay::DelayStats;
@@ -19,10 +40,14 @@ use crate::error::DetectedError;
 use crate::lfu::LoadForwardingUnit;
 use crate::log::{EntryKind, LogEntry, Segment, SegmentReader, SegmentState};
 use crate::scratch::SimScratch;
-use paradet_checker::{CheckerCore, SegmentTask};
+use paradet_checker::{
+    replay_segment, CheckerConfig, CheckerCore, ReplayOutcome, ReplayTrace, SegmentTask,
+};
 use paradet_isa::{ArchState, Instruction, MemWidth, Program};
 use paradet_mem::{MemHier, Time};
 use paradet_ooo::{CommitEvent, CommitGate, DetectionSink};
+use paradet_par::{Farm, Ticket};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Why a segment was sealed.
@@ -57,12 +82,66 @@ pub struct DetectorStats {
     pub log_full_retries: u64,
 }
 
+/// Everything a checker needs to replay one sealed segment, owned so the
+/// job can leave the simulation thread: the shared program, the chained
+/// start checkpoint (moved out of the detector), the committed end state
+/// (cloned into a scratch-pooled slot), and the log entries (moved out of
+/// the segment ring).
+#[derive(Debug)]
+struct SealedJob {
+    cfg: CheckerConfig,
+    program: Arc<Program>,
+    start: ArchState,
+    end: ArchState,
+    instr_count: u64,
+    entries: Vec<LogEntry>,
+    trace: ReplayTrace,
+}
+
+/// A finished replay: the verdict + trace, and every buffer the job
+/// borrowed from the detector's pools, coming home.
+#[derive(Debug)]
+struct DoneJob {
+    outcome: ReplayOutcome,
+    entries: Vec<LogEntry>,
+    start: ArchState,
+    end: ArchState,
+}
+
+/// The farm's job function: pure functional replay, no shared state.
+fn replay_job(mut job: SealedJob) -> DoneJob {
+    let task = SegmentTask {
+        program: &job.program,
+        start: &job.start,
+        end: &job.end,
+        instr_count: job.instr_count,
+        ready_at: Time::ZERO,
+    };
+    let mut reader = SegmentReader::new(&job.entries);
+    let outcome = replay_segment(&job.cfg, task, &mut reader, &mut job.trace);
+    DoneJob { outcome, entries: job.entries, start: job.start, end: job.end }
+}
+
+/// Bookkeeping for one dispatched, not-yet-folded check, queued in seal
+/// order.
+#[derive(Debug)]
+struct PendingCheck {
+    ticket: Ticket,
+    seal_seq: u64,
+    /// Segment (= checker) index the job came from.
+    slot: usize,
+    /// Seal time: when the segment and its end checkpoint became available.
+    ready_at: Time,
+    base_instr: u64,
+}
+
 /// The detection hardware: load forwarding unit, partitioned log,
 /// checkpointing, and the checker-core farm.
 #[derive(Debug)]
 pub struct Detector {
     mode: DetectionMode,
     lfu_enabled: bool,
+    eager_check: bool,
     pause_cycles: u64,
     timeout: Option<u64>,
     interrupt_interval: Option<Time>,
@@ -81,6 +160,16 @@ pub struct Detector {
     base_instr: u64,
     seal_seq: u64,
     finishes: Vec<Time>,
+    /// The farm's worker pool, spawned on the first dispatch (never in
+    /// `CheckpointOnly`/`Off` modes or on the legacy inline path).
+    farm: Option<Farm<SealedJob, DoneJob>>,
+    /// Dispatched checks whose timing has not been folded yet, oldest seal
+    /// first.
+    pending: VecDeque<PendingCheck>,
+    /// Recycled `ArchState` slots for job checkpoints.
+    ckpt_pool: Vec<ArchState>,
+    /// Recycled replay-trace buffers for jobs.
+    trace_pool: Vec<ReplayTrace>,
     /// Detection delays over all checked entries (Fig. 8).
     pub delays: DelayStats,
     /// Detection delays over stores only (Fig. 11/12).
@@ -95,6 +184,15 @@ pub struct Detector {
     /// within the checker circuitry do not affect the main program", but
     /// are still reported.
     log_fault: Option<(u64, usize, u8)>,
+}
+
+/// Records one passed entry's detection delay (commit → check).
+fn record_delay(delays: &mut DelayStats, store_delays: &mut DelayStats, e: &LogEntry, now: Time) {
+    let d = now.saturating_sub(e.commit_time);
+    delays.record(d);
+    if e.kind == EntryKind::Store {
+        store_delays.record(d);
+    }
 }
 
 impl Detector {
@@ -117,6 +215,7 @@ impl Detector {
         Detector {
             mode: cfg.mode,
             lfu_enabled: cfg.lfu_enabled,
+            eager_check: cfg.eager_check,
             pause_cycles: cfg.checkpoint_pause_cycles,
             timeout: cfg.log.timeout_insns,
             interrupt_interval: cfg.interrupt_interval,
@@ -132,6 +231,10 @@ impl Detector {
             base_instr: 0,
             seal_seq: 0,
             finishes: Vec::new(),
+            farm: None,
+            pending: VecDeque::new(),
+            ckpt_pool: scratch.take_ckpts(),
+            trace_pool: scratch.take_traces(),
             delays: DelayStats::new(),
             store_delays: DelayStats::new(),
             errors: Vec::new(),
@@ -140,13 +243,25 @@ impl Detector {
         }
     }
 
-    /// Returns the detector's reusable allocations (the segments' log-entry
-    /// buffers) to `scratch` so the next [`Detector::new_shared`] skips
-    /// reallocating them.
-    pub fn recycle_into(self, scratch: &mut SimScratch) {
+    /// Returns the detector's reusable allocations (segment entry buffers,
+    /// checkpoint slots, trace buffers) to `scratch` so the next
+    /// [`Detector::new_shared`] skips reallocating them. Joins any check
+    /// still in flight first.
+    pub fn recycle_into(mut self, scratch: &mut SimScratch) {
+        // A run abandoned before finalize may leave unfolded checks; their
+        // results are moot, but the buffers come home.
+        while let Some(p) = self.pending.pop_front() {
+            let done = self.farm.as_mut().expect("pending implies farm").join(p.ticket);
+            scratch.put_seg_buf(done.entries);
+            self.ckpt_pool.push(done.start);
+            self.ckpt_pool.push(done.end);
+            self.trace_pool.push(done.outcome.trace);
+        }
         for seg in self.segs {
             scratch.put_seg_buf(seg.entries);
         }
+        scratch.put_ckpts(self.ckpt_pool);
+        scratch.put_traces(self.trace_pool);
     }
 
     /// Arms an over-detection fault: corrupts one bit of one log entry in
@@ -157,14 +272,27 @@ impl Detector {
         self.log_fault = Some((seal_seq, entry, bit));
     }
 
-    /// Time at which every launched check has finished.
+    /// Time at which every launched check has finished. Complete only once
+    /// [`Detector::finalize`] has joined the farm.
     pub fn all_checks_done_at(&self) -> Time {
         self.finishes.iter().copied().max().unwrap_or(Time::ZERO)
+    }
+
+    /// Finish times of every folded check, indexed by seal sequence (for
+    /// the determinism test-suite; complete after [`Detector::finalize`]).
+    pub fn finish_times(&self) -> &[Time] {
+        &self.finishes
+    }
+
+    /// Checks dispatched to the farm whose timing has not been folded yet.
+    pub fn in_flight_checks(&self) -> usize {
+        self.pending.len()
     }
 
     /// Fills in [`DetectedError::confirm_time`] for every recorded error:
     /// the time at which all earlier segments had validated.
     pub fn confirm_errors(&mut self) {
+        debug_assert!(self.pending.is_empty(), "confirm_errors before all checks folded");
         // Prefix maxima of finish times by seal sequence.
         let mut prefix = Vec::with_capacity(self.finishes.len());
         let mut m = Time::ZERO;
@@ -178,8 +306,9 @@ impl Detector {
     }
 
     /// Seals whatever remains (entries and instructions since the last
-    /// boundary) and checks it — used at halt, crash, or experiment cutoff
-    /// (§IV-H: process termination is held until checks complete).
+    /// boundary), checks it, and joins every outstanding check — used at
+    /// halt, crash, or experiment cutoff (§IV-H: process termination is
+    /// held until checks complete).
     pub fn finalize(
         &mut self,
         committed: &ArchState,
@@ -190,6 +319,9 @@ impl Detector {
         if self.mode == DetectionMode::Off {
             return;
         }
+        // Fold everything in flight (seal order) so segment states and
+        // finish times below are settled.
+        self.drain_pending(hier);
         let covered = instr_count.saturating_sub(self.base_instr);
         // Entries in a non-Filling segment are stale leftovers from its
         // previous tour of the ring (cleared lazily on reuse).
@@ -202,13 +334,92 @@ impl Detector {
                 _ => at,
             };
             self.seal(committed, instr_count, at, hier, SealKind::Final);
+            self.drain_pending(hier);
         }
         self.confirm_errors();
     }
 
+    /// Worker count for a freshly spawned farm: serial inside an already-
+    /// parallel region (trial sweeps fan out *across* simulations), else
+    /// the configured thread count, never more than there are checkers.
+    fn farm_threads(n_checkers: usize) -> usize {
+        if paradet_par::in_worker() {
+            1
+        } else {
+            paradet_par::num_threads().min(n_checkers.max(1))
+        }
+    }
+
+    /// Folds the timing of the **oldest** dispatched check — seal order is
+    /// the invariant that keeps `MemHier` folds, delay recording and error
+    /// ordering bit-identical to the inline path.
+    fn fold_next_pending(&mut self, hier: &mut MemHier) {
+        let p = self.pending.pop_front().expect("fold with no pending check");
+        let done = self.farm.as_mut().expect("pending implies farm").join(p.ticket);
+        let Detector {
+            checkers,
+            segs,
+            delays,
+            store_delays,
+            finishes,
+            errors,
+            ckpt_pool,
+            trace_pool,
+            ..
+        } = self;
+        let entries = &done.entries;
+        let outcome = checkers[p.slot].fold_timing(p.ready_at, &done.outcome, hier, |idx, now| {
+            record_delay(delays, store_delays, &entries[idx], now);
+        });
+        finishes.push(outcome.finish_time);
+        if let Err(error) = outcome.result {
+            errors.push(DetectedError {
+                seal_seq: p.seal_seq,
+                error,
+                detect_time: outcome.finish_time,
+                confirm_time: Time::ZERO,
+                base_instr: p.base_instr,
+            });
+        }
+        // The segment's storage frees when its check finishes; the entry
+        // buffer comes home for the segment's next tour of the ring.
+        let seg = &mut segs[p.slot];
+        seg.entries = done.entries;
+        seg.state = SegmentState::Busy { until: outcome.finish_time };
+        ckpt_pool.push(done.start);
+        ckpt_pool.push(done.end);
+        trace_pool.push(done.outcome.trace);
+    }
+
+    /// Joins checks (oldest first) until `slot`'s check is folded.
+    fn resolve_slot(&mut self, slot: usize, hier: &mut MemHier) {
+        while self.segs[slot].state == SegmentState::Checking {
+            self.fold_next_pending(hier);
+        }
+    }
+
+    /// Joins every outstanding check, in seal order.
+    fn drain_pending(&mut self, hier: &mut MemHier) {
+        while !self.pending.is_empty() {
+            self.fold_next_pending(hier);
+        }
+    }
+
+    /// Takes a pooled `ArchState` slot holding a copy of `src`.
+    fn pooled_clone(pool: &mut Vec<ArchState>, src: &ArchState) -> ArchState {
+        match pool.pop() {
+            Some(mut slot) => {
+                slot.clone_from(src);
+                slot
+            }
+            None => src.clone(),
+        }
+    }
+
     /// Seals the current segment at `at`, whose end state is `committed`
     /// after `instr_count` total retired instructions, and hands it to its
-    /// checker.
+    /// checker — dispatched to the farm (finish time folded at the lazy
+    /// join), or checked inline under `eager_check`.
     fn seal(
         &mut self,
         committed: &ArchState,
@@ -245,55 +456,61 @@ impl Detector {
             seg.seal_time = at;
         }
 
+        // The farm path moves the chain checkpoint into the job and installs
+        // a pooled copy of `committed` in its place; every other path chains
+        // by `clone_from` below.
+        let mut chained = false;
         match self.mode {
             DetectionMode::Full => {
-                // Run the checker eagerly; its finish time frees the
-                // segment's storage. The segment's start checkpoint *is*
-                // the current chain checkpoint (it only advances below, at
-                // the end of this seal) and its end checkpoint *is*
-                // `committed`, so the check borrows both instead of the
-                // segment storing clones.
-                let Detector {
-                    segs,
-                    checkers,
-                    delays,
-                    store_delays,
-                    program,
-                    finishes,
-                    errors,
-                    seal_seq,
-                    log_fault,
-                    chain_ckpt,
-                    ..
-                } = self;
-                let seg = &mut segs[cur];
-                if let Some((fseq, fentry, fbit)) = *log_fault {
-                    if fseq == *seal_seq && !seg.entries.is_empty() {
+                // §IV-I over-detection: flip the armed bit just before the
+                // check consumes the segment.
+                if let Some((fseq, fentry, fbit)) = self.log_fault {
+                    if fseq == self.seal_seq && !self.segs[cur].entries.is_empty() {
+                        let seg = &mut self.segs[cur];
                         let idx = fentry % seg.entries.len();
                         seg.entries[idx].value ^= 1u64 << (fbit & 63);
-                        *log_fault = None;
+                        self.log_fault = None;
                     }
                 }
-                let task = SegmentTask {
-                    program,
-                    start: chain_ckpt,
-                    end: committed,
-                    instr_count: seg.instr_count,
-                    ready_at: at,
-                };
-                let mut reader = SegmentReader::new(&seg.entries, delays, store_delays);
-                let outcome = checkers[cur].run_segment(task, &mut reader, hier);
-                finishes.push(outcome.finish_time);
-                if let Err(error) = outcome.result {
-                    errors.push(DetectedError {
-                        seal_seq: *seal_seq,
-                        error,
-                        detect_time: outcome.finish_time,
-                        confirm_time: Time::ZERO,
-                        base_instr: seg.base_instr,
+                {
+                    // Package an owned job, dispatch it to the farm, and
+                    // let the main loop run ahead — the finish time is
+                    // folded at the lazy join. The legacy `eager_check`
+                    // path is the same machinery folded immediately below.
+                    let threads = Detector::farm_threads(self.segs.len());
+                    let cfg = *self.checkers[cur].config();
+                    let end = Detector::pooled_clone(&mut self.ckpt_pool, committed);
+                    let new_chain = Detector::pooled_clone(&mut self.ckpt_pool, committed);
+                    let start = std::mem::replace(&mut self.chain_ckpt, new_chain);
+                    chained = true;
+                    let seg = &mut self.segs[cur];
+                    let job = SealedJob {
+                        cfg,
+                        program: Arc::clone(&self.program),
+                        start,
+                        end,
+                        instr_count: seg.instr_count,
+                        entries: std::mem::take(&mut seg.entries),
+                        trace: self.trace_pool.pop().unwrap_or_default(),
+                    };
+                    seg.state = SegmentState::Checking;
+                    let base_instr = seg.base_instr;
+                    let farm = self.farm.get_or_insert_with(|| Farm::new(threads, replay_job));
+                    let ticket = farm.submit(job);
+                    self.pending.push_back(PendingCheck {
+                        ticket,
+                        seal_seq: self.seal_seq,
+                        slot: cur,
+                        ready_at: at,
+                        base_instr,
                     });
                 }
-                seg.state = SegmentState::Busy { until: outcome.finish_time };
+                if self.eager_check {
+                    // Legacy reference semantics: fold at the seal itself —
+                    // the pre-farm position in the hierarchy's access
+                    // stream — instead of at the lazy join.
+                    self.fold_next_pending(hier);
+                }
             }
             DetectionMode::CheckpointOnly => {
                 // Checkpoint costs are modelled; the segment frees at once.
@@ -303,9 +520,10 @@ impl Detector {
             DetectionMode::Off => unreachable!("seal is never called in Off mode"),
         }
         // Chain the checkpoint for the next segment, reusing the existing
-        // allocation (`clone_from`) instead of cloning twice per seal as the
-        // old segment-resident start/end checkpoint copies did.
-        self.chain_ckpt.clone_from(committed);
+        // allocation (`clone_from`) instead of cloning per seal.
+        if !chained {
+            self.chain_ckpt.clone_from(committed);
+        }
         self.base_instr = instr_count;
         self.seal_seq += 1;
         self.cur = (cur + 1) % self.segs.len();
@@ -336,6 +554,16 @@ impl DetectionSink for Detector {
     ) -> CommitGate {
         if self.mode == DetectionMode::Off {
             return CommitGate::Accept;
+        }
+
+        // ---- Lazy join ----------------------------------------------------
+        // The commit stream has wrapped around to a segment whose check is
+        // still in flight: this is the point the eager path would already
+        // know the finish time, so fold the outstanding timing traces (in
+        // seal order) before any stall/seal decision below reads it. A
+        // deterministic simulation point — worker speed never shifts it.
+        if self.segs[self.cur].state == SegmentState::Checking {
+            self.resolve_slot(self.cur, hier);
         }
 
         // ---- Log capture --------------------------------------------------
@@ -375,6 +603,9 @@ impl DetectionSink for Detector {
                         return CommitGate::Retry(until);
                     }
                     seg.reset();
+                }
+                SegmentState::Checking => {
+                    unreachable!("checking segment resolved at the top of on_commit")
                 }
                 SegmentState::Free | SegmentState::Filling => {}
             }
@@ -453,6 +684,7 @@ mod tests {
         assert_eq!(det.segs.len(), 12);
         assert_eq!(det.segs[0].capacity, 170);
         assert_eq!(det.lfu.capacity(), 40);
+        assert_eq!(det.in_flight_checks(), 0);
     }
 
     #[test]

@@ -7,7 +7,6 @@
 //! and end register checkpoints — when nearly full, on an instruction-count
 //! timeout, at interrupt boundaries, or at program termination.
 
-use crate::delay::DelayStats;
 use paradet_checker::{ReplayError, ReplaySource};
 use paradet_isa::MemWidth;
 use paradet_mem::Time;
@@ -46,7 +45,11 @@ pub enum SegmentState {
     Free,
     /// Receiving committed entries from the main core.
     Filling,
-    /// Sealed and being checked; the storage frees at `until`.
+    /// Sealed and dispatched to the checker farm; the check's finish time
+    /// is not yet known (the main-core loop joins lazily, in seal order,
+    /// at the first point the simulation needs it).
+    Checking,
+    /// Check timing folded; the storage frees at `until`.
     Busy {
         /// Check finish time.
         until: Time,
@@ -55,10 +58,10 @@ pub enum SegmentState {
 
 /// One partition of the load-store log.
 ///
-/// Start/end register checkpoints are *not* stored here: checks run eagerly
-/// at seal time, when the detector's chained checkpoint (start) and the
-/// committed state (end) are both live — storing copies per segment was two
-/// redundant `ArchState` clones per seal.
+/// Start/end register checkpoints are *not* stored here: at seal time the
+/// detector's chained checkpoint (start) and the committed state (end) are
+/// both live, and the sealed job takes ownership of them — storing copies
+/// per segment was two redundant `ArchState` clones per seal.
 #[derive(Debug, Clone)]
 pub struct Segment {
     /// Captured entries, in commit order.
@@ -116,24 +119,23 @@ impl Segment {
     }
 }
 
-/// A checker core's sequential read view of a sealed segment, recording
-/// per-entry detection delays as checks happen.
+/// A checker core's sequential read view of a sealed segment.
+///
+/// Purely functional: detection-delay samples are recorded by the timing
+/// fold (see [`Detector`](crate::Detector)), and only for entries whose
+/// checks *passed* — an earlier revision recorded the delay before the
+/// kind/address/value comparison, so a mismatching entry polluted the delay
+/// statistics with a bogus sample at the very moment an error was raised.
 #[derive(Debug)]
 pub struct SegmentReader<'a> {
     entries: &'a [LogEntry],
     pos: usize,
-    delays: &'a mut DelayStats,
-    store_delays: &'a mut DelayStats,
 }
 
 impl<'a> SegmentReader<'a> {
     /// Creates a reader over a sealed segment's entries.
-    pub fn new(
-        entries: &'a [LogEntry],
-        delays: &'a mut DelayStats,
-        store_delays: &'a mut DelayStats,
-    ) -> SegmentReader<'a> {
-        SegmentReader { entries, pos: 0, delays, store_delays }
+    pub fn new(entries: &'a [LogEntry]) -> SegmentReader<'a> {
+        SegmentReader { entries, pos: 0 }
     }
 
     /// Entries consumed so far.
@@ -149,9 +151,8 @@ impl<'a> SegmentReader<'a> {
 }
 
 impl ReplaySource for SegmentReader<'_> {
-    fn replay_load(&mut self, addr: u64, _width: MemWidth, now: Time) -> Result<u64, ReplayError> {
+    fn replay_load(&mut self, addr: u64, _width: MemWidth, _now: Time) -> Result<u64, ReplayError> {
         let e = self.next_entry()?;
-        self.delays.record(now.saturating_sub(e.commit_time));
         if e.kind != EntryKind::Load {
             return Err(ReplayError::KindMismatch);
         }
@@ -166,12 +167,9 @@ impl ReplaySource for SegmentReader<'_> {
         addr: u64,
         value: u64,
         width: MemWidth,
-        now: Time,
+        _now: Time,
     ) -> Result<(), ReplayError> {
         let e = self.next_entry()?;
-        let d = now.saturating_sub(e.commit_time);
-        self.delays.record(d);
-        self.store_delays.record(d);
         if e.kind != EntryKind::Store {
             return Err(ReplayError::KindMismatch);
         }
@@ -187,9 +185,8 @@ impl ReplaySource for SegmentReader<'_> {
         Ok(())
     }
 
-    fn replay_nondet(&mut self, now: Time) -> Result<u64, ReplayError> {
+    fn replay_nondet(&mut self, _now: Time) -> Result<u64, ReplayError> {
         let e = self.next_entry()?;
-        self.delays.record(now.saturating_sub(e.commit_time));
         if e.kind != EntryKind::Nondet {
             return Err(ReplayError::KindMismatch);
         }
@@ -210,31 +207,28 @@ mod tests {
     }
 
     #[test]
-    fn reader_replays_in_order_and_records_delays() {
+    fn reader_replays_in_order() {
         let entries = vec![
             entry(EntryKind::Load, 0x100, 7, 10),
             entry(EntryKind::Store, 0x108, 8, 20),
             entry(EntryKind::Nondet, 0, 99, 30),
         ];
-        let mut d = DelayStats::new();
-        let mut sd = DelayStats::new();
-        let mut r = SegmentReader::new(&entries, &mut d, &mut sd);
+        let mut r = SegmentReader::new(&entries);
         assert_eq!(r.replay_load(0x100, MemWidth::D, Time::from_ns(100)), Ok(7));
+        assert_eq!(r.consumed(), 1);
         assert_eq!(r.check_store(0x108, 8, MemWidth::D, Time::from_ns(100)), Ok(()));
         assert_eq!(r.replay_nondet(Time::from_ns(100)), Ok(99));
         assert!(r.exhausted());
-        assert_eq!(d.count(), 3);
-        assert_eq!(sd.count(), 1);
-        assert!((d.max_ns() - 90.0).abs() < 1e-9);
     }
 
     #[test]
     fn kind_mismatch_detected() {
         let entries = vec![entry(EntryKind::Store, 0x100, 7, 0)];
-        let mut d = DelayStats::new();
-        let mut sd = DelayStats::new();
-        let mut r = SegmentReader::new(&entries, &mut d, &mut sd);
+        let mut r = SegmentReader::new(&entries);
         assert_eq!(r.replay_load(0x100, MemWidth::D, Time::ZERO), Err(ReplayError::KindMismatch));
+        // The mismatching entry is consumed — it is up to the timing fold
+        // *not* to record a detection delay for it.
+        assert_eq!(r.consumed(), 1);
     }
 
     #[test]
@@ -248,18 +242,14 @@ mod tests {
             width: MemWidth::W,
             commit_time: Time::ZERO,
         }];
-        let mut d = DelayStats::new();
-        let mut sd = DelayStats::new();
-        let mut r = SegmentReader::new(&entries, &mut d, &mut sd);
+        let mut r = SegmentReader::new(&entries);
         assert_eq!(r.check_store(0x100, 0xFFFF_FFFF_1234_5678, MemWidth::W, Time::ZERO), Ok(()));
     }
 
     #[test]
     fn exhaustion_detected() {
         let entries: Vec<LogEntry> = vec![];
-        let mut d = DelayStats::new();
-        let mut sd = DelayStats::new();
-        let mut r = SegmentReader::new(&entries, &mut d, &mut sd);
+        let mut r = SegmentReader::new(&entries);
         assert_eq!(r.replay_load(0, MemWidth::D, Time::ZERO), Err(ReplayError::LogExhausted));
     }
 

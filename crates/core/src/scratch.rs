@@ -10,6 +10,8 @@
 //! [`PairedSystem`]: crate::PairedSystem
 
 use crate::log::LogEntry;
+use paradet_checker::ReplayTrace;
+use paradet_isa::ArchState;
 
 /// A per-worker pool of reusable simulation allocations.
 ///
@@ -37,6 +39,12 @@ use crate::log::LogEntry;
 #[derive(Debug, Default)]
 pub struct SimScratch {
     seg_bufs: Vec<Vec<LogEntry>>,
+    /// Register-checkpoint slots for the farm's sealed jobs (the chained
+    /// start checkpoint moves into a job; the committed end state is cloned
+    /// into one of these pooled slots).
+    ckpts: Vec<ArchState>,
+    /// Replay-trace buffers recycled across farm jobs.
+    traces: Vec<ReplayTrace>,
 }
 
 impl SimScratch {
@@ -61,6 +69,35 @@ impl SimScratch {
     /// Number of pooled segment buffers (for tests and diagnostics).
     pub fn pooled_seg_bufs(&self) -> usize {
         self.seg_bufs.len()
+    }
+
+    /// Takes the whole checkpoint-slot pool (returned wholesale by
+    /// [`Detector::recycle_into`](crate::Detector::recycle_into)).
+    pub fn take_ckpts(&mut self) -> Vec<ArchState> {
+        std::mem::take(&mut self.ckpts)
+    }
+
+    /// Returns checkpoint slots to the pool.
+    pub fn put_ckpts(&mut self, mut ckpts: Vec<ArchState>) {
+        if self.ckpts.is_empty() {
+            self.ckpts = ckpts;
+        } else {
+            self.ckpts.append(&mut ckpts);
+        }
+    }
+
+    /// Takes the whole replay-trace buffer pool.
+    pub fn take_traces(&mut self) -> Vec<ReplayTrace> {
+        std::mem::take(&mut self.traces)
+    }
+
+    /// Returns replay-trace buffers to the pool.
+    pub fn put_traces(&mut self, mut traces: Vec<ReplayTrace>) {
+        if self.traces.is_empty() {
+            self.traces = traces;
+        } else {
+            self.traces.append(&mut traces);
+        }
     }
 }
 

@@ -32,6 +32,14 @@ pub struct Program {
     text: Vec<Instruction>,
     data: Vec<DataImage>,
     entry: u64,
+    /// Pre-cracked micro-ops of every text instruction, flattened.
+    /// Computed once at construction so the out-of-order core's decode and
+    /// the checker farm's replays never re-crack (or heap-allocate) per
+    /// dynamic instruction.
+    cracked: Vec<crate::MicroOp>,
+    /// Start offset of instruction `i`'s micro-ops in `cracked`
+    /// (`text.len() + 1` entries; the last is `cracked.len()`).
+    cracked_idx: Vec<u32>,
 }
 
 impl Program {
@@ -41,7 +49,14 @@ impl Program {
     ///
     /// Panics if `entry` does not point at an instruction slot.
     pub fn from_parts(text: Vec<Instruction>, data: Vec<DataImage>, entry: u64) -> Program {
-        let p = Program { text, data, entry };
+        let mut cracked = Vec::with_capacity(text.len());
+        let mut cracked_idx = Vec::with_capacity(text.len() + 1);
+        for insn in &text {
+            cracked_idx.push(cracked.len() as u32);
+            cracked.extend(crate::crack(insn));
+        }
+        cracked_idx.push(cracked.len() as u32);
+        let p = Program { text, data, entry, cracked, cracked_idx };
         assert!(p.instr_at(entry).is_some(), "entry point {entry:#x} is outside text");
         p
     }
@@ -58,6 +73,20 @@ impl Program {
             return None;
         }
         self.text.get(((pc - TEXT_BASE) / INSN_BYTES) as usize)
+    }
+
+    /// The pre-cracked micro-ops of the instruction at `pc`, or `None` if
+    /// `pc` falls outside the text segment or is misaligned. Identical to
+    /// `crack(instr_at(pc))` without the per-call allocation.
+    pub fn uops_at(&self, pc: u64) -> Option<&[crate::MicroOp]> {
+        if pc < TEXT_BASE || !(pc - TEXT_BASE).is_multiple_of(INSN_BYTES) {
+            return None;
+        }
+        let i = ((pc - TEXT_BASE) / INSN_BYTES) as usize;
+        if i >= self.text.len() {
+            return None;
+        }
+        Some(&self.cracked[self.cracked_idx[i] as usize..self.cracked_idx[i + 1] as usize])
     }
 
     /// All instructions in text order.

@@ -180,6 +180,32 @@ impl MemHier {
         .done
     }
 
+    /// [`checker_ifetch`](MemHier::checker_ifetch) in a checker core's
+    /// cycle domain: fetches `line` at cycle `cycle` of a clock whose
+    /// period is `period_fs` femtoseconds and returns the cycle at which
+    /// the line is ready.
+    ///
+    /// This is the replayable I-fetch entry point of the decoupled checker
+    /// farm: a segment's functional replay records which lines it fetched,
+    /// and the timing fold replays that line trace through here *in seal
+    /// order* on the simulation thread — the hierarchy itself never sees a
+    /// worker thread, and the seal-order call sequence is what keeps timing
+    /// bit-identical at any farm width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core >= n_checkers`.
+    pub fn checker_ifetch_cycle(
+        &mut self,
+        core: usize,
+        line: u64,
+        cycle: u64,
+        period_fs: u64,
+    ) -> u64 {
+        let done = self.checker_ifetch(core, line, Time::from_fs(cycle * period_fs));
+        done.as_fs().div_ceil(period_fs)
+    }
+
     /// Timed instruction fetch on checker core `core`.
     ///
     /// # Panics

@@ -32,8 +32,8 @@ use crate::predictor::TournamentPredictor;
 use crate::resources::{FifoOccupancy, SlotPool, UnorderedOccupancy};
 use crate::types::{CommitEvent, CommitGate, DetectionSink, MemEffect};
 use paradet_isa::{
-    crack, ArchState, DstReg, ExecError, Instruction, MemKind, NondetSource, Program, Reg, SrcReg,
-    UopKind,
+    ArchState, DstReg, ExecError, Instruction, MemKind, NondetSource, Program, Reg, SrcReg,
+    UopKind, MAX_UOPS_PER_INSN,
 };
 use paradet_mem::{MemHier, Time};
 use std::collections::VecDeque;
@@ -345,10 +345,13 @@ impl OooCore {
         }
 
         // ---- Pre-compute memory addresses from the pre-state --------------
-        let uops = crack(&insn);
-        let mut uop_addrs: Vec<Option<u64>> = Vec::with_capacity(uops.len());
-        for u in &uops {
-            uop_addrs.push(match u.kind {
+        // Micro-ops come pre-cracked from the shared program (computed once
+        // at build); nothing on this per-instruction path heap-allocates.
+        let program = Arc::clone(&self.program);
+        let uops = program.uops_at(pc).expect("fetched instruction has micro-ops");
+        let mut uop_addrs = [None::<u64>; MAX_UOPS_PER_INSN];
+        for (k, u) in uops.iter().enumerate() {
+            uop_addrs[k] = match u.kind {
                 UopKind::Mem { imm, .. } => {
                     let base = match u.srcs[0] {
                         Some(SrcReg::Int(r)) => self.state.x(r),
@@ -358,7 +361,7 @@ impl OooCore {
                     Some(base.wrapping_add(imm as u64))
                 }
                 _ => None,
-            });
+            };
         }
 
         // ---- Fault arming --------------------------------------------------
@@ -369,7 +372,7 @@ impl OooCore {
         let mut load_value_flip: Option<u8> = None;
         let mut load_capture_flip: Option<u8> = None;
         let mut pc_flip: Option<u8> = None;
-        {
+        if !self.faults.is_empty() {
             let instr_index = self.instr_index;
             let has_store = uops.iter().any(|u| u.is_store());
             let has_load = uops.iter().any(|u| u.is_load());
@@ -414,9 +417,9 @@ impl OooCore {
         }
 
         // ---- Per-micro-op timing ------------------------------------------
-        let mut completes: Vec<u64> = Vec::with_capacity(uops.len());
+        let mut completes = [0u64; MAX_UOPS_PER_INSN];
         let mut resolve_cycle: Option<u64> = None;
-        let mut alu_units: Vec<Option<usize>> = Vec::with_capacity(uops.len());
+        let mut alu_units = [None::<usize>; MAX_UOPS_PER_INSN];
         let mut nondet_value: Option<u64> = None;
         let mut load_forwarded = [false; 2];
         let rmt = self.cfg.rmt_duplicate;
@@ -587,8 +590,8 @@ impl OooCore {
                         None => {}
                     }
                 } else {
-                    completes.push(complete);
-                    alu_units.push(alu_unit);
+                    completes[k] = complete;
+                    alu_units[k] = alu_unit;
                     // Record IQ release at issue (approximated by complete -
                     // latency ≈ issue; using complete keeps it conservative).
                     self.iq.push(complete);
@@ -695,9 +698,7 @@ impl OooCore {
         // assigned unit matches.
         if let Some((unit, bit, value)) = self.stuck {
             for (k, u) in uops.iter().enumerate() {
-                if let (UopKind::IntAlu { .. }, Some(used)) =
-                    (u.kind, alu_units.get(k).copied().flatten())
-                {
+                if let (UopKind::IntAlu { .. }, Some(used)) = (u.kind, alu_units[k]) {
                     if used == unit as usize % self.cfg.int_alus {
                         if let Some(DstReg::Int(r)) = u.dst {
                             let mask = 1u64 << (bit & 63);

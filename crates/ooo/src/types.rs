@@ -83,10 +83,11 @@ pub trait DetectionSink {
     /// `committed` is the core's architectural state *after* the macro-op
     /// currently committing — when the last micro-op of an instruction
     /// commits, this is exactly the state a register checkpoint must
-    /// capture (§IV-D). `hier` is lent so the detection system can run
-    /// checker-core replays (which need instruction-fetch timing) eagerly
-    /// and causally: a segment sealed at this commit has its check finish
-    /// time available to later commits of the same run.
+    /// capture (§IV-D). `hier` is lent so the detection system can fold
+    /// checker timing (which needs instruction-fetch latency) through the
+    /// shared hierarchy at deterministic commit-stream points: a sealed
+    /// segment's finish time is folded in, in seal order, by the time any
+    /// later commit of the same run needs it for a stall decision.
     fn on_commit(
         &mut self,
         ev: &CommitEvent,

@@ -1,0 +1,264 @@
+//! A persistent worker pool fed by a ticketed job queue.
+//!
+//! [`Farm`] is the scheduler behind the decoupled checker farm: the
+//! simulation thread [`submit`](Farm::submit)s owned jobs as they become
+//! ready and [`join`](Farm::join)s each result exactly when the simulation
+//! needs it, in whatever order it likes. Workers are spawned once and live
+//! for the farm's lifetime (a job queue, not a fork-join scope), so a
+//! steady stream of small jobs pays no per-job thread cost.
+//!
+//! # Determinism
+//!
+//! A farm never influences *what* a job computes — jobs receive owned input
+//! and no shared mutable state — and `join` blocks until the requested
+//! ticket's result exists. Callers that keep their jobs pure therefore get
+//! bit-identical results at any worker count, including the serial fast
+//! path.
+//!
+//! # Serial fast path
+//!
+//! With `threads <= 1` no worker threads exist at all: `submit` runs the
+//! job inline on the calling thread and stashes the result for its `join`.
+//! This is both the zero-overhead path for already-parallel callers (e.g.
+//! fault-campaign trials, which parallelize *across* simulations) and the
+//! reference behaviour the pooled path must reproduce.
+
+use std::collections::HashMap;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Handle for one submitted job, redeemed with [`Farm::join`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ticket(u64);
+
+/// A persistent worker pool mapping owned jobs `J` to results `R` through a
+/// fixed job function.
+pub struct Farm<J, R> {
+    next_ticket: u64,
+    /// Results that arrived (or, serially, were computed) but have not been
+    /// joined yet.
+    stash: HashMap<u64, R>,
+    backend: Backend<J, R>,
+}
+
+/// What a worker sends back: the result, or the payload of a panic in the
+/// job function (re-raised on the joining thread so a worker panic can
+/// never strand `join` — the other workers keep the channel alive, so a
+/// dead worker would otherwise mean a silent deadlock, not an `Err`).
+type JobResult<R> = std::thread::Result<R>;
+
+enum Backend<J, R> {
+    /// `threads <= 1`: jobs run inline at submission.
+    Serial(Box<dyn Fn(J) -> R + Send>),
+    Pool {
+        jobs: Sender<(u64, J)>,
+        results: Receiver<(u64, JobResult<R>)>,
+        workers: Vec<JoinHandle<()>>,
+    },
+}
+
+impl<J, R> std::fmt::Debug for Farm<J, R> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Farm")
+            .field("threads", &self.threads())
+            .field("submitted", &self.next_ticket)
+            .field("stashed", &self.stash.len())
+            .finish()
+    }
+}
+
+impl<J, R> Farm<J, R> {
+    /// The number of worker threads (0 on the serial fast path).
+    pub fn threads(&self) -> usize {
+        match &self.backend {
+            Backend::Serial(_) => 0,
+            Backend::Pool { workers, .. } => workers.len(),
+        }
+    }
+}
+
+impl<J: Send + 'static, R: Send + 'static> Farm<J, R> {
+    /// Creates a farm running `run` on `threads` persistent workers
+    /// (clamped to ≥ 1; at 1 the serial fast path runs jobs inline and no
+    /// thread is spawned).
+    pub fn new(threads: usize, run: impl Fn(J) -> R + Send + Sync + 'static) -> Farm<J, R> {
+        let backend = if threads <= 1 {
+            Backend::Serial(Box::new(run))
+        } else {
+            let run = Arc::new(run);
+            let (jobs_tx, jobs_rx) = channel::<(u64, J)>();
+            let (results_tx, results_rx) = channel::<(u64, JobResult<R>)>();
+            let jobs_rx = Arc::new(Mutex::new(jobs_rx));
+            let workers = (0..threads)
+                .map(|_| {
+                    let jobs_rx = Arc::clone(&jobs_rx);
+                    let results_tx = results_tx.clone();
+                    let run = Arc::clone(&run);
+                    std::thread::spawn(move || {
+                        crate::enter_worker();
+                        loop {
+                            // Hold the queue lock only for the pop, never
+                            // across the job itself.
+                            let msg = jobs_rx.lock().expect("farm queue poisoned").recv();
+                            let Ok((ticket, job)) = msg else { break };
+                            // Catch job panics and ship them to the joiner:
+                            // with other workers still holding the channel
+                            // open, an unwinding worker would otherwise turn
+                            // its ticket's join into a deadlock rather than
+                            // an error.
+                            let r =
+                                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| run(job)));
+                            // A send can only fail when the farm was dropped
+                            // mid-join; nobody is waiting, so exit quietly.
+                            if results_tx.send((ticket, r)).is_err() {
+                                break;
+                            }
+                        }
+                    })
+                })
+                .collect();
+            Backend::Pool { jobs: jobs_tx, results: results_rx, workers }
+        };
+        Farm { next_ticket: 0, stash: HashMap::new(), backend }
+    }
+
+    /// Enqueues a job; the returned ticket redeems its result via
+    /// [`join`](Farm::join).
+    pub fn submit(&mut self, job: J) -> Ticket {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        match &mut self.backend {
+            Backend::Serial(run) => {
+                let r = run(job);
+                self.stash.insert(ticket, r);
+            }
+            Backend::Pool { jobs, .. } => {
+                jobs.send((ticket, job)).expect("farm workers gone before shutdown");
+            }
+        }
+        Ticket(ticket)
+    }
+
+    /// Blocks until the result for `ticket` is available and returns it.
+    ///
+    /// Tickets may be joined in any order; results arriving ahead of their
+    /// join are stashed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ticket` was already joined (or never issued). If the
+    /// job's function panicked on a worker, the panic payload is re-raised
+    /// here, on the joining thread.
+    pub fn join(&mut self, ticket: Ticket) -> R {
+        if let Some(r) = self.stash.remove(&ticket.0) {
+            return r;
+        }
+        match &mut self.backend {
+            Backend::Serial(_) => panic!("farm ticket {} joined twice or never issued", ticket.0),
+            Backend::Pool { results, .. } => loop {
+                let (id, r) = results
+                    .recv()
+                    .unwrap_or_else(|_| panic!("farm workers gone before ticket {}", ticket.0));
+                let r = r.unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+                if id == ticket.0 {
+                    return r;
+                }
+                self.stash.insert(id, r);
+            },
+        }
+    }
+}
+
+impl<J, R> Drop for Farm<J, R> {
+    fn drop(&mut self) {
+        if let Backend::Pool { jobs, workers, .. } = &mut self.backend {
+            // Replacing the sender with a dead channel drops the real one:
+            // workers see Err on recv and exit.
+            let (dead, _) = channel();
+            *jobs = dead;
+            for w in workers.drain(..) {
+                // A worker that panicked already surfaced (or will) through
+                // join(); suppress the secondary panic during teardown.
+                let _ = w.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serial_farm_runs_inline() {
+        let mut f: Farm<u64, u64> = Farm::new(1, |x| x * x);
+        assert_eq!(f.threads(), 0);
+        let t1 = f.submit(3);
+        let t2 = f.submit(4);
+        // Joined out of submission order.
+        assert_eq!(f.join(t2), 16);
+        assert_eq!(f.join(t1), 9);
+    }
+
+    #[test]
+    fn pooled_farm_matches_serial() {
+        let f = |x: u64| x.wrapping_mul(0x9E37_79B9).rotate_left(7);
+        let mut serial: Farm<u64, u64> = Farm::new(1, f);
+        let mut pooled: Farm<u64, u64> = Farm::new(4, f);
+        assert_eq!(pooled.threads(), 4);
+        let st: Vec<_> = (0..64).map(|x| serial.submit(x)).collect();
+        let pt: Vec<_> = (0..64).map(|x| pooled.submit(x)).collect();
+        for (a, b) in st.into_iter().zip(pt) {
+            assert_eq!(serial.join(a), pooled.join(b));
+        }
+    }
+
+    #[test]
+    fn join_blocks_until_ready_in_any_order() {
+        let mut f: Farm<u64, u64> = Farm::new(2, |x| {
+            if x == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            x + 100
+        });
+        let slow = f.submit(0);
+        let fast = f.submit(1);
+        assert_eq!(f.join(slow), 100);
+        assert_eq!(f.join(fast), 101);
+    }
+
+    #[test]
+    fn farm_workers_report_in_worker() {
+        let mut f: Farm<(), bool> = Farm::new(2, |()| crate::in_worker());
+        let t = f.submit(());
+        assert!(f.join(t), "farm workers must set the in-worker flag");
+        assert!(!crate::in_worker(), "the submitting thread is not a worker");
+    }
+
+    #[test]
+    #[should_panic(expected = "job exploded")]
+    fn worker_panic_propagates_to_join_not_deadlock() {
+        // With >= 2 workers, the surviving workers keep the results channel
+        // open — the panic must still reach the joiner (not hang it).
+        let mut f: Farm<u64, u64> = Farm::new(2, |x| {
+            if x == 3 {
+                panic!("job exploded");
+            }
+            x
+        });
+        let tickets: Vec<_> = (0..8).map(|x| f.submit(x)).collect();
+        for t in tickets {
+            let _ = f.join(t);
+        }
+    }
+
+    #[test]
+    fn drop_with_unjoined_results_is_clean() {
+        let mut f: Farm<u64, u64> = Farm::new(2, |x| x);
+        for x in 0..8 {
+            f.submit(x);
+        }
+        drop(f);
+    }
+}

@@ -4,9 +4,10 @@
 //! small slice of rayon-style functionality the experiment pipeline needs,
 //! in the spirit of the `shims/` crates: [`scope`] (a thin wrapper over
 //! [`std::thread::scope`]), [`par_map`] / [`par_map_chunked`] /
-//! [`par_map_init`] (order-preserving parallel maps over a slice), and a
-//! thread-count policy ([`num_threads`]) driven by the `PARADET_THREADS`
-//! environment variable.
+//! [`par_map_init`] (order-preserving parallel maps over a slice), a
+//! persistent ticketed worker pool ([`Farm`]) for streams of owned jobs
+//! (the decoupled checker farm), and a thread-count policy
+//! ([`num_threads`]) driven by the `PARADET_THREADS` environment variable.
 //!
 //! # Determinism
 //!
@@ -29,11 +30,33 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod farm;
+
+pub use farm::{Farm, Ticket};
+
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
 thread_local! {
     static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether the current thread is a `paradet-par` worker (a parallel-map
+/// worker or a [`Farm`] worker).
+///
+/// Nested parallelism policy: code that *could* spin up its own pool (e.g.
+/// a simulation's checker farm) checks this and stays serial inside an
+/// already-parallel region, so a T-thread trial sweep does not explode into
+/// T × N threads.
+pub fn in_worker() -> bool {
+    IN_WORKER.with(|w| w.get())
+}
+
+/// Marks the current thread as a worker for [`in_worker`]. Called once at
+/// the top of every pool/map worker this crate spawns.
+fn enter_worker() {
+    IN_WORKER.with(|w| w.set(true));
 }
 
 /// The number of worker threads parallel maps on this thread will use.
@@ -158,6 +181,7 @@ where
                 let init = &init;
                 let slots = &slots;
                 s.spawn(move || {
+                    enter_worker();
                     let mut scratch = init();
                     loop {
                         let start = cursor.fetch_add(chunk, Ordering::Relaxed);

@@ -14,5 +14,5 @@ mod summary;
 mod table;
 
 pub use kde::{gaussian_kde, KdePoint};
-pub use summary::Summary;
+pub use summary::{wilson_interval, Summary};
 pub use table::{write_csv, Table};

@@ -36,6 +36,27 @@ impl Summary {
     }
 }
 
+/// Wilson score interval for a binomial proportion: the `z`-sigma
+/// confidence bounds on the true success rate after observing `successes`
+/// out of `trials` (use `z = 1.96` for 95%).
+///
+/// Unlike the normal approximation, Wilson stays inside `[0, 1]` and is
+/// well-behaved at the extremes fault campaigns actually produce (0% SDC,
+/// 100% coverage) and at the modest per-site trial counts a simulator can
+/// afford. `trials == 0` yields the vacuous interval `(0, 1)`.
+pub fn wilson_interval(successes: u64, trials: u64, z: f64) -> (f64, f64) {
+    if trials == 0 {
+        return (0.0, 1.0);
+    }
+    let n = trials as f64;
+    let p = successes as f64 / n;
+    let z2 = z * z;
+    let denom = 1.0 + z2 / n;
+    let center = (p + z2 / (2.0 * n)) / denom;
+    let half = (z / denom) * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+    ((center - half).max(0.0), (center + half).min(1.0))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -55,6 +76,29 @@ mod tests {
         let s = Summary::of(&[]);
         assert_eq!(s.count, 0);
         assert_eq!(s.geomean, 0.0);
+    }
+
+    #[test]
+    fn wilson_interval_brackets_the_proportion() {
+        let (lo, hi) = wilson_interval(45, 50, 1.96);
+        assert!(lo < 0.9 && 0.9 < hi, "interval ({lo}, {hi}) must contain p=0.9");
+        assert!(lo > 0.77 && hi < 0.97, "95% interval for 45/50 is roughly (.787, .956)");
+    }
+
+    #[test]
+    fn wilson_interval_is_sane_at_extremes() {
+        // 0/n and n/n stay inside [0, 1] and are not degenerate points.
+        let (lo0, hi0) = wilson_interval(0, 20, 1.96);
+        assert_eq!(lo0, 0.0);
+        assert!(hi0 > 0.0 && hi0 < 0.3);
+        let (lo1, hi1) = wilson_interval(20, 20, 1.96);
+        assert!(lo1 > 0.7 && lo1 < 1.0);
+        assert_eq!(hi1, 1.0);
+        // More trials tighten the interval.
+        let narrow = wilson_interval(200, 200, 1.96);
+        assert!(narrow.0 > lo1);
+        // No trials: vacuous.
+        assert_eq!(wilson_interval(0, 0, 1.96), (0.0, 1.0));
     }
 
     #[test]

@@ -5,13 +5,17 @@
 //! thread-local override) rather than the `PARADET_THREADS` environment
 //! variable, so these tests cannot race with each other over process state.
 
+use paradet::detect::{PairedSystem, SystemConfig};
 use paradet::faults::{
     run_campaign, run_overdetection_trials, trial_fault, trial_seed, CampaignConfig, FaultSite,
 };
+use paradet::isa::{AluOp, Program, ProgramBuilder, Reg};
+use paradet::ooo::{ArmedFault, FaultTarget};
 use paradet::par::with_threads;
 use paradet_bench::experiments::fig07_slowdown;
 use paradet_bench::runner::Runner;
 use proptest::prelude::*;
+use std::sync::Arc;
 
 fn small_campaign_cfg() -> CampaignConfig {
     CampaignConfig {
@@ -82,6 +86,175 @@ fn site_reordering_preserves_per_trial_faults() {
         let tb = matching[pos.unwrap()];
         assert_eq!(ta.fault, tb.fault, "fault for {:?} changed with site order", ta.site);
         assert_eq!(ta.outcome, tb.outcome);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Decoupled checker farm: 1 vs N farm workers must be bit-identical —
+// errors, delay stats, seal/finish times, checker stats, cache stats,
+// everything — on ANY input. The legacy eager (inline-at-seal) path is
+// additionally bit-identical whenever checker I-fetches stay in the
+// private checker L0/L1I (true for everything below; `randacc` at large
+// footprints is the known exception — see `SystemConfig::eager_check`).
+// ---------------------------------------------------------------------------
+
+/// A loopy kernel with loads, stores, random arithmetic and (optionally) a
+/// non-deterministic `rdcycle`, parameterized enough to hit space seals,
+/// timeout seals, wrap-around stalls and divergent replays.
+fn farm_kernel(seeds: &[u64], ops: &[(AluOp, usize, usize)], iters: u64, rdcycle: bool) -> Program {
+    let mut b = ProgramBuilder::new();
+    let buf = b.alloc_u64s(seeds);
+    b.li(Reg::X1, buf as i64);
+    b.li(Reg::X2, 0);
+    b.li(Reg::X3, iters as i64);
+    let top = b.label_here();
+    if rdcycle {
+        // Timing-visible value through the log: any timing divergence
+        // between farm widths would cascade into a functional mismatch.
+        b.rdcycle(Reg::X10);
+    }
+    for (i, &(op, ld_slot, st_slot)) in ops.iter().enumerate() {
+        let dst = Reg::from_index(4 + (i % 4));
+        b.ld(dst, Reg::X1, ((ld_slot % seeds.len()) * 8) as i64);
+        b.op(op, Reg::X8, dst, Reg::X2);
+        b.sd(Reg::X8, Reg::X1, ((st_slot % seeds.len()) * 8) as i64);
+    }
+    b.addi(Reg::X2, Reg::X2, 1);
+    b.blt(Reg::X2, Reg::X3, top);
+    b.halt();
+    b.build()
+}
+
+/// Runs `program` under `cfg` (with an optional main-core fault and an
+/// optional detector log fault armed) and renders everything observable —
+/// the full run report, per-seal finish times, and per-checker stats —
+/// into one comparable string.
+fn run_fingerprint(
+    cfg: SystemConfig,
+    program: &Arc<Program>,
+    fault: Option<ArmedFault>,
+    log_fault: Option<(u64, usize, u8)>,
+    max_instrs: u64,
+) -> String {
+    let mut sys = PairedSystem::new_shared(cfg, program);
+    if let Some(f) = fault {
+        sys.arm_fault(f);
+    }
+    if let Some((seq, entry, bit)) = log_fault {
+        sys.arm_log_fault(seq, entry, bit);
+    }
+    let report = sys.run(max_instrs);
+    format!(
+        "{report:?}|finishes={:?}|checkers={:?}",
+        sys.detector().finish_times(),
+        sys.detector().checkers
+    )
+}
+
+fn farm_sweep_config() -> SystemConfig {
+    // Small log + few checkers: seals and wrap-around stalls every few
+    // dozen instructions, so the lazy join fires constantly.
+    let mut cfg = SystemConfig::paper_default().with_checkers(3).with_log(1024, Some(64));
+    cfg = cfg.with_checker_mhz(250);
+    cfg
+}
+
+/// Farm vs legacy eager path on a real workload at the paper config.
+#[test]
+fn farm_matches_legacy_eager_on_workload() {
+    let w = paradet::workloads::Workload::Bitcount;
+    let program = Arc::new(w.build(w.iters_for_instrs(5_000)));
+    let farm = run_fingerprint(SystemConfig::paper_default(), &program, None, None, 5_000);
+    let eager_cfg = SystemConfig { eager_check: true, ..SystemConfig::paper_default() };
+    let eager = run_fingerprint(eager_cfg, &program, None, None, 5_000);
+    assert_eq!(farm, eager, "decoupled farm diverged from the legacy eager path");
+}
+
+/// Farm width (serial fast path vs 8 pooled workers) is invisible.
+#[test]
+fn farm_width_is_invisible_on_workload() {
+    let w = paradet::workloads::Workload::Stream;
+    let program = Arc::new(w.build(w.iters_for_instrs(5_000)));
+    let cfg = farm_sweep_config();
+    let serial = with_threads(1, || run_fingerprint(cfg, &program, None, None, 5_000));
+    let pooled = with_threads(8, || run_fingerprint(cfg, &program, None, None, 5_000));
+    assert_eq!(serial, pooled, "farm width changed simulated results");
+}
+
+/// An erroring segment (over-detection log fault) joins with identical
+/// timing on every path.
+#[test]
+fn farm_erroring_segment_is_identical() {
+    let w = paradet::workloads::Workload::Freqmine;
+    let program = Arc::new(w.build(w.iters_for_instrs(4_000)));
+    let cfg = farm_sweep_config();
+    let eager_cfg = SystemConfig { eager_check: true, ..cfg };
+    let lf = Some((1u64, 7usize, 13u8));
+    let farm1 = with_threads(1, || run_fingerprint(cfg, &program, None, lf, 4_000));
+    let farm8 = with_threads(8, || run_fingerprint(cfg, &program, None, lf, 4_000));
+    let eager = run_fingerprint(eager_cfg, &program, None, lf, 4_000);
+    assert!(farm1.contains("seal_seq: 1"), "the armed log fault must surface as an error");
+    assert_eq!(farm1, farm8);
+    assert_eq!(farm1, eager);
+}
+
+proptest! {
+    /// Random programs × random farm/log geometries × random faults: the
+    /// decoupled farm at 1 and 4 worker threads, and the legacy eager path,
+    /// produce bit-identical errors, delay statistics, and seal/finish
+    /// times.
+    #[test]
+    fn decoupled_farm_is_bit_identical(
+        seeds in proptest::collection::vec(any::<u64>(), 4..9),
+        ops in proptest::collection::vec(
+            (prop_oneof![
+                Just(AluOp::Add), Just(AluOp::Sub), Just(AluOp::Xor),
+                Just(AluOp::Mul), Just(AluOp::Div), Just(AluOp::Sll),
+            ], 0usize..16, 0usize..16),
+            1..8,
+        ),
+        iters in 8u64..60,
+        rdcycle in any::<bool>(),
+        n_checkers in 1usize..5,
+        mhz_sel in 0usize..3,
+        log_sel in 0usize..3,
+        timeout_sel in 0usize..3,
+        fault_sel in 0usize..4,
+        fault_instr in 1u64..400,
+        fault_bit in 0u8..64,
+    ) {
+        let program = Arc::new(farm_kernel(&seeds, &ops, iters, rdcycle));
+        let mhz = [250, 500, 1000][mhz_sel];
+        let (log_bytes, timeout) =
+            ([512, 1024, 8192][log_sel], [None, Some(48), Some(400)][timeout_sel]);
+        let cfg = SystemConfig::paper_default()
+            .with_checkers(n_checkers)
+            .with_checker_mhz(mhz)
+            .with_log(log_bytes, timeout);
+        // fault_sel: 0 = clean, 1 = register fault, 2 = PC fault,
+        // 3 = over-detection fault in the log itself.
+        let fault = match fault_sel {
+            1 => Some(ArmedFault::new(
+                fault_instr,
+                FaultTarget::IntRegBit { reg: Reg::X8, bit: fault_bit },
+            )),
+            2 => Some(ArmedFault::new(
+                fault_instr,
+                FaultTarget::PcBit { bit: 2 + (fault_bit % 8) },
+            )),
+            _ => None,
+        };
+        let log_fault =
+            if fault_sel == 3 { Some((fault_instr % 4, fault_bit as usize, fault_bit)) } else { None };
+
+        let serial =
+            with_threads(1, || run_fingerprint(cfg, &program, fault, log_fault, 2_000));
+        let pooled =
+            with_threads(4, || run_fingerprint(cfg, &program, fault, log_fault, 2_000));
+        let eager_cfg = SystemConfig { eager_check: true, ..cfg };
+        let eager = run_fingerprint(eager_cfg, &program, fault, log_fault, 2_000);
+        prop_assert_eq!(&serial, &pooled, "farm width changed simulated results");
+        prop_assert_eq!(&serial, &eager, "farm diverged from the legacy eager path");
     }
 }
 
