@@ -50,13 +50,49 @@ pub fn fig08_delay_density(r: &Runner) -> Table {
 
 /// Fig. 11: mean (a) and max (b) store-check delay vs checker clock
 /// (paper: mean halves as the clock doubles, saturating at high clocks).
+///
+/// One-run path: shares [`Runner::clock_sweep`]'s single simulation per
+/// workload with Fig. 9 — every clock's store-delay population comes from
+/// that run's secondary-domain folds, bit-identical to a dedicated run at
+/// that clock whenever the domain reports zero stall divergences (diverged
+/// domains fall back to a dedicated run).
+/// [`fig11_freq_delay_per_run`] is the legacy N-runs reference.
 pub fn fig11_freq_delay(r: &Runner) -> (Table, Table) {
-    let header: Vec<String> = std::iter::once("benchmark".to_string())
-        .chain(CLOCK_SWEEP.iter().map(|m| format!("{m}MHz")))
-        .collect();
-    let href: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-    let mut mean_t = Table::new("Fig. 11a: mean store-check delay (ns) vs checker clock", &href);
-    let mut max_t = Table::new("Fig. 11b: max store-check delay (us) vs checker clock", &href);
+    let (mut mean_t, mut max_t) = fig11_tables();
+    let cells = par_grid(&Workload::all(), &[()], |w, ()| {
+        let rep = r.clock_sweep(w, &CLOCK_SWEEP);
+        rep.domains
+            .iter()
+            .map(|d| {
+                if d.stall_divergences == 0 {
+                    (d.store_delays.mean_ns(), d.store_delays.max_ns())
+                } else {
+                    let cfg = SystemConfig::paper_default().with_checker_mhz(d.domain.mhz());
+                    let rep = r.run(&cfg, w);
+                    (rep.store_delays.mean_ns(), rep.store_delays.max_ns())
+                }
+            })
+            .collect::<Vec<(f64, f64)>>()
+    });
+    for (w, row) in Workload::all().iter().zip(&cells) {
+        let mut mean_row = vec![w.name().to_string()];
+        let mut max_row = vec![w.name().to_string()];
+        for &(mean, max) in &row[0] {
+            mean_row.push(format!("{mean:.0}"));
+            max_row.push(format!("{:.1}", max / 1000.0));
+        }
+        mean_t.row(&mean_row);
+        max_t.row(&max_row);
+    }
+    let _ = mean_t.write_csv(&out_dir().join("fig11a_mean_delay.csv"));
+    let _ = max_t.write_csv(&out_dir().join("fig11b_max_delay.csv"));
+    (mean_t, max_t)
+}
+
+/// Fig. 11 on the legacy path: one dedicated simulation per clock. Kept as
+/// the bit-identity reference for [`fig11_freq_delay`] (no CSV output).
+pub fn fig11_freq_delay_per_run(r: &Runner) -> (Table, Table) {
+    let (mut mean_t, mut max_t) = fig11_tables();
     let cells = par_grid(&Workload::all(), &CLOCK_SWEEP, |w, &mhz| {
         let cfg = SystemConfig::paper_default().with_checker_mhz(mhz);
         let rep = r.run(&cfg, w);
@@ -72,9 +108,15 @@ pub fn fig11_freq_delay(r: &Runner) -> (Table, Table) {
         mean_t.row(&mean_row);
         max_t.row(&max_row);
     }
-    let _ = mean_t.write_csv(&out_dir().join("fig11a_mean_delay.csv"));
-    let _ = max_t.write_csv(&out_dir().join("fig11b_max_delay.csv"));
     (mean_t, max_t)
+}
+
+/// The empty Fig. 11a/11b tables.
+fn fig11_tables() -> (Table, Table) {
+    (
+        super::slowdown::clock_table("Fig. 11a: mean store-check delay (ns) vs checker clock"),
+        super::slowdown::clock_table("Fig. 11b: max store-check delay (us) vs checker clock"),
+    )
 }
 
 /// Fig. 12: mean (a) and max (b) store-check delay vs log size/timeout

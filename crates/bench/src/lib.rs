@@ -5,7 +5,16 @@
 //! aligned text tables and are also written as CSV under
 //! `EXPERIMENTS-data/` (override with `PARADET_OUT`). Per-run instruction
 //! budgets default to [`runner::DEFAULT_INSTRS`] and can be overridden
-//! with `PARADET_INSTRS`.
+//! with `PARADET_INSTRS`. The repo-level `ARCHITECTURE.md` indexes every
+//! figure to its experiment function, CSV, and implementing crates.
+//!
+//! The checker-clock sweeps (Fig. 9/11, and Fig. 13's 12-core points) run
+//! on the **one-run clock-domain path**: each workload simulates once with
+//! every sweep clock folded as a secondary domain
+//! ([`runner::Runner::clock_sweep`]), with automatic fallback to a
+//! dedicated run for any domain reporting stall divergences; the legacy
+//! one-simulation-per-clock sweeps are kept as `*_per_run` bit-identity
+//! references.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]

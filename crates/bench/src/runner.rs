@@ -5,7 +5,7 @@
 //! cached behind interior mutability, so concurrent sweep points reuse them
 //! instead of recomputing, and no `&mut self` forces sequential use.
 
-use paradet_core::{run_unchecked_shared, PairedSystem, RunReport, SystemConfig};
+use paradet_core::{run_unchecked_shared, DomainSet, PairedSystem, RunReport, SystemConfig};
 use paradet_isa::Program;
 use paradet_workloads::Workload;
 use std::collections::HashMap;
@@ -39,6 +39,10 @@ pub struct Runner {
     instrs: u64,
     programs: Mutex<HashMap<&'static str, Arc<Program>>>,
     baselines: Mutex<HashMap<&'static str, Arc<OnceLock<RunReport>>>>,
+    /// One-run clock-sweep reports (Fig. 9/11), keyed by workload: one
+    /// simulation carrying every sweep clock as a secondary domain, shared
+    /// by every experiment that consumes the sweep.
+    sweeps: Mutex<HashMap<&'static str, Arc<OnceLock<Arc<RunReport>>>>>,
 }
 
 impl Runner {
@@ -94,5 +98,33 @@ impl Runner {
         let base_cycles = self.baseline(cfg, workload).main_cycles.max(1);
         let full = self.run(cfg, workload);
         full.main_cycles as f64 / base_cycles as f64
+    }
+
+    /// The one-run checker-clock sweep for `workload` (cached; computed at
+    /// most once even when Fig. 9 and Fig. 11 race for it): a single
+    /// paper-default simulation with every clock in `clocks` folded as a
+    /// secondary domain, so `report.domains[i]` holds the `clocks[i]`
+    /// results of a dedicated run at that clock (exact whenever the row's
+    /// `stall_divergences` is zero).
+    pub fn clock_sweep(&self, workload: Workload, clocks: &[u64]) -> Arc<RunReport> {
+        let cell = {
+            let mut sweeps = self.sweeps.lock().expect("sweep cache poisoned");
+            Arc::clone(sweeps.entry(workload.name()).or_default())
+        };
+        let rep = Arc::clone(cell.get_or_init(|| {
+            let cfg = SystemConfig::paper_default().with_extra_domains(DomainSet::from_mhz(clocks));
+            Arc::new(self.run(&cfg, workload))
+        }));
+        // The cache is keyed by workload alone; a later call with a
+        // different clock list would otherwise silently get the first
+        // call's sweep.
+        assert!(
+            rep.domains.len() == clocks.len()
+                && rep.domains.iter().zip(clocks).all(|(d, &mhz)| d.domain.mhz() == mhz),
+            "clock_sweep cache for {} holds clocks {:?}, not the requested {clocks:?}",
+            workload.name(),
+            rep.domains.iter().map(|d| d.domain.mhz()).collect::<Vec<_>>(),
+        );
+        rep
     }
 }

@@ -217,6 +217,32 @@ impl CheckerCore {
         ready_at: Time,
         replay: &ReplayOutcome,
         hier: &mut MemHier,
+        on_check: impl FnMut(usize, Time),
+    ) -> CheckOutcome {
+        self.fold_timing_with(
+            ready_at,
+            replay,
+            |core, line, cycle, period| hier.checker_ifetch_cycle(core, line, cycle, period),
+            on_check,
+        )
+    }
+
+    /// [`fold_timing`](CheckerCore::fold_timing) with an explicit I-fetch
+    /// hook instead of a [`MemHier`]: `ifetch(core, line, cycle, period_fs)`
+    /// returns the cycle at which the line is ready.
+    ///
+    /// This is the multi-domain fold entry point: one shared
+    /// [`ReplayTrace`](crate::ReplayTrace) can be folded once per
+    /// [`ClockDomain`](crate::ClockDomain), each fold routing its I-fetches
+    /// through that domain's own checker-cache path (see
+    /// `paradet_mem::CheckerPath`) while everything else about the fold —
+    /// scoreboard, latency classes, pipeline fill — comes from this core's
+    /// own [`CheckerConfig`].
+    pub fn fold_timing_with(
+        &mut self,
+        ready_at: Time,
+        replay: &ReplayOutcome,
+        mut ifetch: impl FnMut(usize, u64, u64, u64) -> u64,
         mut on_check: impl FnMut(usize, Time),
     ) -> CheckOutcome {
         let period = self.cfg.clock.period().as_fs();
@@ -232,7 +258,7 @@ impl CheckerCore {
             crate::trace::TraceEvent::Op(new_line) => {
                 // Fetch timing: one I-cache access per new line.
                 if let Some(line) = new_line {
-                    line_ready = hier.checker_ifetch_cycle(id, line, cycle, period);
+                    line_ready = ifetch(id, line, cycle, period);
                 }
                 cycle = cycle.max(line_ready);
             }

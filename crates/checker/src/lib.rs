@@ -16,11 +16,19 @@
 //! checker farm), and [`CheckerCore::fold_timing`] replays its
 //! [`ReplayTrace`] against the memory hierarchy in seal order on the
 //! simulation thread.
+//!
+//! Because the replay is clock-invariant, one replay can feed many folds:
+//! a [`ClockDomain`] names one checker clock/latency provisioning point,
+//! a [`DomainSet`] is the ordered set of secondary domains a single run
+//! sweeps (reproducing the paper's Fig. 9/11 sensitivity curves from one
+//! simulation), and [`CheckerCore::fold_timing_with`] is the fold entry
+//! point that routes I-fetches through a domain's own cache path.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod core;
+mod domain;
 mod replay;
 mod trace;
 
@@ -28,5 +36,6 @@ pub use crate::core::{
     replay_segment, CheckerConfig, CheckerCore, CheckerLatencies, CheckerStats, ReplayOutcome,
     SegmentTask,
 };
+pub use domain::{ClockDomain, DomainSet, MAX_DOMAINS};
 pub use replay::{CheckError, CheckOutcome, ReplayError, ReplaySource};
 pub use trace::ReplayTrace;

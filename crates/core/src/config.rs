@@ -1,6 +1,6 @@
 //! System-level configuration (Table I plus the §VI-A sweeps).
 
-use paradet_checker::CheckerConfig;
+use paradet_checker::{CheckerConfig, DomainSet};
 use paradet_mem::{Freq, MemConfig, Time};
 use paradet_ooo::OooConfig;
 
@@ -75,6 +75,19 @@ pub struct SystemConfig {
     /// If set, an "interrupt" fires this often and forces an early register
     /// checkpoint at the next instruction boundary (§IV-G).
     pub interrupt_interval: Option<Time>,
+    /// Secondary checker clock domains swept *within* this run (Fig. 9/11
+    /// from one simulation). The primary domain is [`checker`]
+    /// (self-driving: its folds gate main-core stalls, so its results are
+    /// bit-identical with or without secondary domains); each secondary
+    /// domain folds the same replay traces against its own checker cores
+    /// and checker-cache path, in seal order. Empty by default.
+    ///
+    /// Only meaningful in [`DetectionMode::Full`]: checkpoint-only and
+    /// detection-off runs fold no timing, so the set is ignored and
+    /// `RunReport::domains` comes back empty.
+    ///
+    /// [`checker`]: SystemConfig::checker
+    pub extra_domains: DomainSet,
     /// Check sealed segments inline on the sealing thread (the pre-farm
     /// legacy path) instead of dispatching them to the decoupled checker
     /// farm and joining lazily in seal order.
@@ -85,8 +98,11 @@ pub struct SystemConfig {
     /// checker's I-fetch misses land (at the seal vs. at the lazy join).
     /// Whenever checker I-fetches are satisfied by the private checker
     /// L0/L1I — every shipped workload except `randacc`, whose data
-    /// footprint evicts text from L2 — the two are bit-identical; under
-    /// L2 contention the lazy join's linearization differs slightly.
+    /// footprint evicts text from L2 at budgets ≥150k instructions — the
+    /// two are bit-identical; under L2 contention the lazy join's
+    /// linearization differs slightly. The boundary is pinned on both
+    /// sides by `farm_vs_eager_randacc_boundary_is_explicit` in
+    /// `tests/parallel_determinism.rs` and documented in ARCHITECTURE.md.
     /// Kept as the test-suite reference while the farm bakes.
     pub eager_check: bool,
 }
@@ -103,6 +119,7 @@ impl SystemConfig {
             mode: DetectionMode::Full,
             lfu_enabled: true,
             interrupt_interval: None,
+            extra_domains: DomainSet::new(),
             eager_check: false,
         }
     }
@@ -133,9 +150,25 @@ impl SystemConfig {
         self
     }
 
+    /// Returns a copy sweeping `domains` as secondary clock domains within
+    /// the run (the primary stays [`checker`](SystemConfig::checker)).
+    /// Takes effect only in [`DetectionMode::Full`] — see
+    /// [`extra_domains`](SystemConfig::extra_domains).
+    pub fn with_extra_domains(mut self, domains: DomainSet) -> SystemConfig {
+        self.extra_domains = domains;
+        self
+    }
+
     /// The memory-system configuration implied by the core clocks.
     pub fn mem_config(&self) -> MemConfig {
-        MemConfig::paper_default(self.main.clock, self.checker.clock)
+        self.mem_config_for(self.checker.clock)
+    }
+
+    /// The memory-system configuration with the checker-facing caches
+    /// clocked at `checker_clock` — the per-domain template secondary clock
+    /// domains clone their [`CheckerPath`](paradet_mem::CheckerPath) from.
+    pub fn mem_config_for(&self, checker_clock: Freq) -> MemConfig {
+        MemConfig::paper_default(self.main.clock, checker_clock)
     }
 
     /// Entries per log segment.

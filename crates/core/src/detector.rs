@@ -38,13 +38,14 @@ use crate::config::{DetectionMode, SystemConfig};
 use crate::delay::DelayStats;
 use crate::error::DetectedError;
 use crate::lfu::LoadForwardingUnit;
-use crate::log::{EntryKind, LogEntry, Segment, SegmentReader, SegmentState};
+use crate::log::{EntryKind, Segment, SegmentLog, SegmentReader, SegmentState};
 use crate::scratch::SimScratch;
 use paradet_checker::{
-    replay_segment, CheckerConfig, CheckerCore, ReplayOutcome, ReplayTrace, SegmentTask,
+    replay_segment, CheckerConfig, CheckerCore, CheckerStats, ClockDomain, ReplayOutcome,
+    ReplayTrace, SegmentTask,
 };
 use paradet_isa::{ArchState, Instruction, MemWidth, Program};
-use paradet_mem::{MemHier, Time};
+use paradet_mem::{CheckerPath, MemHier, Time};
 use paradet_ooo::{CommitEvent, CommitGate, DetectionSink};
 use paradet_par::{Farm, Ticket};
 use std::collections::VecDeque;
@@ -94,7 +95,7 @@ struct SealedJob {
     start: ArchState,
     end: ArchState,
     instr_count: u64,
-    entries: Vec<LogEntry>,
+    log: SegmentLog,
     trace: ReplayTrace,
 }
 
@@ -103,7 +104,7 @@ struct SealedJob {
 #[derive(Debug)]
 struct DoneJob {
     outcome: ReplayOutcome,
-    entries: Vec<LogEntry>,
+    log: SegmentLog,
     start: ArchState,
     end: ArchState,
 }
@@ -117,9 +118,59 @@ fn replay_job(mut job: SealedJob) -> DoneJob {
         instr_count: job.instr_count,
         ready_at: Time::ZERO,
     };
-    let mut reader = SegmentReader::new(&job.entries);
+    let mut reader = SegmentReader::new(&job.log);
     let outcome = replay_segment(&job.cfg, task, &mut reader, &mut job.trace);
-    DoneJob { outcome, entries: job.entries, start: job.start, end: job.end }
+    DoneJob { outcome, log: job.log, start: job.start, end: job.end }
+}
+
+/// One secondary clock domain's live state: its own checker cores
+/// (`free_at`, statistics), its own checker-cache path (cold-cloned from
+/// the domain's `MemConfig` template, exactly as a dedicated run at that
+/// clock starts), and its own results. Folds run in seal order, primary
+/// domain first, immediately after the primary fold of the same segment.
+#[derive(Debug)]
+struct DomainState {
+    domain: ClockDomain,
+    checkers: Vec<CheckerCore>,
+    path: CheckerPath,
+    delays: DelayStats,
+    store_delays: DelayStats,
+    finishes: Vec<Time>,
+    errors: Vec<DetectedError>,
+    /// Per-slot finish time of the slot's last folded check — the busy
+    /// window a dedicated run at this clock would gate the main core on.
+    busy_until: Vec<Time>,
+    /// Commit-gate decisions where this domain's busy window differed from
+    /// the primary's (see [`DomainReport::stall_divergences`]).
+    stall_divergences: u64,
+}
+
+/// One secondary clock domain's results out of a multi-domain run.
+#[derive(Debug, Clone)]
+pub struct DomainReport {
+    /// The domain swept.
+    pub domain: ClockDomain,
+    /// Detection delays over all checked entries (Fig. 8 at this clock).
+    pub delays: DelayStats,
+    /// Detection delays over stores only (Fig. 11 at this clock).
+    pub store_delays: DelayStats,
+    /// Errors this domain's checkers raised, in seal order, with
+    /// confirmation times filled in.
+    pub errors: Vec<DetectedError>,
+    /// Finish times of every folded check, indexed by seal sequence.
+    pub finishes: Vec<Time>,
+    /// Per-core checker statistics.
+    pub checkers: Vec<CheckerStats>,
+    /// Time at which every check of this domain has finished.
+    pub all_checks_done_at: Time,
+    /// Commit-gate decisions where this domain's segment-busy window would
+    /// have gated the main core differently than the primary domain's
+    /// (stalled when the primary didn't, freed when the primary stalled,
+    /// or stalled to a different time). **Zero certifies this domain's
+    /// one-run results as bit-identical to a dedicated single-clock run**;
+    /// non-zero means a dedicated run's main-core timeline would have
+    /// diverged, and this domain's rows are approximations.
+    pub stall_divergences: u64,
 }
 
 /// Bookkeeping for one dispatched, not-yet-folded check, queued in seal
@@ -149,6 +200,8 @@ pub struct Detector {
     program: Arc<Program>,
     /// The checker cores (public for statistics inspection).
     pub checkers: Vec<CheckerCore>,
+    /// Secondary clock domains folded alongside the primary.
+    domains: Vec<DomainState>,
     /// The load forwarding unit (public for statistics inspection).
     pub lfu: LoadForwardingUnit,
     segs: Vec<Segment>,
@@ -187,10 +240,16 @@ pub struct Detector {
 }
 
 /// Records one passed entry's detection delay (commit → check).
-fn record_delay(delays: &mut DelayStats, store_delays: &mut DelayStats, e: &LogEntry, now: Time) {
-    let d = now.saturating_sub(e.commit_time);
+fn record_delay(
+    delays: &mut DelayStats,
+    store_delays: &mut DelayStats,
+    log: &SegmentLog,
+    idx: usize,
+    now: Time,
+) {
+    let d = now.saturating_sub(log.commit_time(idx));
     delays.record(d);
-    if e.kind == EntryKind::Store {
+    if log.kind(idx) == EntryKind::Store {
         store_delays.record(d);
     }
 }
@@ -221,6 +280,29 @@ impl Detector {
             interrupt_interval: cfg.interrupt_interval,
             next_interrupt: cfg.interrupt_interval.unwrap_or(Time::MAX),
             checkers: (0..cfg.n_checkers).map(|i| CheckerCore::new(i, cfg.checker)).collect(),
+            domains: if cfg.mode == DetectionMode::Full {
+                cfg.extra_domains
+                    .iter()
+                    .map(|domain| DomainState {
+                        checkers: (0..cfg.n_checkers)
+                            .map(|i| CheckerCore::new(i, domain.checker))
+                            .collect(),
+                        path: CheckerPath::new(
+                            &cfg.mem_config_for(domain.checker.clock),
+                            cfg.n_checkers,
+                        ),
+                        domain,
+                        delays: DelayStats::new(),
+                        store_delays: DelayStats::new(),
+                        finishes: Vec::new(),
+                        errors: Vec::new(),
+                        busy_until: vec![Time::ZERO; cfg.n_checkers],
+                        stall_divergences: 0,
+                    })
+                    .collect()
+            } else {
+                Vec::new()
+            },
             lfu: LoadForwardingUnit::new(cfg.main.rob_entries),
             segs: (0..cfg.n_checkers)
                 .map(|_| Segment::with_buffer(entries, scratch.take_seg_buf()))
@@ -252,13 +334,13 @@ impl Detector {
         // results are moot, but the buffers come home.
         while let Some(p) = self.pending.pop_front() {
             let done = self.farm.as_mut().expect("pending implies farm").join(p.ticket);
-            scratch.put_seg_buf(done.entries);
+            scratch.put_seg_buf(done.log);
             self.ckpt_pool.push(done.start);
             self.ckpt_pool.push(done.end);
             self.trace_pool.push(done.outcome.trace);
         }
         for seg in self.segs {
-            scratch.put_seg_buf(seg.entries);
+            scratch.put_seg_buf(seg.log);
         }
         scratch.put_ckpts(self.ckpt_pool);
         scratch.put_traces(self.trace_pool);
@@ -293,15 +375,57 @@ impl Detector {
     /// the time at which all earlier segments had validated.
     pub fn confirm_errors(&mut self) {
         debug_assert!(self.pending.is_empty(), "confirm_errors before all checks folded");
-        // Prefix maxima of finish times by seal sequence.
-        let mut prefix = Vec::with_capacity(self.finishes.len());
-        let mut m = Time::ZERO;
-        for &f in &self.finishes {
-            m = m.max(f);
-            prefix.push(m);
+        fn confirm(finishes: &[Time], errors: &mut [DetectedError]) {
+            // Prefix maxima of finish times by seal sequence.
+            let mut prefix = Vec::with_capacity(finishes.len());
+            let mut m = Time::ZERO;
+            for &f in finishes {
+                m = m.max(f);
+                prefix.push(m);
+            }
+            for e in errors {
+                e.confirm_time = prefix.get(e.seal_seq as usize).copied().unwrap_or(e.detect_time);
+            }
         }
-        for e in &mut self.errors {
-            e.confirm_time = prefix.get(e.seal_seq as usize).copied().unwrap_or(e.detect_time);
+        confirm(&self.finishes, &mut self.errors);
+        for d in &mut self.domains {
+            confirm(&d.finishes, &mut d.errors);
+        }
+    }
+
+    /// Snapshots every secondary clock domain's results (complete after
+    /// [`Detector::finalize`]).
+    pub fn domain_reports(&self) -> Vec<DomainReport> {
+        self.domains
+            .iter()
+            .map(|d| DomainReport {
+                domain: d.domain,
+                delays: d.delays.clone(),
+                store_delays: d.store_delays.clone(),
+                errors: d.errors.clone(),
+                finishes: d.finishes.clone(),
+                checkers: d.checkers.iter().map(|c| c.stats).collect(),
+                all_checks_done_at: d.finishes.iter().copied().max().unwrap_or(Time::ZERO),
+                stall_divergences: d.stall_divergences,
+            })
+            .collect()
+    }
+
+    /// Records, for every secondary domain, whether its busy window for
+    /// `slot` would have gated the main core differently than the
+    /// primary's at time `at` (`primary_until` is the primary's busy-until
+    /// for the slot, `Time::ZERO` when its storage is free). Called at
+    /// exactly the simulation points where the primary consults a
+    /// segment's busy state.
+    fn note_domain_stalls(&mut self, slot: usize, at: Time, primary_until: Time) {
+        for d in &mut self.domains {
+            let domain_until = d.busy_until[slot];
+            let primary_stalls = at < primary_until;
+            let domain_stalls = at < domain_until;
+            if primary_stalls != domain_stalls || (primary_stalls && primary_until != domain_until)
+            {
+                d.stall_divergences += 1;
+            }
         }
     }
 
@@ -326,13 +450,15 @@ impl Detector {
         // Entries in a non-Filling segment are stale leftovers from its
         // previous tour of the ring (cleared lazily on reuse).
         let has_pending = self.segs[self.cur].state == SegmentState::Filling
-            && !self.segs[self.cur].entries.is_empty();
+            && !self.segs[self.cur].log.is_empty();
         if covered > 0 || has_pending {
             // Wait for the current segment's storage if it is still busy.
-            let at = match self.segs[self.cur].state {
-                SegmentState::Busy { until } => at.max(until),
-                _ => at,
+            let until = match self.segs[self.cur].state {
+                SegmentState::Busy { until } => until,
+                _ => Time::ZERO,
             };
+            self.note_domain_stalls(self.cur, at, until);
+            let at = at.max(until);
             self.seal(committed, instr_count, at, hier, SealKind::Final);
             self.drain_pending(hier);
         }
@@ -358,6 +484,7 @@ impl Detector {
         let done = self.farm.as_mut().expect("pending implies farm").join(p.ticket);
         let Detector {
             checkers,
+            domains,
             segs,
             delays,
             store_delays,
@@ -367,9 +494,9 @@ impl Detector {
             trace_pool,
             ..
         } = self;
-        let entries = &done.entries;
+        let log = &done.log;
         let outcome = checkers[p.slot].fold_timing(p.ready_at, &done.outcome, hier, |idx, now| {
-            record_delay(delays, store_delays, &entries[idx], now);
+            record_delay(delays, store_delays, log, idx, now);
         });
         finishes.push(outcome.finish_time);
         if let Err(error) = outcome.result {
@@ -381,10 +508,47 @@ impl Detector {
                 base_instr: p.base_instr,
             });
         }
+        // Secondary clock domains fold the same replay trace, in set order,
+        // against their own checker cores and cache paths. Their I-fetch
+        // misses share L2/DRAM with the primary's — fine whenever checker
+        // fetches resolve in the private L0/L1I or hit L2 at its constant
+        // hit latency (the same boundary `SystemConfig::eager_check`
+        // documents for the farm-vs-eager identity).
+        for d in domains.iter_mut() {
+            let DomainState {
+                checkers: d_checkers,
+                path,
+                delays: d_delays,
+                store_delays: d_store_delays,
+                finishes: d_finishes,
+                errors: d_errors,
+                busy_until,
+                ..
+            } = d;
+            let out = d_checkers[p.slot].fold_timing_with(
+                p.ready_at,
+                &done.outcome,
+                |core, line, cycle, period| {
+                    hier.checker_ifetch_cycle_via(path, core, line, cycle, period)
+                },
+                |idx, now| record_delay(d_delays, d_store_delays, log, idx, now),
+            );
+            d_finishes.push(out.finish_time);
+            if let Err(error) = out.result {
+                d_errors.push(DetectedError {
+                    seal_seq: p.seal_seq,
+                    error,
+                    detect_time: out.finish_time,
+                    confirm_time: Time::ZERO,
+                    base_instr: p.base_instr,
+                });
+            }
+            busy_until[p.slot] = out.finish_time;
+        }
         // The segment's storage frees when its check finishes; the entry
         // buffer comes home for the segment's next tour of the ring.
         let seg = &mut segs[p.slot];
-        seg.entries = done.entries;
+        seg.log = done.log;
         seg.state = SegmentState::Busy { until: outcome.finish_time };
         ckpt_pool.push(done.start);
         ckpt_pool.push(done.end);
@@ -465,10 +629,10 @@ impl Detector {
                 // §IV-I over-detection: flip the armed bit just before the
                 // check consumes the segment.
                 if let Some((fseq, fentry, fbit)) = self.log_fault {
-                    if fseq == self.seal_seq && !self.segs[cur].entries.is_empty() {
+                    if fseq == self.seal_seq && !self.segs[cur].log.is_empty() {
                         let seg = &mut self.segs[cur];
-                        let idx = fentry % seg.entries.len();
-                        seg.entries[idx].value ^= 1u64 << (fbit & 63);
+                        let idx = fentry % seg.log.len();
+                        seg.log.flip_value_bit(idx, fbit);
                         self.log_fault = None;
                     }
                 }
@@ -490,7 +654,7 @@ impl Detector {
                         start,
                         end,
                         instr_count: seg.instr_count,
-                        entries: std::mem::take(&mut seg.entries),
+                        log: std::mem::take(&mut seg.log),
                         trace: self.trace_pool.pop().unwrap_or_default(),
                     };
                     seg.state = SegmentState::Checking;
@@ -582,18 +746,18 @@ impl DetectionSink for Detector {
                     // commit (the window of vulnerability of §IV-C).
                     (EntryKind::Load, m.value)
                 };
-                Some(LogEntry { kind, addr: m.addr, value, width: m.width, commit_time: at })
+                Some((kind, m.addr, value, m.width))
             }
-            (None, Some(v)) => Some(LogEntry {
-                kind: EntryKind::Nondet,
-                addr: 0,
-                value: v,
-                width: MemWidth::D,
-                commit_time: at,
-            }),
+            (None, Some(v)) => Some((EntryKind::Nondet, 0, v, MemWidth::D)),
             (None, None) => None,
         };
-        if let Some(entry) = entry {
+        if let Some((kind, addr, value, width)) = entry {
+            // The wrap-around stall decision: record, per secondary domain,
+            // whether a dedicated run at that clock would have decided
+            // differently (its segment's check finishing at another time).
+            if let SegmentState::Busy { until } = self.segs[self.cur].state {
+                self.note_domain_stalls(self.cur, at, until);
+            }
             let seg = &mut self.segs[self.cur];
             match seg.state {
                 SegmentState::Busy { until } => {
@@ -613,8 +777,8 @@ impl DetectionSink for Detector {
                 seg.state = SegmentState::Filling;
                 seg.base_instr = self.base_instr;
             }
-            debug_assert!(seg.entries.len() < seg.capacity, "macro-op boundary rule violated");
-            seg.entries.push(entry);
+            debug_assert!(seg.log.len() < seg.capacity, "macro-op boundary rule violated");
+            seg.log.push(kind, addr, value, width, at);
             self.stats.entries_logged += 1;
         }
 
@@ -630,19 +794,21 @@ impl DetectionSink for Detector {
         let space_seal = seg.state == SegmentState::Filling && !seg.has_space_for_macro();
         let timeout_seal = self.timeout.is_some_and(|t| covered >= t);
         let interrupt_seal = at >= self.next_interrupt;
+        let pending = seg.state == SegmentState::Filling && !seg.log.is_empty();
         // Timeout/interrupt seals of an entry-less segment whose storage is
         // still being checked are deferred to the next boundary; a halt must
         // wait for the storage instead.
-        let storage_busy_until = match seg.state {
-            SegmentState::Busy { until } if at < until => Some(until),
-            _ => None,
+        let seg_until = match seg.state {
+            SegmentState::Busy { until } => until,
+            _ => Time::ZERO,
         };
+        let storage_busy_until = if at < seg_until { Some(seg_until) } else { None };
 
         if is_halt {
-            let pending = seg.state == SegmentState::Filling && !seg.entries.is_empty();
             if covered == 0 && !pending {
                 return CommitGate::Accept;
             }
+            self.note_domain_stalls(self.cur, at, seg_until);
             if let Some(until) = storage_busy_until {
                 self.stats.log_full_retries += 1;
                 return CommitGate::Retry(until);
@@ -654,10 +820,16 @@ impl DetectionSink for Detector {
             self.seal(committed, instr_count, at, hier, SealKind::Space);
             return CommitGate::AcceptWithPause(self.pause_cycles);
         }
-        if (timeout_seal || interrupt_seal) && storage_busy_until.is_none() && covered > 0 {
-            let kind = if interrupt_seal { SealKind::Interrupt } else { SealKind::Timeout };
-            self.seal(committed, instr_count, at, hier, kind);
-            return CommitGate::AcceptWithPause(self.pause_cycles);
+        if (timeout_seal || interrupt_seal) && covered > 0 {
+            // A dedicated run at another checker clock could find this
+            // segment's storage (not) busy where the primary doesn't — a
+            // deferral difference the divergence counter must see.
+            self.note_domain_stalls(self.cur, at, seg_until);
+            if storage_busy_until.is_none() {
+                let kind = if interrupt_seal { SealKind::Interrupt } else { SealKind::Timeout };
+                self.seal(committed, instr_count, at, hier, kind);
+                return CommitGate::AcceptWithPause(self.pause_cycles);
+            }
         }
         CommitGate::Accept
     }

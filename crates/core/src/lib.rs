@@ -5,7 +5,9 @@
 //!
 //! * a [`LoadForwardingUnit`] duplicating load values at execute time
 //!   (§IV-C), indexed by reorder-buffer slot;
-//! * a partitioned load-store log ([`Segment`]/[`LogEntry`], §IV-D) with a
+//! * a partitioned load-store log ([`Segment`]/[`SegmentLog`], §IV-D) in
+//!   structure-of-arrays form (dense replay walks; the measured
+//!   116-bit/entry SRAM cost vs the paper's 18-byte estimate) with a
 //!   one-to-one segment↔checker mapping;
 //! * register checkpointing at segment boundaries with a 16-cycle commit
 //!   pause (Table I), chained so each segment's start checkpoint is the
@@ -14,7 +16,13 @@
 //!   halt, stall the main core when all segments are busy, dispatch checks
 //!   to the in-order checker cores of `paradet-checker`;
 //! * [`PairedSystem`] — the whole machine, producing a [`RunReport`] with
-//!   slowdown, detection delays (Fig. 8/11/12) and detected errors.
+//!   slowdown, detection delays (Fig. 8/11/12) and detected errors;
+//! * secondary checker clock domains ([`SystemConfig::extra_domains`],
+//!   [`DomainReport`]): one run folds every sealed segment's replay once
+//!   per [`ClockDomain`], reproducing the Fig. 9/11 checker-clock
+//!   sensitivity curves from a single simulation — per-domain rows are
+//!   bit-identical to dedicated runs whenever their stall-divergence
+//!   counter is zero.
 //!
 //! # Quickstart
 //!
@@ -57,10 +65,11 @@ mod system;
 
 pub use config::{DetectionMode, LogConfig, SystemConfig};
 pub use delay::DelayStats;
-pub use detector::{Detector, DetectorStats, SealKind};
+pub use detector::{Detector, DetectorStats, DomainReport, SealKind};
 pub use error::DetectedError;
 pub use lfu::{LfuEntry, LfuStats, LoadForwardingUnit};
-pub use log::{EntryKind, LogEntry, Segment, SegmentReader, SegmentState};
+pub use log::{EntryKind, LogEntry, Segment, SegmentLog, SegmentReader, SegmentState};
+pub use paradet_checker::{ClockDomain, DomainSet};
 pub use paradet_isa::MAX_UOPS_PER_INSN;
 pub use scratch::SimScratch;
 pub use system::{

@@ -22,7 +22,11 @@ pub enum EntryKind {
     Nondet,
 }
 
-/// One committed log entry.
+/// One committed log entry, as a by-value view.
+///
+/// Storage is columnar (see [`SegmentLog`]); this struct is the row view
+/// returned by [`SegmentLog::get`] for call sites that want one entry's
+/// fields together.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LogEntry {
     /// Entry kind.
@@ -36,6 +40,120 @@ pub struct LogEntry {
     /// Commit time on the main core — the anchor for detection-delay
     /// measurement.
     pub commit_time: Time,
+}
+
+/// A log segment's entries in structure-of-arrays form.
+///
+/// The checker's replay consumes entries strictly in order, one field
+/// stream at a time (kind tag, then address, then value), so columnar
+/// storage walks dense arrays instead of striding through 40-byte
+/// `LogEntry` rows. It also keeps the *modelled* SRAM separate from
+/// simulation instrumentation: the hardware log stores kind, width,
+/// address and value ([`SegmentLog::SRAM_BITS_PER_ENTRY`] — the measured
+/// counterpart of [`LogConfig::entry_bytes`](crate::LogConfig)'s 18-byte
+/// estimate), while `commit_times` exists only so the simulator can anchor
+/// detection-delay measurement.
+#[derive(Debug, Clone, Default)]
+pub struct SegmentLog {
+    kinds: Vec<EntryKind>,
+    widths: Vec<MemWidth>,
+    addrs: Vec<u64>,
+    values: Vec<u64>,
+    commit_times: Vec<Time>,
+}
+
+impl SegmentLog {
+    /// SRAM bits one entry actually occupies in the modelled hardware:
+    /// 2-bit kind tag + 2-bit width + 48-bit physical address + 64-bit
+    /// value. Commit times are simulator instrumentation, not SRAM.
+    ///
+    /// 116 bits = 14.5 bytes, vs the paper's conservative 18-byte estimate
+    /// that [`LogConfig`](crate::LogConfig) keeps for segment capacity.
+    pub const SRAM_BITS_PER_ENTRY: u64 = 2 + 2 + 48 + 64;
+
+    /// Creates an empty log.
+    pub fn new() -> SegmentLog {
+        SegmentLog::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.kinds.len()
+    }
+
+    /// Whether the log holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.kinds.is_empty()
+    }
+
+    /// Empties the log, retaining allocations.
+    pub fn clear(&mut self) {
+        self.kinds.clear();
+        self.widths.clear();
+        self.addrs.clear();
+        self.values.clear();
+        self.commit_times.clear();
+    }
+
+    /// Smallest per-column capacity (for pool diagnostics).
+    pub fn capacity(&self) -> usize {
+        self.kinds
+            .capacity()
+            .min(self.widths.capacity())
+            .min(self.addrs.capacity())
+            .min(self.values.capacity())
+            .min(self.commit_times.capacity())
+    }
+
+    /// Grows every column to hold at least `capacity` entries.
+    pub fn ensure_capacity(&mut self, capacity: usize) {
+        fn grow<T>(v: &mut Vec<T>, capacity: usize) {
+            if v.capacity() < capacity {
+                v.reserve(capacity - v.len());
+            }
+        }
+        grow(&mut self.kinds, capacity);
+        grow(&mut self.widths, capacity);
+        grow(&mut self.addrs, capacity);
+        grow(&mut self.values, capacity);
+        grow(&mut self.commit_times, capacity);
+    }
+
+    /// Appends one entry.
+    pub fn push(&mut self, kind: EntryKind, addr: u64, value: u64, width: MemWidth, at: Time) {
+        self.kinds.push(kind);
+        self.widths.push(width);
+        self.addrs.push(addr);
+        self.values.push(value);
+        self.commit_times.push(at);
+    }
+
+    /// Entry `i`'s kind.
+    pub fn kind(&self, i: usize) -> EntryKind {
+        self.kinds[i]
+    }
+
+    /// Entry `i`'s commit time.
+    pub fn commit_time(&self, i: usize) -> Time {
+        self.commit_times[i]
+    }
+
+    /// Entry `i` as a row view.
+    pub fn get(&self, i: usize) -> LogEntry {
+        LogEntry {
+            kind: self.kinds[i],
+            addr: self.addrs[i],
+            value: self.values[i],
+            width: self.widths[i],
+            commit_time: self.commit_times[i],
+        }
+    }
+
+    /// Flips bit `bit & 63` of entry `i`'s value (the §IV-I over-detection
+    /// fault: the detection SRAM itself is corrupted).
+    pub fn flip_value_bit(&mut self, i: usize, bit: u8) {
+        self.values[i] ^= 1u64 << (bit & 63);
+    }
 }
 
 /// Lifecycle of one log segment.
@@ -64,8 +182,8 @@ pub enum SegmentState {
 /// per segment was two redundant `ArchState` clones per seal.
 #[derive(Debug, Clone)]
 pub struct Segment {
-    /// Captured entries, in commit order.
-    pub entries: Vec<LogEntry>,
+    /// Captured entries, in commit order (structure-of-arrays).
+    pub log: SegmentLog,
     /// Entry capacity (3 KiB / 18 B ≈ 170 at Table I settings).
     pub capacity: usize,
     /// Lifecycle state.
@@ -81,20 +199,17 @@ pub struct Segment {
 impl Segment {
     /// Creates an empty, free segment.
     pub fn new(capacity: usize) -> Segment {
-        Segment::with_buffer(capacity, Vec::with_capacity(capacity))
+        Segment::with_buffer(capacity, SegmentLog::new())
     }
 
     /// Creates an empty, free segment around a recycled entry buffer (see
     /// [`SimScratch`](crate::SimScratch)); the buffer is grown to `capacity`
     /// if it arrived smaller.
-    pub fn with_buffer(capacity: usize, mut buffer: Vec<LogEntry>) -> Segment {
+    pub fn with_buffer(capacity: usize, mut buffer: SegmentLog) -> Segment {
         buffer.clear();
-        if buffer.capacity() < capacity {
-            // reserve() counts from len (0 after the clear).
-            buffer.reserve(capacity);
-        }
+        buffer.ensure_capacity(capacity);
         Segment {
-            entries: buffer,
+            log: buffer,
             capacity,
             state: SegmentState::Free,
             base_instr: 0,
@@ -106,7 +221,7 @@ impl Segment {
     /// Clears the segment back to `Free` for reuse (the entry buffer's
     /// allocation is retained).
     pub fn reset(&mut self) {
-        self.entries.clear();
+        self.log.clear();
         self.state = SegmentState::Free;
         self.instr_count = 0;
     }
@@ -115,7 +230,7 @@ impl Segment {
     /// boundary rule: a macro-op's accesses must never straddle segments,
     /// so sealing happens while `MAX_UOPS_PER_INSN` slots remain (§IV-D).
     pub fn has_space_for_macro(&self) -> bool {
-        self.entries.len() + crate::MAX_UOPS_PER_INSN <= self.capacity
+        self.log.len() + crate::MAX_UOPS_PER_INSN <= self.capacity
     }
 }
 
@@ -128,14 +243,14 @@ impl Segment {
 /// statistics with a bogus sample at the very moment an error was raised.
 #[derive(Debug)]
 pub struct SegmentReader<'a> {
-    entries: &'a [LogEntry],
+    log: &'a SegmentLog,
     pos: usize,
 }
 
 impl<'a> SegmentReader<'a> {
     /// Creates a reader over a sealed segment's entries.
-    pub fn new(entries: &'a [LogEntry]) -> SegmentReader<'a> {
-        SegmentReader { entries, pos: 0 }
+    pub fn new(log: &'a SegmentLog) -> SegmentReader<'a> {
+        SegmentReader { log, pos: 0 }
     }
 
     /// Entries consumed so far.
@@ -143,23 +258,29 @@ impl<'a> SegmentReader<'a> {
         self.pos
     }
 
-    fn next_entry(&mut self) -> Result<LogEntry, ReplayError> {
-        let e = self.entries.get(self.pos).copied().ok_or(ReplayError::LogExhausted)?;
+    /// Claims the next entry's index, or reports log exhaustion. Field
+    /// columns are then read directly at the claimed index — the replay
+    /// touches only the columns each check actually compares.
+    fn next_index(&mut self) -> Result<usize, ReplayError> {
+        if self.pos >= self.log.len() {
+            return Err(ReplayError::LogExhausted);
+        }
+        let i = self.pos;
         self.pos += 1;
-        Ok(e)
+        Ok(i)
     }
 }
 
 impl ReplaySource for SegmentReader<'_> {
     fn replay_load(&mut self, addr: u64, _width: MemWidth, _now: Time) -> Result<u64, ReplayError> {
-        let e = self.next_entry()?;
-        if e.kind != EntryKind::Load {
+        let i = self.next_index()?;
+        if self.log.kinds[i] != EntryKind::Load {
             return Err(ReplayError::KindMismatch);
         }
-        if e.addr != addr {
-            return Err(ReplayError::LoadAddrMismatch { got: addr, logged: e.addr });
+        if self.log.addrs[i] != addr {
+            return Err(ReplayError::LoadAddrMismatch { got: addr, logged: self.log.addrs[i] });
         }
-        Ok(e.value)
+        Ok(self.log.values[i])
     }
 
     fn check_store(
@@ -169,32 +290,32 @@ impl ReplaySource for SegmentReader<'_> {
         width: MemWidth,
         _now: Time,
     ) -> Result<(), ReplayError> {
-        let e = self.next_entry()?;
-        if e.kind != EntryKind::Store {
+        let i = self.next_index()?;
+        if self.log.kinds[i] != EntryKind::Store {
             return Err(ReplayError::KindMismatch);
         }
-        if e.addr != addr {
-            return Err(ReplayError::StoreAddrMismatch { got: addr, logged: e.addr });
+        if self.log.addrs[i] != addr {
+            return Err(ReplayError::StoreAddrMismatch { got: addr, logged: self.log.addrs[i] });
         }
-        if e.value != width.truncate(value) {
+        if self.log.values[i] != width.truncate(value) {
             return Err(ReplayError::StoreValueMismatch {
                 got: width.truncate(value),
-                logged: e.value,
+                logged: self.log.values[i],
             });
         }
         Ok(())
     }
 
     fn replay_nondet(&mut self, _now: Time) -> Result<u64, ReplayError> {
-        let e = self.next_entry()?;
-        if e.kind != EntryKind::Nondet {
+        let i = self.next_index()?;
+        if self.log.kinds[i] != EntryKind::Nondet {
             return Err(ReplayError::KindMismatch);
         }
-        Ok(e.value)
+        Ok(self.log.values[i])
     }
 
     fn exhausted(&self) -> bool {
-        self.pos >= self.entries.len()
+        self.pos >= self.log.len()
     }
 }
 
@@ -202,17 +323,21 @@ impl ReplaySource for SegmentReader<'_> {
 mod tests {
     use super::*;
 
-    fn entry(kind: EntryKind, addr: u64, value: u64, t_ns: u64) -> LogEntry {
-        LogEntry { kind, addr, value, width: MemWidth::D, commit_time: Time::from_ns(t_ns) }
+    fn log_of(rows: &[(EntryKind, u64, u64, u64)]) -> SegmentLog {
+        let mut log = SegmentLog::new();
+        for &(kind, addr, value, t_ns) in rows {
+            log.push(kind, addr, value, MemWidth::D, Time::from_ns(t_ns));
+        }
+        log
     }
 
     #[test]
     fn reader_replays_in_order() {
-        let entries = vec![
-            entry(EntryKind::Load, 0x100, 7, 10),
-            entry(EntryKind::Store, 0x108, 8, 20),
-            entry(EntryKind::Nondet, 0, 99, 30),
-        ];
+        let entries = log_of(&[
+            (EntryKind::Load, 0x100, 7, 10),
+            (EntryKind::Store, 0x108, 8, 20),
+            (EntryKind::Nondet, 0, 99, 30),
+        ]);
         let mut r = SegmentReader::new(&entries);
         assert_eq!(r.replay_load(0x100, MemWidth::D, Time::from_ns(100)), Ok(7));
         assert_eq!(r.consumed(), 1);
@@ -223,7 +348,7 @@ mod tests {
 
     #[test]
     fn kind_mismatch_detected() {
-        let entries = vec![entry(EntryKind::Store, 0x100, 7, 0)];
+        let entries = log_of(&[(EntryKind::Store, 0x100, 7, 0)]);
         let mut r = SegmentReader::new(&entries);
         assert_eq!(r.replay_load(0x100, MemWidth::D, Time::ZERO), Err(ReplayError::KindMismatch));
         // The mismatching entry is consumed — it is up to the timing fold
@@ -235,20 +360,15 @@ mod tests {
     fn store_value_width_truncation() {
         // A 4-byte store of a value with high garbage bits must compare
         // only the stored 4 bytes.
-        let entries = vec![LogEntry {
-            kind: EntryKind::Store,
-            addr: 0x100,
-            value: 0x1234_5678,
-            width: MemWidth::W,
-            commit_time: Time::ZERO,
-        }];
+        let mut entries = SegmentLog::new();
+        entries.push(EntryKind::Store, 0x100, 0x1234_5678, MemWidth::W, Time::ZERO);
         let mut r = SegmentReader::new(&entries);
         assert_eq!(r.check_store(0x100, 0xFFFF_FFFF_1234_5678, MemWidth::W, Time::ZERO), Ok(()));
     }
 
     #[test]
     fn exhaustion_detected() {
-        let entries: Vec<LogEntry> = vec![];
+        let entries = SegmentLog::new();
         let mut r = SegmentReader::new(&entries);
         assert_eq!(r.replay_load(0, MemWidth::D, Time::ZERO), Err(ReplayError::LogExhausted));
     }
@@ -257,13 +377,39 @@ mod tests {
     fn segment_space_rule() {
         let mut s = Segment::new(4);
         assert!(s.has_space_for_macro());
-        s.entries.push(entry(EntryKind::Load, 0, 0, 0));
-        s.entries.push(entry(EntryKind::Load, 0, 0, 0));
+        s.log.push(EntryKind::Load, 0, 0, MemWidth::D, Time::ZERO);
+        s.log.push(EntryKind::Load, 0, 0, MemWidth::D, Time::ZERO);
         assert!(s.has_space_for_macro()); // 2 + 2 <= 4
-        s.entries.push(entry(EntryKind::Load, 0, 0, 0));
+        s.log.push(EntryKind::Load, 0, 0, MemWidth::D, Time::ZERO);
         assert!(!s.has_space_for_macro()); // 3 + 2 > 4
         s.reset();
         assert_eq!(s.state, SegmentState::Free);
-        assert!(s.entries.is_empty());
+        assert!(s.log.is_empty());
+    }
+
+    #[test]
+    fn soa_round_trips_and_measures_sram() {
+        let mut log = log_of(&[(EntryKind::Load, 0x40, 5, 1), (EntryKind::Store, 0x48, 9, 2)]);
+        assert_eq!(log.len(), 2);
+        assert_eq!(
+            log.get(1),
+            LogEntry {
+                kind: EntryKind::Store,
+                addr: 0x48,
+                value: 9,
+                width: MemWidth::D,
+                commit_time: Time::from_ns(2),
+            }
+        );
+        assert_eq!(log.kind(0), EntryKind::Load);
+        assert_eq!(log.commit_time(0), Time::from_ns(1));
+        log.flip_value_bit(1, 3);
+        assert_eq!(log.get(1).value, 9 ^ 8);
+        // Measured SRAM cost: kind + width + 48-bit addr + 64-bit value —
+        // 116 bits, comfortably under the 18 B/entry modelling estimate.
+        assert_eq!(SegmentLog::SRAM_BITS_PER_ENTRY, 116);
+        log.clear();
+        assert!(log.is_empty());
+        assert!(log.capacity() >= 2);
     }
 }

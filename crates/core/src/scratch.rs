@@ -9,7 +9,7 @@
 //!
 //! [`PairedSystem`]: crate::PairedSystem
 
-use crate::log::LogEntry;
+use crate::log::SegmentLog;
 use paradet_checker::ReplayTrace;
 use paradet_isa::ArchState;
 
@@ -38,7 +38,7 @@ use paradet_isa::ArchState;
 /// ```
 #[derive(Debug, Default)]
 pub struct SimScratch {
-    seg_bufs: Vec<Vec<LogEntry>>,
+    seg_bufs: Vec<SegmentLog>,
     /// Register-checkpoint slots for the farm's sealed jobs (the chained
     /// start checkpoint moves into a job; the committed end state is cloned
     /// into one of these pooled slots).
@@ -53,16 +53,16 @@ impl SimScratch {
         SimScratch::default()
     }
 
-    /// Takes one segment buffer from the pool, or a fresh empty `Vec` if
-    /// the pool is dry. The buffer is returned as-is;
+    /// Takes one segment buffer from the pool, or a fresh empty
+    /// [`SegmentLog`] if the pool is dry. The buffer is returned as-is;
     /// [`Segment::with_buffer`](crate::Segment::with_buffer) is the single
     /// place that clears it and grows it to capacity.
-    pub fn take_seg_buf(&mut self) -> Vec<LogEntry> {
+    pub fn take_seg_buf(&mut self) -> SegmentLog {
         self.seg_bufs.pop().unwrap_or_default()
     }
 
     /// Returns a segment buffer to the pool.
-    pub fn put_seg_buf(&mut self, buf: Vec<LogEntry>) {
+    pub fn put_seg_buf(&mut self, buf: SegmentLog) {
         self.seg_bufs.push(buf);
     }
 
@@ -147,7 +147,7 @@ mod tests {
         let mut s = SimScratch::new();
         let mut buf = s.take_seg_buf();
         assert!(buf.is_empty());
-        buf.reserve(8);
+        buf.ensure_capacity(8);
         s.put_seg_buf(buf);
         assert_eq!(s.pooled_seg_bufs(), 1);
         // Pooled buffers come back with their allocation intact; growing to
@@ -156,6 +156,6 @@ mod tests {
         assert!(buf.capacity() >= 8);
         assert_eq!(s.pooled_seg_bufs(), 0);
         let seg = crate::Segment::with_buffer(32, buf);
-        assert!(seg.entries.capacity() >= 32);
+        assert!(seg.log.capacity() >= 32);
     }
 }

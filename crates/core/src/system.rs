@@ -3,7 +3,7 @@
 
 use crate::config::SystemConfig;
 use crate::delay::DelayStats;
-use crate::detector::{Detector, DetectorStats};
+use crate::detector::{Detector, DetectorStats, DomainReport};
 use crate::error::DetectedError;
 use crate::scratch::SimScratch;
 use paradet_isa::Program;
@@ -45,6 +45,11 @@ pub struct RunReport {
     pub checker_busy_fs: u64,
     /// Total segments checked across all checker cores.
     pub checker_segments: u64,
+    /// One result row per secondary clock domain swept within this run
+    /// (empty for single-clock runs): the same replay stream folded at the
+    /// domain's checker clock. Exact per-domain Fig. 9/11 data whenever the
+    /// row's [`stall_divergences`](DomainReport::stall_divergences) is 0.
+    pub domains: Vec<DomainReport>,
 }
 
 impl RunReport {
@@ -213,6 +218,7 @@ impl PairedSystem {
             mem: self.hier.stats(),
             checker_busy_fs,
             checker_segments,
+            domains: self.det.domain_reports(),
         }
     }
 
@@ -273,6 +279,7 @@ pub fn run_unchecked_shared(
         mem: hier.stats(),
         checker_busy_fs: 0,
         checker_segments: 0,
+        domains: Vec::new(),
     }
 }
 

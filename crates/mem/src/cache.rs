@@ -161,6 +161,29 @@ impl Cache {
         self.sets[set].iter().any(|l| l.valid && l.tag == tag)
     }
 
+    /// Timed *observation*: computes when a read of `addr` would complete
+    /// without mutating anything — no LRU touch, no statistics, no MSHR or
+    /// fill allocation.
+    ///
+    /// On a resident line the result is exactly what [`access`] would
+    /// report for that hit (`max(now, fill_ready) + hit_latency`). On a
+    /// miss, `miss(line_addr, start)` supplies the next level's completion
+    /// time and the readout latency is added, but no line is installed —
+    /// repeated observation of an absent line misses every time.
+    ///
+    /// Secondary clock domains use this to share the primary run's L2/DRAM
+    /// state for their checker I-fetch folds without perturbing it (see
+    /// [`MemHier::checker_ifetch_cycle_via`](crate::MemHier)).
+    ///
+    /// [`access`]: Cache::access
+    pub fn observe(&self, addr: u64, now: Time, miss: &mut dyn FnMut(u64, Time) -> Time) -> Time {
+        let (set, tag) = self.index(addr);
+        if let Some(line) = self.sets[set].iter().find(|l| l.valid && l.tag == tag) {
+            return now.max(line.ready_at) + self.cfg.hit_latency;
+        }
+        miss(self.line_addr(addr), now + self.cfg.hit_latency) + self.cfg.hit_latency
+    }
+
     /// Performs a timed access.
     ///
     /// `fill` is invoked on a miss with `(victim_writeback, line_addr,

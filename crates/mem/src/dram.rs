@@ -138,6 +138,24 @@ impl Dram {
         done
     }
 
+    /// Timed *observation*: computes when a read of `addr` would complete
+    /// against the current bank/bus state without mutating it — no row is
+    /// opened, no bus or bank occupancy is reserved, no statistics move.
+    /// The counterpart of [`Cache::observe`](crate::Cache::observe) for
+    /// secondary clock domains sharing the primary run's DRAM state.
+    pub fn observe(&self, addr: u64, now: Time) -> Time {
+        let (bank_idx, row) = self.map(addr);
+        let bank = &self.banks[bank_idx];
+        let start = now.max(bank.busy_until);
+        let cycles = match bank.open_row {
+            Some(r) if r == row => self.cfg.t_cas,
+            Some(_) => self.cfg.t_rp + self.cfg.t_rcd + self.cfg.t_cas,
+            None => self.cfg.t_rcd + self.cfg.t_cas,
+        };
+        let data_ready = start + self.cfg.clock.cycles(cycles);
+        data_ready.max(self.bus_free) + self.cfg.clock.cycles(self.cfg.burst_cycles)
+    }
+
     /// Resets banks and bus to idle (for experiment repetition).
     pub fn flush(&mut self) {
         for b in &mut self.banks {

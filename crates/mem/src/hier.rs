@@ -107,6 +107,87 @@ pub struct HierStats {
     pub prefetch: PrefetchStats,
 }
 
+/// One clock domain's private checker instruction path: per-core L0 caches
+/// behind a shared checker L1I, both clocked at that domain's checker
+/// frequency (their hit latencies come from the domain's [`MemConfig`]).
+///
+/// [`MemHier`] owns the primary domain's path; secondary clock domains
+/// (see `paradet_checker::ClockDomain`) each clone a fresh path from their
+/// own `MemConfig` template — cold, exactly as a dedicated run at that
+/// clock would start — and route misses into the *shared* L2/DRAM via
+/// [`MemHier::checker_ifetch_cycle_via`].
+#[derive(Debug)]
+pub struct CheckerPath {
+    l0: Vec<Cache>,
+    l1i: Cache,
+}
+
+impl CheckerPath {
+    /// Builds a cold path with `n_checkers` L0 caches from `cfg`'s
+    /// checker-cache template.
+    pub fn new(cfg: &MemConfig, n_checkers: usize) -> CheckerPath {
+        CheckerPath {
+            l0: (0..n_checkers).map(|_| Cache::new(cfg.checker_l0)).collect(),
+            l1i: Cache::new(cfg.checker_l1i),
+        }
+    }
+
+    /// Number of L0 caches.
+    pub fn n_checkers(&self) -> usize {
+        self.l0.len()
+    }
+
+    /// Core `core`'s L0 statistics.
+    pub fn l0_stats(&self, core: usize) -> CacheStats {
+        self.l0[core].stats
+    }
+
+    /// Timed instruction fetch for core `core`, missing into `l2`/`dram`.
+    fn ifetch(&mut self, l2: &mut Cache, dram: &mut Dram, core: usize, pc: u64, now: Time) -> Time {
+        let CheckerPath { l0, l1i } = self;
+        l0[core]
+            .access(pc, false, now, &mut |line, _w, t| {
+                l1i.access(line, false, t, &mut |l2line, _w2, t2| {
+                    l2.access(l2line, false, t2, &mut |l, _w3, t3| dram.access(l, t3)).done
+                })
+                .done
+            })
+            .done
+    }
+
+    /// Timed instruction fetch for core `core` whose L1I misses *observe*
+    /// `l2`/`dram` (see [`Cache::observe`]) instead of accessing them: the
+    /// path's own caches fill normally — they are private to this domain,
+    /// exactly as in a dedicated run — but the shared outer hierarchy is
+    /// read without being perturbed.
+    fn ifetch_observing(
+        &mut self,
+        l2: &Cache,
+        dram: &Dram,
+        core: usize,
+        pc: u64,
+        now: Time,
+    ) -> Time {
+        let CheckerPath { l0, l1i } = self;
+        l0[core]
+            .access(pc, false, now, &mut |line, _w, t| {
+                l1i.access(line, false, t, &mut |l2line, _w2, t2| {
+                    l2.observe(l2line, t2, &mut |l, t3| dram.observe(l, t3))
+                })
+                .done
+            })
+            .done
+    }
+
+    /// Invalidates the path's caches.
+    fn flush(&mut self) {
+        for c in &mut self.l0 {
+            c.flush();
+        }
+        self.l1i.flush();
+    }
+}
+
 /// The composed, shared memory hierarchy.
 #[derive(Debug)]
 pub struct MemHier {
@@ -118,8 +199,7 @@ pub struct MemHier {
     dram: Dram,
     prefetcher: StridePrefetcher,
     prefetch_enabled: bool,
-    checker_l0: Vec<Cache>,
-    checker_l1i: Cache,
+    checker: CheckerPath,
 }
 
 impl MemHier {
@@ -133,14 +213,13 @@ impl MemHier {
             dram: Dram::new(cfg.dram),
             prefetcher: StridePrefetcher::new(cfg.prefetcher),
             prefetch_enabled: cfg.prefetch_enabled,
-            checker_l0: (0..n_checkers).map(|_| Cache::new(cfg.checker_l0)).collect(),
-            checker_l1i: Cache::new(cfg.checker_l1i),
+            checker: CheckerPath::new(cfg, n_checkers),
         }
     }
 
     /// Number of checker L0 caches.
     pub fn n_checkers(&self) -> usize {
-        self.checker_l0.len()
+        self.checker.n_checkers()
     }
 
     /// Timed instruction fetch on the main core.
@@ -206,22 +285,51 @@ impl MemHier {
         done.as_fs().div_ceil(period_fs)
     }
 
+    /// [`checker_ifetch_cycle`](MemHier::checker_ifetch_cycle) through an
+    /// external [`CheckerPath`] instead of the hierarchy's own: `path`'s L0
+    /// and L1I absorb the access, and only their misses reach this
+    /// hierarchy's shared L2/DRAM — which they *observe* without mutating
+    /// (note the `&self`: a secondary domain's folds cannot perturb the
+    /// primary simulation, by construction).
+    ///
+    /// This is how a secondary clock domain folds segment timing within one
+    /// run: its path is private (per-domain cold caches at per-domain hit
+    /// latencies), while L2/DRAM state — warmed by the main core, which
+    /// executes identically at every checker clock — stays shared. The
+    /// domain's times match a dedicated run's exactly as long as its
+    /// L1I-missing fetches hit the shared L2 (constant hit latency); under
+    /// L2 text eviction the observed miss skips MSHR/bank reservation — the
+    /// same modelling boundary `eager_check` documents in `paradet-core`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core >= path.n_checkers()`.
+    pub fn checker_ifetch_cycle_via(
+        &self,
+        path: &mut CheckerPath,
+        core: usize,
+        line: u64,
+        cycle: u64,
+        period_fs: u64,
+    ) -> u64 {
+        let done = path.ifetch_observing(
+            &self.l2,
+            &self.dram,
+            core,
+            line,
+            Time::from_fs(cycle * period_fs),
+        );
+        done.as_fs().div_ceil(period_fs)
+    }
+
     /// Timed instruction fetch on checker core `core`.
     ///
     /// # Panics
     ///
     /// Panics if `core >= n_checkers`.
     pub fn checker_ifetch(&mut self, core: usize, pc: u64, now: Time) -> Time {
-        let MemHier { checker_l0, checker_l1i, l2, dram, .. } = self;
-        checker_l0[core]
-            .access(pc, false, now, &mut |line, _w, t| {
-                checker_l1i
-                    .access(line, false, t, &mut |l2line, _w2, t2| {
-                        l2.access(l2line, false, t2, &mut |l, _w3, t3| dram.access(l, t3)).done
-                    })
-                    .done
-            })
-            .done
+        let MemHier { checker, l2, dram, .. } = self;
+        checker.ifetch(l2, dram, core, pc, now)
     }
 
     /// Statistics snapshot.
@@ -237,7 +345,7 @@ impl MemHier {
 
     /// Per-checker L0 statistics.
     pub fn checker_l0_stats(&self, core: usize) -> CacheStats {
-        self.checker_l0[core].stats
+        self.checker.l0_stats(core)
     }
 
     /// Invalidates all caches and resets DRAM (functional contents are kept).
@@ -246,10 +354,7 @@ impl MemHier {
         self.l1d.flush();
         self.l2.flush();
         self.dram.flush();
-        for c in &mut self.checker_l0 {
-            c.flush();
-        }
-        self.checker_l1i.flush();
+        self.checker.flush();
     }
 }
 

@@ -2,9 +2,12 @@
 //!
 //! Implements the memory system of Table I of the paper: split 32 KiB L1
 //! caches, a 1 MiB shared L2 with stride prefetcher, DDR3-1600 DRAM, and the
-//! checker cores' L0 + shared-L1I instruction path (Fig. 4). Also home to
-//! the simulator's exact femtosecond [`Time`]/[`Freq`] types, which every
-//! other crate builds on.
+//! checker cores' L0 + shared-L1I instruction path (Fig. 4), factored as a
+//! [`CheckerPath`] so secondary clock domains can each clone a private
+//! path (at their own hit latencies) that *observes* the shared L2/DRAM
+//! without perturbing it ([`Cache::observe`], [`Dram::observe`]). Also
+//! home to the simulator's exact femtosecond [`Time`]/[`Freq`] types,
+//! which every other crate builds on.
 //!
 //! # Example
 //!
@@ -28,6 +31,6 @@ mod time;
 
 pub use cache::{AccessResult, Cache, CacheConfig, CacheStats};
 pub use dram::{Dram, DramConfig, DramStats};
-pub use hier::{HierStats, MemConfig, MemHier};
+pub use hier::{CheckerPath, HierStats, MemConfig, MemHier};
 pub use prefetch::{PrefetchStats, PrefetcherConfig, StridePrefetcher};
 pub use time::{Freq, Time};

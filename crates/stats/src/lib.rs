@@ -2,9 +2,16 @@
 //!
 //! Everything the figure-regeneration binaries need to turn raw
 //! [`RunReport`](../paradet_core/struct.RunReport.html)s into the series
-//! and tables the paper prints: summary statistics (including the geometric
-//! mean used for "average slowdown"), Gaussian kernel density estimation
-//! for the Fig. 8 delay-density plot, and plain-text/CSV table writers.
+//! and tables the paper prints, mapped to where each is used:
+//!
+//! * [`Summary`] — running moments and the geometric mean ("average
+//!   slowdown" in Fig. 7/9/13);
+//! * [`gaussian_kde`] — the Fig. 8 detection-delay density curves;
+//! * [`wilson_interval`] — 95% confidence intervals on the
+//!   fault-coverage proportions (§IV campaign tables);
+//! * [`Table`]/[`write_csv`] — the aligned text tables `run_all` prints
+//!   and the CSVs under `EXPERIMENTS-data/` that ARCHITECTURE.md's figure
+//!   atlas indexes.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
