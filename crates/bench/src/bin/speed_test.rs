@@ -23,6 +23,10 @@
 //! pipeline. The JSON's `result` objects are deterministic simulation
 //! outputs — CI diffs them across thread counts.
 
+/// The one schema tag this binary emits and checks drift against — a
+/// single const so `render_json` and `--check` can never disagree.
+const SCHEMA: &str = "paradet-bench-speed/v3";
+
 use paradet_bench::experiments as ex;
 use paradet_bench::runner::{instr_budget, out_dir, Runner};
 use paradet_faults::{run_campaign, CampaignConfig};
@@ -38,6 +42,10 @@ struct WorkloadSpeed {
     instrs: u64,
     seals: u64,
     mean_delay_ns: f64,
+    /// Fraction of commit-timeline cycles the event-driven driver crossed
+    /// in single jumps (see `RunReport::cycles_skipped_pct`) — a simulated
+    /// quantity, so it rides the deterministic result rows.
+    cycles_skipped_pct: f64,
 }
 
 /// The farm-scaling metric: one 12-checker run (the fig13 "12c@1GHz"
@@ -70,6 +78,21 @@ struct ClockSweepSpeed {
     /// Deterministic per-clock results carried into the JSON result rows:
     /// (MHz, mean store-check delay in ns, stall divergences).
     rows: Vec<(u64, f64, u64)>,
+}
+
+/// The domain-fold metric: the same one-run five-clock sweep with the
+/// per-domain timing folds serial (1 thread) vs fanned out over
+/// `paradet_par` workers at each join point — bit-identical by contract,
+/// asserted in-binary.
+struct DomainFoldSpeed {
+    workload: &'static str,
+    domains: usize,
+    serial_wall_s: f64,
+    parallel_wall_s: f64,
+    speedup_vs_serial: f64,
+    /// Deterministic per-domain rows: (MHz, folds joined, mean detection
+    /// delay over all checked entries in ns).
+    rows: Vec<(u64, u64, f64)>,
 }
 
 /// Best-of-three single runs of `w` under `cfg` with the farm pinned to
@@ -128,14 +151,15 @@ fn main() {
         let (dt, r) = best.expect("three reps ran");
         let minstr_per_s = r.instrs as f64 / dt.as_secs_f64() / 1e6;
         println!(
-            "{:14} {:>8} instrs in {:>9.2?}  ({:.2} Minstr/s)  ipc={:.2} seals={} mean_delay={:.0}ns",
+            "{:14} {:>8} instrs in {:>9.2?}  ({:.2} Minstr/s)  ipc={:.2} seals={} mean_delay={:.0}ns skip={:.1}%",
             w.name(),
             r.instrs,
             dt,
             minstr_per_s,
             r.ipc(),
             r.detector.seals,
-            r.delays.mean_ns()
+            r.delays.mean_ns(),
+            r.cycles_skipped_pct()
         );
         speeds.push(WorkloadSpeed {
             name: w.name(),
@@ -143,6 +167,7 @@ fn main() {
             instrs: r.instrs,
             seals: r.detector.seals,
             mean_delay_ns: r.delays.mean_ns(),
+            cycles_skipped_pct: r.cycles_skipped_pct(),
         });
     }
 
@@ -243,6 +268,55 @@ fn main() {
         sweep.minstr_per_s
     );
 
+    // --- Parallel domain folds within the one-run sweep -------------------
+    // The same domain-swept simulation with the per-domain folds pinned
+    // serial (`SystemConfig::parallel_domain_folds = false`) vs fanned out
+    // over the configured workers at each join point — both sides at the
+    // SAME thread count, so the checker farm's parallelism is identical
+    // and the ratio isolates the fold fan-out. Fold results are
+    // bit-identical by construction (in-place, set order, observe-only
+    // hierarchy access) — asserted here so the JSON rows CI diffs can
+    // never paper over a divergence.
+    let serial_fold_cfg =
+        paradet_core::SystemConfig { parallel_domain_folds: false, ..one_run_cfg };
+    let mut fold_serial_best: Option<(std::time::Duration, paradet_core::RunReport)> = None;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let mut sys = paradet_core::PairedSystem::new_shared(serial_fold_cfg, &sweep_program);
+        let r = sys.run(instrs);
+        let dt = t0.elapsed();
+        if fold_serial_best.as_ref().is_none_or(|(b, _)| dt < *b) {
+            fold_serial_best = Some((dt, r));
+        }
+    }
+    let (fold_serial_dt, fold_serial_rep) = fold_serial_best.expect("three reps ran");
+    assert_eq!(
+        format!("{fold_serial_rep:?}"),
+        format!("{one_rep:?}"),
+        "parallel domain folds changed simulated results"
+    );
+    let domain_fold = DomainFoldSpeed {
+        workload: sweep_w.name(),
+        domains: one_rep.domains.len(),
+        serial_wall_s: fold_serial_dt.as_secs_f64(),
+        parallel_wall_s: one_dt.as_secs_f64(),
+        speedup_vs_serial: fold_serial_dt.as_secs_f64() / one_dt.as_secs_f64(),
+        rows: one_rep
+            .domains
+            .iter()
+            .map(|d| (d.domain.mhz(), d.finishes.len() as u64, d.delays.mean_ns()))
+            .collect(),
+    };
+    println!(
+        "domain folds: {} x{} domains: serial {:.4} s vs {} workers {:.4} s ({:.2}x)",
+        domain_fold.workload,
+        domain_fold.domains,
+        domain_fold.serial_wall_s,
+        threads,
+        domain_fold.parallel_wall_s,
+        domain_fold.speedup_vs_serial
+    );
+
     // --- Campaign trial throughput (parallel across PARADET_THREADS) -----
     let camp_cfg = CampaignConfig { instrs: instrs.min(20_000), ..CampaignConfig::default() };
     let n_trials = camp_cfg.trials_per_site * camp_cfg.sites.len() as u64;
@@ -288,6 +362,7 @@ fn main() {
             &speeds,
             &farm,
             &sweep,
+            &domain_fold,
             n_trials,
             trials_per_s,
             coverage,
@@ -304,10 +379,32 @@ fn main() {
             .unwrap_or(0.3);
         let text = std::fs::read_to_string(&baseline)
             .unwrap_or_else(|e| panic!("cannot read baseline {baseline}: {e}"));
+        // Schema and section drift between this binary and the committed
+        // baseline is expected whenever a PR adds sections or result keys:
+        // gate only what exists on both sides and *warn* about the rest, so
+        // a new section never forces a baseline refresh just to keep CI
+        // green. Regressions on metrics present in both still fail.
+        let current_schema = SCHEMA;
+        if let Some(base_schema) = extract_schema(&text) {
+            if base_schema != current_schema {
+                println!(
+                    "check: baseline schema {base_schema} != current {current_schema} — \
+                     gating only metrics present in both, new sections/keys warn only"
+                );
+            }
+        }
+        for name in baseline_workloads(&text) {
+            if !speeds.iter().any(|s| s.name == name) {
+                println!("check: {name:14} in baseline but not in this run — skipped (warn)");
+            }
+        }
         let mut failed = false;
         for s in &speeds {
             let Some(base) = extract_workload_speed(&text, s.name) else {
-                println!("check: {:14} missing from baseline — skipped", s.name);
+                println!(
+                    "check: {:14} missing from baseline — new metric, not gated (warn)",
+                    s.name
+                );
                 continue;
             };
             let floor = base * (1.0 - tolerance);
@@ -339,11 +436,14 @@ fn main() {
 /// Renders `BENCH_speed.json` (hand-rolled: the workspace is deliberately
 /// dependency-free, so no serde).
 ///
-/// Schema v2: workload rows carry the deterministic simulation results
-/// (`instrs`, `seals`, `mean_delay_ns`) on separate lines from the
-/// host-perf numbers, and the campaign row carries `coverage` — CI diffs
-/// the result lines between `PARADET_THREADS=1` and the default to prove
-/// the pipeline (checker farm included) is thread-count invariant.
+/// Schema v3: workload rows carry the deterministic simulation results
+/// (`instrs`, `seals`, `mean_delay_ns`, and — new in v3 — the event-driven
+/// driver's `cycles_skipped_pct`) on separate lines from the host-perf
+/// numbers; the new `domain_fold` section carries per-domain result rows
+/// for the parallel-fold path; the campaign row carries `coverage`. CI
+/// diffs the result lines between `PARADET_THREADS=1` and the default to
+/// prove the pipeline (checker farm and domain folds included) is
+/// thread-count invariant.
 #[allow(clippy::too_many_arguments)]
 fn render_json(
     instrs: u64,
@@ -351,6 +451,7 @@ fn render_json(
     speeds: &[WorkloadSpeed],
     farm: &FarmSpeed,
     sweep: &ClockSweepSpeed,
+    domain_fold: &DomainFoldSpeed,
     campaign_trials: u64,
     trials_per_s: f64,
     coverage: f64,
@@ -358,15 +459,15 @@ fn render_json(
 ) -> String {
     let mut s = String::new();
     s.push_str("{\n");
-    s.push_str("  \"schema\": \"paradet-bench-speed/v2\",\n");
+    s.push_str(&format!("  \"schema\": \"{SCHEMA}\",\n"));
     s.push_str(&format!("  \"instrs\": {instrs},\n"));
     s.push_str(&format!("  \"threads\": {threads},\n"));
     s.push_str("  \"workloads\": [\n");
     for (i, w) in speeds.iter().enumerate() {
         let comma = if i + 1 < speeds.len() { "," } else { "" };
         s.push_str(&format!(
-            "    {{ \"name\": \"{}\", \"minstr_per_s\": {:.4},\n      \"result\": {{ \"instrs\": {}, \"seals\": {}, \"mean_delay_ns\": {:.6} }} }}{comma}\n",
-            w.name, w.minstr_per_s, w.instrs, w.seals, w.mean_delay_ns
+            "    {{ \"name\": \"{}\", \"minstr_per_s\": {:.4},\n      \"result\": {{ \"instrs\": {}, \"seals\": {}, \"mean_delay_ns\": {:.6}, \"cycles_skipped_pct\": {:.4} }} }}{comma}\n",
+            w.name, w.minstr_per_s, w.instrs, w.seals, w.mean_delay_ns, w.cycles_skipped_pct
         ));
     }
     s.push_str("  ],\n");
@@ -393,12 +494,52 @@ fn render_json(
         ));
     }
     s.push_str("    ] },\n");
+    // domain_fold: host-perf on one line (dropped by the CI filter), the
+    // deterministic per-domain rows on their own lines (kept in the diff).
+    s.push_str(&format!(
+        "  \"domain_fold\": {{ \"workload\": \"{}\", \"domains\": {},\n",
+        domain_fold.workload, domain_fold.domains
+    ));
+    s.push_str(&format!(
+        "    \"serial_wall_s\": {:.4}, \"parallel_wall_s\": {:.4}, \"speedup_vs_serial\": {:.3},\n",
+        domain_fold.serial_wall_s, domain_fold.parallel_wall_s, domain_fold.speedup_vs_serial
+    ));
+    s.push_str("    \"result\": [\n");
+    for (i, (mhz, folds, mean)) in domain_fold.rows.iter().enumerate() {
+        let comma = if i + 1 < domain_fold.rows.len() { "," } else { "" };
+        s.push_str(&format!(
+            "      {{ \"mhz\": {mhz}, \"folds\": {folds}, \"mean_delay_ns\": {mean:.6} }}{comma}\n"
+        ));
+    }
+    s.push_str("    ] },\n");
     s.push_str(&format!(
         "  \"campaign\": {{ \"trials\": {campaign_trials}, \"trials_per_s\": {trials_per_s:.2},\n    \"result\": {{ \"coverage\": {coverage:.6} }} }},\n"
     ));
     s.push_str(&format!("  \"run_all_wall_s\": {run_all_wall_s:.3}\n"));
     s.push_str("}\n");
     s
+}
+
+/// Pulls the schema tag out of a `BENCH_speed.json` document.
+fn extract_schema(json: &str) -> Option<&str> {
+    let key = "\"schema\": \"";
+    let at = json.find(key)? + key.len();
+    json[at..].split('"').next()
+}
+
+/// Lists every workload name a `BENCH_speed.json` document carries (the
+/// `"name": "<x>"` rows inside its `workloads` array).
+fn baseline_workloads(json: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    let key = "\"name\": \"";
+    let mut rest = json;
+    while let Some(at) = rest.find(key) {
+        rest = &rest[at + key.len()..];
+        if let Some(name) = rest.split('"').next() {
+            names.push(name.to_string());
+        }
+    }
+    names
 }
 
 /// Pulls `minstr_per_s` for `name` out of a `BENCH_speed.json` document.

@@ -88,6 +88,14 @@ pub struct SystemConfig {
     ///
     /// [`checker`]: SystemConfig::checker
     pub extra_domains: DomainSet,
+    /// Fan the independent secondary-domain timing folds out over
+    /// `paradet_par` workers at each join point (default). Fold results
+    /// are bit-identical either way (in-place, set order, observe-only
+    /// hierarchy access — invariant 7 in ARCHITECTURE.md); the switch
+    /// exists so `speed_test`'s `domain_fold` section can measure the
+    /// fan-out against a serial-folds run *with identical farm
+    /// parallelism on both sides*.
+    pub parallel_domain_folds: bool,
     /// Check sealed segments inline on the sealing thread (the pre-farm
     /// legacy path) instead of dispatching them to the decoupled checker
     /// farm and joining lazily in seal order.
@@ -120,6 +128,7 @@ impl SystemConfig {
             lfu_enabled: true,
             interrupt_interval: None,
             extra_domains: DomainSet::new(),
+            parallel_domain_folds: true,
             eager_check: false,
         }
     }
@@ -147,6 +156,19 @@ impl SystemConfig {
     /// Returns a copy in the given detection mode.
     pub fn with_mode(mut self, mode: DetectionMode) -> SystemConfig {
         self.mode = mode;
+        self
+    }
+
+    /// Returns a copy with event-driven cycle skipping switched on or off
+    /// in the main core (on by default). `false` selects the legacy
+    /// exhaustive path — every resource structure evaluated at every
+    /// micro-op — kept as the bit-identity reference in the same spirit as
+    /// [`eager_check`](SystemConfig::eager_check); see
+    /// `paradet_ooo::OooConfig::event_skip` for the exact semantics and the
+    /// skip-vs-tick suite in `tests/parallel_determinism.rs` for the
+    /// identity proof obligation.
+    pub fn with_event_skip(mut self, on: bool) -> SystemConfig {
+        self.main.event_skip = on;
         self
     }
 

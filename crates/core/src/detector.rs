@@ -192,6 +192,7 @@ struct PendingCheck {
 pub struct Detector {
     mode: DetectionMode,
     lfu_enabled: bool,
+    parallel_folds: bool,
     eager_check: bool,
     pause_cycles: u64,
     timeout: Option<u64>,
@@ -239,6 +240,53 @@ pub struct Detector {
     log_fault: Option<(u64, usize, u8)>,
 }
 
+/// Folds one secondary clock domain's timing for a finished replay — the
+/// per-domain half of a lazy-join point. The shared L2/DRAM is read
+/// strictly through the observe path (note the `&MemHier`), so folds of
+/// different domains are independent of each other and of the primary run:
+/// that independence is what lets `Detector::fold_next_pending` fan the
+/// domain set out over `paradet_par` workers, with in-place mutation
+/// keeping results in domain-set order by construction.
+#[allow(clippy::too_many_arguments)]
+fn fold_domain(
+    d: &mut DomainState,
+    slot: usize,
+    ready_at: Time,
+    seal_seq: u64,
+    base_instr: u64,
+    outcome: &ReplayOutcome,
+    log: &SegmentLog,
+    hier: &MemHier,
+) {
+    let DomainState {
+        checkers: d_checkers,
+        path,
+        delays: d_delays,
+        store_delays: d_store_delays,
+        finishes: d_finishes,
+        errors: d_errors,
+        busy_until,
+        ..
+    } = d;
+    let out = d_checkers[slot].fold_timing_with(
+        ready_at,
+        outcome,
+        |core, line, cycle, period| hier.checker_ifetch_cycle_via(path, core, line, cycle, period),
+        |idx, now| record_delay(d_delays, d_store_delays, log, idx, now),
+    );
+    d_finishes.push(out.finish_time);
+    if let Err(error) = out.result {
+        d_errors.push(DetectedError {
+            seal_seq,
+            error,
+            detect_time: out.finish_time,
+            confirm_time: Time::ZERO,
+            base_instr,
+        });
+    }
+    busy_until[slot] = out.finish_time;
+}
+
 /// Records one passed entry's detection delay (commit → check).
 fn record_delay(
     delays: &mut DelayStats,
@@ -274,6 +322,7 @@ impl Detector {
         Detector {
             mode: cfg.mode,
             lfu_enabled: cfg.lfu_enabled,
+            parallel_folds: cfg.parallel_domain_folds,
             eager_check: cfg.eager_check,
             pause_cycles: cfg.checkpoint_pause_cycles,
             timeout: cfg.log.timeout_insns,
@@ -369,6 +418,27 @@ impl Detector {
     /// Checks dispatched to the farm whose timing has not been folded yet.
     pub fn in_flight_checks(&self) -> usize {
         self.pending.len()
+    }
+
+    /// The detector's next *known* deadline strictly after `now`: the
+    /// earliest segment-storage release (a `Busy` segment's check-finish
+    /// time, which is what wrap-around and halt stalls jump to) or the next
+    /// forced interrupt checkpoint. `None` when no deadline is pending.
+    ///
+    /// Deadlines of still-`Checking` segments are deliberately absent: a
+    /// sealed segment's finish time materializes only when its timing fold
+    /// joins, at a simulation-determined point in seal order — that lazy
+    /// join is what keeps results bit-identical at any farm width.
+    pub fn next_event_time(&self, now: Time) -> Option<Time> {
+        let busy = self.segs.iter().filter_map(|s| match s.state {
+            SegmentState::Busy { until } if until > now => Some(until),
+            _ => None,
+        });
+        let interrupt = self
+            .interrupt_interval
+            .and(Some(self.next_interrupt))
+            .filter(|&t| t > now && t < Time::MAX);
+        busy.chain(interrupt).min()
     }
 
     /// Fills in [`DetectedError::confirm_time`] for every recorded error:
@@ -482,6 +552,7 @@ impl Detector {
     fn fold_next_pending(&mut self, hier: &mut MemHier) {
         let p = self.pending.pop_front().expect("fold with no pending check");
         let done = self.farm.as_mut().expect("pending implies farm").join(p.ticket);
+        let parallel_folds = self.parallel_folds;
         let Detector {
             checkers,
             domains,
@@ -514,36 +585,55 @@ impl Detector {
         // fetches resolve in the private L0/L1I or hit L2 at its constant
         // hit latency (the same boundary `SystemConfig::eager_check`
         // documents for the farm-vs-eager identity).
-        for d in domains.iter_mut() {
-            let DomainState {
-                checkers: d_checkers,
-                path,
-                delays: d_delays,
-                store_delays: d_store_delays,
-                finishes: d_finishes,
-                errors: d_errors,
-                busy_until,
-                ..
-            } = d;
-            let out = d_checkers[p.slot].fold_timing_with(
-                p.ready_at,
-                &done.outcome,
-                |core, line, cycle, period| {
-                    hier.checker_ifetch_cycle_via(path, core, line, cycle, period)
-                },
-                |idx, now| record_delay(d_delays, d_store_delays, log, idx, now),
-            );
-            d_finishes.push(out.finish_time);
-            if let Err(error) = out.result {
-                d_errors.push(DetectedError {
-                    seal_seq: p.seal_seq,
-                    error,
-                    detect_time: out.finish_time,
-                    confirm_time: Time::ZERO,
-                    base_instr: p.base_instr,
+        //
+        // The folds are independent across domains (each owns its checker
+        // cores and cache path; the shared L2/DRAM is only *observed*, by
+        // the `&*hier` reborrow below), so fan them out over `paradet_par`
+        // workers at this join point — serial inside an already-parallel
+        // region (campaign trials), at one thread, and for short segments
+        // (scoped-thread spawn costs tens of microseconds per join, which
+        // only amortizes when each fold walks a substantial trace), where
+        // the in-place loop is also the reference ordering the parallel
+        // path reproduces bit for bit (see `domain_folds_parallel_identity`
+        // in `tests/parallel_determinism.rs`).
+        {
+            /// Smallest replayed-instruction count per segment for which the
+            /// per-join thread spawn is worth paying.
+            const PAR_FOLD_MIN_INSTRS: u64 = 256;
+            let hier_ro: &MemHier = hier;
+            let outcome = &done.outcome;
+            if parallel_folds
+                && domains.len() > 1
+                && outcome.instrs >= PAR_FOLD_MIN_INSTRS
+                && !paradet_par::in_worker()
+                && paradet_par::num_threads() > 1
+            {
+                paradet_par::par_for_each_mut(domains, |_, d| {
+                    fold_domain(
+                        d,
+                        p.slot,
+                        p.ready_at,
+                        p.seal_seq,
+                        p.base_instr,
+                        outcome,
+                        log,
+                        hier_ro,
+                    );
                 });
+            } else {
+                for d in domains.iter_mut() {
+                    fold_domain(
+                        d,
+                        p.slot,
+                        p.ready_at,
+                        p.seal_seq,
+                        p.base_instr,
+                        outcome,
+                        log,
+                        hier_ro,
+                    );
+                }
             }
-            busy_until[p.slot] = out.finish_time;
         }
         // The segment's storage frees when its check finishes; the entry
         // buffer comes home for the segment's next tour of the ring.
@@ -857,6 +947,22 @@ mod tests {
         assert_eq!(det.segs[0].capacity, 170);
         assert_eq!(det.lfu.capacity(), 40);
         assert_eq!(det.in_flight_checks(), 0);
+    }
+
+    #[test]
+    fn next_event_time_reports_busy_segments_only() {
+        let cfg = SystemConfig::paper_default();
+        let program = tiny_program();
+        let mut det = Detector::new(&cfg, &program);
+        assert_eq!(det.next_event_time(Time::ZERO), None, "idle detector has no deadline");
+        det.segs[0].state = SegmentState::Busy { until: Time::from_ns(50) };
+        det.segs[1].state = SegmentState::Busy { until: Time::from_ns(20) };
+        det.segs[2].state = SegmentState::Checking; // unfolded: deadline unknown
+        assert_eq!(det.next_event_time(Time::ZERO), Some(Time::from_ns(20)));
+        // Strictly-after semantics: the 20 ns release is not an event at or
+        // after itself; the next one is the 50 ns release, then nothing.
+        assert_eq!(det.next_event_time(Time::from_ns(20)), Some(Time::from_ns(50)));
+        assert_eq!(det.next_event_time(Time::from_ns(50)), None);
     }
 
     #[test]

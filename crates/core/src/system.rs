@@ -67,6 +67,20 @@ impl RunReport {
     pub fn ipc(&self) -> f64 {
         self.core.ipc()
     }
+
+    /// Fraction of the main core's commit-timeline cycles the event-driven
+    /// driver crossed in single jumps instead of per-cycle re-evaluation
+    /// (log-full stalls jumped to their checker-finish deadline, quiescent
+    /// dispatch jumps). 0 on the legacy exhaustive path
+    /// (`SystemConfig::with_event_skip(false)`), which crosses the same
+    /// stalls but accounts nothing.
+    pub fn cycles_skipped_pct(&self) -> f64 {
+        if self.main_cycles == 0 {
+            0.0
+        } else {
+            100.0 * self.core.cycles_skipped as f64 / self.main_cycles as f64
+        }
+    }
 }
 
 /// A main core paired with checker cores through the detection hardware.

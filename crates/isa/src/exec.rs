@@ -13,7 +13,6 @@ use crate::insn::{Instruction, MemWidth};
 use crate::program::Program;
 use crate::reg::{FReg, Reg};
 use crate::uop::FMovKind;
-use std::collections::HashMap;
 use std::fmt;
 
 /// Byte-addressed memory interface used by the functional executor.
@@ -44,6 +43,90 @@ impl NondetSource for NoNondet {
     }
 }
 
+/// Sparse page table: an open-addressing hash map from page index to page
+/// contents, specialized for the functional-memory hot path.
+///
+/// `ArchState::step` performs a page lookup per memory access (and the
+/// paired simulator executes every instruction twice — oracle and replay),
+/// so the general-purpose `HashMap`'s SipHash plus per-byte lookups were a
+/// measurable slice of single-run wall time. This table hashes the page
+/// index with a SplitMix64 finalizer (one multiply chain, no keying),
+/// probes linearly, and never deletes, which keeps the lookup a handful of
+/// instructions.
+#[derive(Debug, Clone, Default)]
+struct PageTable {
+    /// Power-of-two slot array, load factor kept ≤ 1/2.
+    slots: Vec<Option<(u64, Box<[u8; FlatMemory::PAGE]>)>>,
+    len: usize,
+}
+
+impl PageTable {
+    fn hash(page: u64) -> u64 {
+        // SplitMix64 finalizer: avalanches page indices so strided
+        // footprints don't form probe chains.
+        let mut z = page.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn get(&self, page: u64) -> Option<&[u8; FlatMemory::PAGE]> {
+        if self.slots.is_empty() {
+            return None;
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (Self::hash(page) as usize) & mask;
+        loop {
+            match &self.slots[i] {
+                Some((k, p)) if *k == page => return Some(p),
+                Some(_) => i = (i + 1) & mask,
+                None => return None,
+            }
+        }
+    }
+
+    fn get_or_insert(&mut self, page: u64) -> &mut [u8; FlatMemory::PAGE] {
+        if self.slots.len() < 2 * (self.len + 1) {
+            self.grow();
+        }
+        let mask = self.slots.len() - 1;
+        let mut i = (Self::hash(page) as usize) & mask;
+        loop {
+            match self.slots[i].as_ref().map(|(k, _)| *k) {
+                Some(k) if k == page => break,
+                Some(_) => i = (i + 1) & mask,
+                None => {
+                    self.slots[i] = Some((page, Box::new([0u8; FlatMemory::PAGE])));
+                    self.len += 1;
+                    break;
+                }
+            }
+        }
+        &mut self.slots[i].as_mut().expect("slot just matched or filled").1
+    }
+
+    fn grow(&mut self) {
+        let new_cap = (self.slots.len() * 2).max(16);
+        let old = std::mem::replace(&mut self.slots, {
+            let mut v = Vec::new();
+            v.resize_with(new_cap, || None);
+            v
+        });
+        let mask = new_cap - 1;
+        for slot in old.into_iter().flatten() {
+            let mut i = (Self::hash(slot.0) as usize) & mask;
+            while self.slots[i].is_some() {
+                i = (i + 1) & mask;
+            }
+            self.slots[i] = Some(slot);
+        }
+    }
+
+    fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.slots.iter().flatten().map(|(k, _)| *k)
+    }
+}
+
 /// A simple sparse paged memory with exact functional semantics.
 ///
 /// This is the reference memory used in tests and in the golden model. The
@@ -51,12 +134,14 @@ impl NondetSource for NoNondet {
 /// contents are also a `FlatMemory`.
 #[derive(Debug, Clone, Default)]
 pub struct FlatMemory {
-    pages: HashMap<u64, Box<[u8; Self::PAGE]>>,
+    pages: PageTable,
 }
 
 impl FlatMemory {
     /// Page size in bytes.
     pub const PAGE: usize = 4096;
+    /// log2 of the page size.
+    const PAGE_SHIFT: u32 = Self::PAGE.trailing_zeros();
 
     /// Creates an empty memory; all bytes read as zero.
     pub fn new() -> FlatMemory {
@@ -66,31 +151,38 @@ impl FlatMemory {
     /// Copies every data image of `program` into memory.
     pub fn load_image(&mut self, program: &Program) {
         for img in program.data() {
-            for (i, b) in img.bytes.iter().enumerate() {
-                self.write_byte(img.base + i as u64, *b);
+            // Page-chunked copy: one table lookup per page, not per byte
+            // (campaigns rebuild a system per trial, so this is warm-path).
+            let mut addr = img.base;
+            let mut rest: &[u8] = &img.bytes;
+            while !rest.is_empty() {
+                let off = (addr & (Self::PAGE as u64 - 1)) as usize;
+                let n = rest.len().min(Self::PAGE - off);
+                let page = self.pages.get_or_insert(addr >> Self::PAGE_SHIFT);
+                page[off..off + n].copy_from_slice(&rest[..n]);
+                addr += n as u64;
+                rest = &rest[n..];
             }
         }
     }
 
     /// Reads one byte.
     pub fn read_byte(&self, addr: u64) -> u8 {
-        let page = addr / Self::PAGE as u64;
-        match self.pages.get(&page) {
-            Some(p) => p[(addr % Self::PAGE as u64) as usize],
+        match self.pages.get(addr >> Self::PAGE_SHIFT) {
+            Some(p) => p[(addr & (Self::PAGE as u64 - 1)) as usize],
             None => 0,
         }
     }
 
     /// Writes one byte.
     pub fn write_byte(&mut self, addr: u64, val: u8) {
-        let page = addr / Self::PAGE as u64;
-        let p = self.pages.entry(page).or_insert_with(|| Box::new([0u8; Self::PAGE]));
-        p[(addr % Self::PAGE as u64) as usize] = val;
+        let p = self.pages.get_or_insert(addr >> Self::PAGE_SHIFT);
+        p[(addr & (Self::PAGE as u64 - 1)) as usize] = val;
     }
 
     /// Number of resident pages (for tests and memory accounting).
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.pages.len
     }
 
     /// Compares the full contents of two memories.
@@ -98,15 +190,15 @@ impl FlatMemory {
     /// Returns the first differing byte address, if any. Used by the fault
     /// campaign to classify silent data corruption.
     pub fn first_difference(&self, other: &FlatMemory) -> Option<u64> {
-        let mut pages: Vec<u64> = self.pages.keys().chain(other.pages.keys()).copied().collect();
+        let mut pages: Vec<u64> = self.pages.keys().chain(other.pages.keys()).collect();
         pages.sort_unstable();
         pages.dedup();
+        const ZEROS: [u8; FlatMemory::PAGE] = [0; FlatMemory::PAGE];
         for page in pages {
-            let base = page * Self::PAGE as u64;
-            for off in 0..Self::PAGE as u64 {
-                if self.read_byte(base + off) != other.read_byte(base + off) {
-                    return Some(base + off);
-                }
+            let a = self.pages.get(page).unwrap_or(&ZEROS);
+            let b = other.pages.get(page).unwrap_or(&ZEROS);
+            if let Some(off) = a.iter().zip(b.iter()).position(|(x, y)| x != y) {
+                return Some((page << Self::PAGE_SHIFT) + off as u64);
             }
         }
         None
@@ -115,16 +207,38 @@ impl FlatMemory {
 
 impl MemoryIface for FlatMemory {
     fn load(&mut self, addr: u64, width: MemWidth) -> u64 {
-        let mut v = 0u64;
-        for i in 0..width.bytes() {
-            v |= (self.read_byte(addr + i) as u64) << (8 * i);
+        let n = width.bytes() as usize;
+        let off = (addr & (Self::PAGE as u64 - 1)) as usize;
+        if off + n <= Self::PAGE {
+            // Within one page: a single lookup and a little-endian slice
+            // read (the overwhelmingly common case).
+            match self.pages.get(addr >> Self::PAGE_SHIFT) {
+                Some(p) => {
+                    let mut buf = [0u8; 8];
+                    buf[..n].copy_from_slice(&p[off..off + n]);
+                    u64::from_le_bytes(buf)
+                }
+                None => 0,
+            }
+        } else {
+            let mut v = 0u64;
+            for i in 0..width.bytes() {
+                v |= (self.read_byte(addr + i) as u64) << (8 * i);
+            }
+            v
         }
-        v
     }
 
     fn store(&mut self, addr: u64, width: MemWidth, val: u64) {
-        for i in 0..width.bytes() {
-            self.write_byte(addr + i, (val >> (8 * i)) as u8);
+        let n = width.bytes() as usize;
+        let off = (addr & (Self::PAGE as u64 - 1)) as usize;
+        if off + n <= Self::PAGE {
+            let p = self.pages.get_or_insert(addr >> Self::PAGE_SHIFT);
+            p[off..off + n].copy_from_slice(&val.to_le_bytes()[..n]);
+        } else {
+            for i in 0..width.bytes() {
+                self.write_byte(addr + i, (val >> (8 * i)) as u8);
+            }
         }
     }
 }
@@ -165,6 +279,66 @@ pub struct MemAccess {
     pub width: MemWidth,
 }
 
+/// The memory accesses of one retired instruction, stored inline.
+///
+/// An instruction performs at most two accesses (`ldp`/`stp`), and
+/// [`ArchState::step`] runs twice per simulated instruction (main-core
+/// oracle + checker replay), so this list deliberately never touches the
+/// heap. Dereferences to `&[MemAccess]`.
+#[derive(Debug, Clone, Copy)]
+pub struct MemAccessList {
+    buf: [MemAccess; 2],
+    len: u8,
+}
+
+impl MemAccessList {
+    const EMPTY: MemAccess = MemAccess { is_store: false, addr: 0, value: 0, width: MemWidth::B };
+
+    /// An empty list.
+    pub fn new() -> MemAccessList {
+        MemAccessList { buf: [Self::EMPTY; 2], len: 0 }
+    }
+
+    fn push(&mut self, a: MemAccess) {
+        self.buf[self.len as usize] = a;
+        self.len += 1;
+    }
+
+    /// The recorded accesses, in program order.
+    pub fn as_slice(&self) -> &[MemAccess] {
+        &self.buf[..self.len as usize]
+    }
+}
+
+impl Default for MemAccessList {
+    fn default() -> MemAccessList {
+        MemAccessList::new()
+    }
+}
+
+impl std::ops::Deref for MemAccessList {
+    type Target = [MemAccess];
+    fn deref(&self) -> &[MemAccess] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for MemAccessList {
+    fn eq(&self, other: &MemAccessList) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for MemAccessList {}
+
+impl<'a> IntoIterator for &'a MemAccessList {
+    type Item = &'a MemAccess;
+    type IntoIter = std::slice::Iter<'a, MemAccess>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// Information about one retired instruction.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StepInfo {
@@ -173,7 +347,7 @@ pub struct StepInfo {
     /// PC of the next instruction.
     pub next_pc: u64,
     /// Memory accesses performed, in order (≤ 2: `ldp`/`stp`).
-    pub mem: Vec<MemAccess>,
+    pub mem: MemAccessList,
     /// Non-deterministic value consumed, if any.
     pub nondet: Option<u64>,
     /// Whether the instruction was a taken control-flow transfer.
@@ -266,7 +440,7 @@ impl ArchState {
         let pc = self.pc;
         let insn = *program.instr_at(pc).ok_or(ExecError::BadPc { pc })?;
         let mut next_pc = pc + 4;
-        let mut accesses = Vec::new();
+        let mut accesses = MemAccessList::new();
         let mut nondet_val = None;
         let mut taken = false;
         let mut halted = false;

@@ -54,7 +54,9 @@ mod reg;
 mod uop;
 
 pub use asm::{Label, ProgramBuilder};
-pub use exec::{ArchState, ExecError, FlatMemory, MemoryIface, NoNondet, NondetSource, StepInfo};
+pub use exec::{
+    ArchState, ExecError, FlatMemory, MemAccessList, MemoryIface, NoNondet, NondetSource, StepInfo,
+};
 pub use insn::{AluOp, BranchCond, FpuOp, Instruction, MemWidth};
 pub use program::{DataImage, Program, TEXT_BASE};
 pub use reg::{FReg, Reg};

@@ -156,6 +156,26 @@ impl Dram {
         data_ready.max(self.bus_free) + self.cfg.clock.cycles(self.cfg.burst_cycles)
     }
 
+    /// The instant at (and after) which the device is idle: the shared data
+    /// bus frees last (every bank's busy-until is set to its burst's bus
+    /// completion, and the bus time only grows), so this single timestamp
+    /// bounds all in-flight DRAM work.
+    pub fn quiet_at(&self) -> Time {
+        self.bus_free
+    }
+
+    /// The next instant strictly after `now` at which a bank or the bus
+    /// frees, or `None` when the device is already idle — the DRAM-side
+    /// event source of the event-driven driver.
+    pub fn next_event_after(&self, now: Time) -> Option<Time> {
+        self.banks
+            .iter()
+            .map(|b| b.busy_until)
+            .chain(std::iter::once(self.bus_free))
+            .filter(|&t| t > now)
+            .min()
+    }
+
     /// Resets banks and bus to idle (for experiment repetition).
     pub fn flush(&mut self) {
         for b in &mut self.banks {

@@ -186,6 +186,21 @@ impl CheckerPath {
         }
         self.l1i.flush();
     }
+
+    /// The instant after which every cache on this path is quiescent.
+    fn quiet_at(&self) -> Time {
+        self.l0.iter().map(|c| c.quiet_at()).fold(self.l1i.quiet_at(), Time::max)
+    }
+
+    /// The next demand-fill completion strictly after `now` anywhere on
+    /// this path, or `None` (see [`Cache::next_fill_after`]).
+    fn next_fill_after(&self, now: Time) -> Option<Time> {
+        self.l0
+            .iter()
+            .chain(std::iter::once(&self.l1i))
+            .filter_map(|c| c.next_fill_after(now))
+            .min()
+    }
 }
 
 /// The composed, shared memory hierarchy.
@@ -332,6 +347,39 @@ impl MemHier {
         checker.ifetch(l2, dram, core, pc, now)
     }
 
+    /// The instant at (and after) which the whole hierarchy is quiescent:
+    /// every in-flight fill has completed in every cache (main, shared and
+    /// checker path) and DRAM's banks and bus are idle. An access issued at
+    /// or after this time waits on nothing but its own latency chain — the
+    /// hierarchy-side half of the event-driven driver's skip invariant
+    /// (the core-side half is `OooCore::quiet_at` in `paradet-ooo`).
+    pub fn quiet_at(&self) -> Time {
+        [
+            self.l1i.quiet_at(),
+            self.l1d.quiet_at(),
+            self.l2.quiet_at(),
+            self.dram.quiet_at(),
+            self.checker.quiet_at(),
+        ]
+        .into_iter()
+        .max()
+        .unwrap_or(Time::ZERO)
+    }
+
+    /// The next instant strictly after `now` at which a *demand* fill
+    /// completes or a DRAM bank/bus frees — or `None` if nothing of the
+    /// kind is pending. Prefetch fills are bounded only by
+    /// [`quiet_at`](MemHier::quiet_at) (see
+    /// [`Cache::next_fill_after`](crate::Cache::next_fill_after)): no
+    /// demand-side state changes in the open interval between `now` and
+    /// the returned instant, and *nothing at all* is in flight at or after
+    /// the horizon.
+    pub fn next_event_after(&self, now: Time) -> Option<Time> {
+        let caches =
+            [&self.l1i, &self.l1d, &self.l2].into_iter().filter_map(|c| c.next_fill_after(now));
+        caches.chain(self.checker.next_fill_after(now)).chain(self.dram.next_event_after(now)).min()
+    }
+
     /// Statistics snapshot.
     pub fn stats(&self) -> HierStats {
         HierStats {
@@ -430,6 +478,37 @@ mod tests {
         // warm: L0 tag check (1) + shared L1I hit (2) + L0 readout (1).
         let t4 = h.checker_ifetch(1, 0x1008, t3);
         assert_eq!(t4 - t3, Time::from_ns(4));
+    }
+
+    #[test]
+    fn hier_event_queries_cover_checker_path() {
+        let mut h = hier();
+        // Warm the shared L2 from the main core, then miss in the checker
+        // L0/L1I only: the pending demand fill lives on the checker path
+        // and must surface through the hierarchy-level event query.
+        let t1 = h.ifetch(0x1000, Time::ZERO);
+        let t2 = h.checker_ifetch(0, 0x1000, t1);
+        let next = h.next_event_after(t1).expect("checker L0/L1I fill is in flight");
+        assert!(next > t1 && next <= t2.max(h.quiet_at()), "next={next}, t2={t2}");
+    }
+
+    #[test]
+    fn hier_event_queries_cover_dram_and_caches() {
+        let mut h = hier();
+        assert_eq!(h.next_event_after(Time::ZERO), None, "idle hierarchy has no pending event");
+        let done = h.dread(0x1000, 0x8000, Time::ZERO);
+        // A cold read leaves in-flight state everywhere on its path: the
+        // hierarchy is not quiescent before the access completes, and some
+        // event (a fill or the DRAM burst) is pending.
+        assert!(
+            h.quiet_at() >= done - Freq::from_mhz(3200).cycles(2),
+            "quiet_at: {}",
+            h.quiet_at()
+        );
+        let next = h.next_event_after(Time::ZERO).expect("a fill is in flight");
+        assert!(next <= h.quiet_at());
+        // No event strictly after the horizon.
+        assert_eq!(h.next_event_after(h.quiet_at()), None);
     }
 
     #[test]

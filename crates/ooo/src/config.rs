@@ -85,6 +85,18 @@ pub struct OooConfig {
     /// functional units (Mukherjee et al.-style CRT; the paper cites ~32%
     /// overhead for such schemes, §VII-B).
     pub rmt_duplicate: bool,
+    /// Event-driven cycle skipping (default on). The core tracks its
+    /// resource-event horizon (`OooCore::quiet_at`) and, when a micro-op
+    /// dispatches past it, jumps time straight there — clearing the drained
+    /// occupancy windows in O(1) and skipping the store-forward scan —
+    /// instead of re-walking every structure; log-full commit stalls jump
+    /// to the checker-finish deadline in one step. `false` forces the
+    /// legacy exhaustive path (every structure evaluated at every micro-op,
+    /// `CoreStats::cycles_skipped` stays 0), kept as the bit-identity
+    /// reference in the same spirit as `SystemConfig::eager_check`; the two
+    /// paths are asserted identical by the skip-vs-tick suite in
+    /// `tests/parallel_determinism.rs`.
+    pub event_skip: bool,
 }
 
 impl Default for OooConfig {
@@ -108,6 +120,7 @@ impl Default for OooConfig {
             lat: LatencyTable::default(),
             predictor: PredictorConfig::default(),
             rmt_duplicate: false,
+            event_skip: true,
         }
     }
 }

@@ -32,8 +32,8 @@ use crate::predictor::TournamentPredictor;
 use crate::resources::{FifoOccupancy, SlotPool, UnorderedOccupancy};
 use crate::types::{CommitEvent, CommitGate, DetectionSink, MemEffect};
 use paradet_isa::{
-    ArchState, DstReg, ExecError, Instruction, MemKind, NondetSource, Program, Reg, SrcReg,
-    UopKind, MAX_UOPS_PER_INSN,
+    ArchState, DstReg, ExecError, Instruction, MemKind, MemWidth, NondetSource, Program, Reg,
+    SrcReg, UopKind, MAX_UOPS_PER_INSN,
 };
 use paradet_mem::{MemHier, Time};
 use std::collections::VecDeque;
@@ -64,6 +64,15 @@ pub struct CoreStats {
     pub gate_pause_cycles: u64,
     /// Loads whose value was forwarded from the store window.
     pub store_forwards: u64,
+    /// Cycles the event-driven driver crossed in a single jump instead of
+    /// per-cycle re-evaluation: log-full commit stalls jumped straight to
+    /// the checker-finish deadline, and quiescent dispatch jumps (no
+    /// resource event between the core's busy horizon and the dispatch
+    /// cycle). Always 0 on the legacy exhaustive path
+    /// (`OooConfig::event_skip = false`), which crosses the same stalls at
+    /// the same times but accounts nothing — the skip-vs-tick identity
+    /// suite zeroes this field before comparing reports.
+    pub cycles_skipped: u64,
 }
 
 impl CoreStats {
@@ -169,6 +178,16 @@ pub struct OooCore {
     crashed: Option<ExecError>,
     faults: Vec<ArmedFault>,
     stuck: Option<(u8, u8, bool)>,
+    /// The resource-event horizon: no pool busy-until, occupancy release,
+    /// register wakeup, line fill or gate recorded so far lies beyond this
+    /// cycle. A micro-op dispatching at or past it observes a fully
+    /// quiescent core — the event-driven skip path jumps straight there
+    /// (see [`OooCore::quiet_at`]).
+    horizon: u64,
+    /// Upper bound on the `commit` cycle of any store still in the
+    /// forwarding window: a load whose address resolves at or after this
+    /// provably cannot forward, so the skip path elides the window scan.
+    stores_commit_max: u64,
     /// Statistics (public for the experiment harness).
     pub stats: CoreStats,
 }
@@ -219,6 +238,8 @@ impl OooCore {
             crashed: None,
             faults: Vec::new(),
             stuck: None,
+            horizon: 0,
+            stores_commit_max: 0,
             stats: CoreStats::default(),
             program,
             state,
@@ -257,6 +278,81 @@ impl OooCore {
         self.faults.push(fault);
     }
 
+    /// The cycle at (and after) which every modeled core resource is idle:
+    /// the maximum over all recorded busy-until times, occupancy releases,
+    /// register wakeups, line fills and gates. A micro-op dispatching at or
+    /// past this cycle provably acquires every resource without waiting —
+    /// the event-driven driver jumps straight there instead of draining
+    /// each structure (see `OooConfig::event_skip`).
+    pub fn quiet_at(&self) -> u64 {
+        self.horizon
+    }
+
+    /// The earliest pending resource event strictly after `now`: the next
+    /// cycle at which an occupancy entry releases (the first in-order
+    /// release past `now` for ROB/LQ/SQ/register free lists, the true
+    /// minimum for the out-of-order issue queue), a functional unit frees,
+    /// or a commit/dispatch gate expires. `None` when the core is fully
+    /// idle past `now`. Together with [`quiet_at`](OooCore::quiet_at) this
+    /// brackets the core's event queue: no resource state changes in the
+    /// open interval between `now` and the returned cycle, and nothing
+    /// remains busy at or after `quiet_at()`.
+    pub fn next_event_after(&self, now: u64) -> Option<u64> {
+        let mut next = u64::MAX;
+        for f in [&self.rob, &self.lq, &self.sq, &self.phys_int, &self.phys_fp] {
+            // In-order release: entries release at the running maximum of
+            // their recorded cycles, so the first recorded value past `now`
+            // is exactly the first future release.
+            if let Some(t) = f.releases().find(|&t| t > now) {
+                next = next.min(t);
+            }
+        }
+        if let Some(t) = self.iq.releases().filter(|&t| t > now).min() {
+            next = next.min(t);
+        }
+        for p in [
+            &self.fetch_slots,
+            &self.dispatch_slots,
+            &self.issue_slots,
+            &self.commit_slots,
+            &self.int_alus,
+            &self.fp_alus,
+            &self.mul_div,
+            &self.mem_ports,
+            &self.write_buffer,
+        ] {
+            if let Some(t) = p.next_event_after(now) {
+                next = next.min(t);
+            }
+        }
+        if self.commit_gate > now {
+            next = next.min(self.commit_gate);
+        }
+        if self.dispatch_gate > now {
+            next = next.min(self.dispatch_gate);
+        }
+        // The in-flight I-line fill and pending register wakeups are
+        // resource-state changes too — fetch timing and operand readiness
+        // shift at exactly these cycles.
+        if self.line_ready > now {
+            next = next.min(self.line_ready);
+        }
+        for &t in self.reg_ready_int.iter().chain(self.reg_ready_fp.iter()) {
+            if t > now {
+                next = next.min(t);
+            }
+        }
+        (next != u64::MAX).then_some(next)
+    }
+
+    /// Raises the resource-event horizon to `cycle`.
+    #[inline]
+    fn note_event(&mut self, cycle: u64) {
+        if cycle > self.horizon {
+            self.horizon = cycle;
+        }
+    }
+
     fn to_time(&self, cycle: u64) -> Time {
         self.cfg.clock.cycles(cycle)
     }
@@ -286,10 +382,10 @@ impl OooCore {
     /// [`CoreError::Halted`] once `halt` has committed, and
     /// [`CoreError::Crashed`] if the PC has left the text segment (possible
     /// only under fault injection).
-    pub fn step(
+    pub fn step<S: DetectionSink + ?Sized>(
         &mut self,
         hier: &mut MemHier,
-        sink: &mut dyn DetectionSink,
+        sink: &mut S,
     ) -> Result<StepOutcome, CoreError> {
         if self.halted {
             return Err(CoreError::Halted);
@@ -309,11 +405,13 @@ impl OooCore {
 
         // ---- Fetch timing -------------------------------------------------
         let (_, fslot) = self.fetch_slots.take(self.next_fetch_cycle, 1);
+        self.note_event(fslot + 1);
         let line = pc & !63;
         if line != self.last_fetch_line {
             let done = hier.ifetch(line, self.to_time(fslot));
             self.line_ready = self.to_cycle(done);
             self.last_fetch_line = line;
+            self.note_event(self.line_ready);
         }
         let fetch_cycle = fslot.max(self.line_ready);
 
@@ -432,20 +530,48 @@ impl OooCore {
                 // Dispatch: in-order, bounded by window occupancy and any
                 // checkpoint-copy pause.
                 let mut disp = (fetch_cycle + self.cfg.front_depth).max(self.dispatch_gate);
-                disp = self.rob.acquire(disp);
-                disp = self.iq.acquire(disp);
-                if u.is_load() {
-                    disp = self.lq.acquire(disp);
-                }
-                if u.is_store() {
-                    disp = self.sq.acquire(disp);
-                }
-                match u.dst {
-                    Some(DstReg::Int(_)) => disp = self.phys_int.acquire(disp),
-                    Some(DstReg::Fp(_)) => disp = self.phys_fp.acquire(disp),
-                    None => {}
+                if self.cfg.event_skip && disp >= self.horizon {
+                    // Quiescent jump: every recorded resource event is at or
+                    // before `disp`, so each acquisition this micro-op would
+                    // perform drains its window empty and returns `disp`
+                    // unchanged — advance time straight there, clearing
+                    // those windows in O(1) instead of walking their
+                    // entries. Only the structures the exhaustive path
+                    // would acquire are touched (dispatch times are not
+                    // monotone across instructions, so an untouched window
+                    // must keep its entries for later, earlier-cycle
+                    // acquisitions).
+                    self.stats.cycles_skipped += disp - self.horizon;
+                    self.rob.reset();
+                    self.iq.reset();
+                    if u.is_load() {
+                        self.lq.reset();
+                    }
+                    if u.is_store() {
+                        self.sq.reset();
+                    }
+                    match u.dst {
+                        Some(DstReg::Int(_)) => self.phys_int.reset(),
+                        Some(DstReg::Fp(_)) => self.phys_fp.reset(),
+                        None => {}
+                    }
+                } else {
+                    disp = self.rob.acquire(disp);
+                    disp = self.iq.acquire(disp);
+                    if u.is_load() {
+                        disp = self.lq.acquire(disp);
+                    }
+                    if u.is_store() {
+                        disp = self.sq.acquire(disp);
+                    }
+                    match u.dst {
+                        Some(DstReg::Int(_)) => disp = self.phys_int.acquire(disp),
+                        Some(DstReg::Fp(_)) => disp = self.phys_fp.acquire(disp),
+                        None => {}
+                    }
                 }
                 let (_, disp) = self.dispatch_slots.take(disp, 1);
+                self.note_event(disp + 1);
 
                 // Operand readiness (RAW through renamed registers).
                 let ready = self.srcs_ready(&u.srcs).max(disp + 1);
@@ -518,18 +644,25 @@ impl OooCore {
                                 } else {
                                     // Store-to-load forwarding: youngest older
                                     // store overlapping this access and still
-                                    // in flight at addr_known.
+                                    // in flight at addr_known. The skip path
+                                    // elides the window walk when every store
+                                    // has provably left the window by then.
                                     let bytes = width.bytes();
-                                    let fwd = self
-                                        .stores_in_flight
-                                        .iter()
-                                        .rev()
-                                        .find(|s| {
-                                            s.commit > addr_known
-                                                && addr < s.addr + s.bytes
-                                                && s.addr < addr + bytes
-                                        })
-                                        .map(|s| s.data_ready);
+                                    let fwd = if self.cfg.event_skip
+                                        && addr_known >= self.stores_commit_max
+                                    {
+                                        None
+                                    } else {
+                                        self.stores_in_flight
+                                            .iter()
+                                            .rev()
+                                            .find(|s| {
+                                                s.commit > addr_known
+                                                    && addr < s.addr + s.bytes
+                                                    && s.addr < addr + bytes
+                                            })
+                                            .map(|s| s.data_ready)
+                                    };
                                     match fwd {
                                         Some(dr) => {
                                             self.stats.store_forwards += 1;
@@ -571,6 +704,10 @@ impl OooCore {
                         (start + 1, None)
                     }
                 };
+                // One horizon raise covers everything this micro-op booked:
+                // unit busy-until ≤ complete, issue slot ≤ complete, wakeup
+                // (reg_ready) = complete, window releases ≤ complete + 1.
+                self.note_event(complete + 1);
 
                 if is_dup {
                     // The duplicate occupies window entries until it commits
@@ -615,20 +752,26 @@ impl OooCore {
             }
         };
 
-        // Post-execution fault overrides.
-        let mut mem_effects: Vec<MemEffect> = step
-            .mem
-            .iter()
-            .map(|a| MemEffect {
-                is_store: a.is_store,
-                addr: a.addr,
-                value: a.value,
-                width: a.width,
-            })
-            .collect();
+        // Post-execution fault overrides. Both scratch lists live on the
+        // stack (≤ 2 accesses per macro-op): this path runs once per
+        // retired instruction and must not allocate.
+        let mut mem_effects =
+            [MemEffect { is_store: false, addr: 0, value: 0, width: MemWidth::B }; 2];
+        let mut n_effects = 0usize;
+        for a in step.mem.iter() {
+            mem_effects[n_effects] =
+                MemEffect { is_store: a.is_store, addr: a.addr, value: a.value, width: a.width };
+            n_effects += 1;
+        }
+        let mem_effects = &mut mem_effects[..n_effects];
         // Captured (LFU) values default to the true loaded values.
-        let mut captured: Vec<u64> =
-            step.mem.iter().filter(|a| !a.is_store).map(|a| a.value).collect();
+        let mut captured = [0u64; 2];
+        let mut n_captured = 0usize;
+        for a in step.mem.iter().filter(|a| !a.is_store) {
+            captured[n_captured] = a.value;
+            n_captured += 1;
+        }
+        let captured = &mut captured[..n_captured];
 
         if let Some(bit) = store_value_flip {
             if let Some(eff) = mem_effects.iter_mut().find(|e| e.is_store) {
@@ -804,7 +947,9 @@ impl OooCore {
                     let (wb_slot, wb_start) = self.write_buffer.take(commit, 0);
                     commit = commit.max(wb_start);
                     let done = hier.dwrite(pc, e.addr, self.to_time(wb_start));
-                    self.write_buffer.set_busy(wb_slot, self.to_cycle(done));
+                    let done_cycle = self.to_cycle(done);
+                    self.write_buffer.set_busy(wb_slot, done_cycle);
+                    self.note_event(done_cycle);
                 }
             }
             let (_, slot) = self.commit_slots.take(commit, 1);
@@ -829,16 +974,24 @@ impl OooCore {
                         self.stats.gate_pause_cycles += pause;
                         self.commit_gate = commit + pause;
                         self.dispatch_gate = commit + pause;
+                        self.note_event(commit + pause);
                         break;
                     }
                     CommitGate::Retry(t) => {
+                        // A log-full stall: jump commit straight to the
+                        // checker-finish deadline — the cycles in between
+                        // are crossed in this one step, never evaluated.
                         let c2 = self.to_cycle(t).max(commit + 1);
                         self.stats.gate_retry_cycles += c2 - commit;
+                        if self.cfg.event_skip {
+                            self.stats.cycles_skipped += c2 - commit - 1;
+                        }
                         commit = c2;
                     }
                 }
             }
             self.last_commit = commit;
+            self.note_event(commit + 1);
 
             // Record occupancy releases now that commit is final.
             self.rob.push(commit);
@@ -854,6 +1007,7 @@ impl OooCore {
                         data_ready: complete,
                         commit,
                     });
+                    self.stores_commit_max = self.stores_commit_max.max(commit);
                     if self.stores_in_flight.len() > self.cfg.sq_entries {
                         self.stores_in_flight.pop_front();
                     }
@@ -885,10 +1039,10 @@ impl OooCore {
     ///
     /// Returns the number of instructions retired by this call; inspect
     /// [`halted`](Self::halted)/[`crashed`](Self::crashed) for the cause.
-    pub fn run(
+    pub fn run<S: DetectionSink + ?Sized>(
         &mut self,
         hier: &mut MemHier,
-        sink: &mut dyn DetectionSink,
+        sink: &mut S,
         max_instrs: u64,
     ) -> u64 {
         let mut n = 0;

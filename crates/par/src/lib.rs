@@ -151,6 +151,52 @@ where
     par_map_init_chunked(chunk, items, init, f)
 }
 
+/// Order-preserving parallel mutation: runs `f(index, &mut item)` exactly
+/// once for every item, in place. Items keep their slice positions, so
+/// set-ordered results (e.g. per-domain fold outputs) stay in set order by
+/// construction.
+///
+/// Work is split into one contiguous block per worker (no work stealing):
+/// the intended use is a handful of same-cost items — the per-domain
+/// timing folds at a checker-farm join point — where claim traffic would
+/// cost more than it balances. Serial (no threads spawned) when
+/// [`num_threads`] is 1 or there is at most one item; panics propagate.
+pub fn par_for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let workers = num_threads().min(items.len()).max(1);
+    if workers == 1 {
+        for (i, t) in items.iter_mut().enumerate() {
+            f(i, t);
+        }
+        return;
+    }
+    let chunk = items.len().div_ceil(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = items
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(ci, block)| {
+                let f = &f;
+                s.spawn(move || {
+                    enter_worker();
+                    for (j, t) in block.iter_mut().enumerate() {
+                        f(ci * chunk + j, t);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            // Propagate worker panics to the caller.
+            if let Err(p) = h.join() {
+                std::panic::resume_unwind(p);
+            }
+        }
+    });
+}
+
 /// [`par_map_init`] with an explicit claim granularity.
 pub fn par_map_init_chunked<T, R, S, F, I>(chunk: usize, items: &[T], init: I, f: F) -> Vec<R>
 where
@@ -279,6 +325,46 @@ mod tests {
         });
         assert_eq!(got.len(), 64);
         assert!(inits.load(Ordering::Relaxed) <= 4, "one init per worker at most");
+    }
+
+    #[test]
+    fn par_for_each_mut_visits_every_item_in_place() {
+        let mut items: Vec<u64> = (0..23).collect();
+        with_threads(4, || {
+            par_for_each_mut(&mut items, |i, x| *x = *x * 10 + i as u64);
+        });
+        let want: Vec<u64> = (0..23).map(|x| x * 10 + x).collect();
+        assert_eq!(items, want);
+    }
+
+    #[test]
+    fn par_for_each_mut_thread_counts_agree() {
+        let run = |n: usize| {
+            let mut items: Vec<u64> = (0..57).collect();
+            with_threads(n, || {
+                par_for_each_mut(&mut items, |i, x| {
+                    *x = x.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ i as u64;
+                });
+            });
+            items
+        };
+        let serial = run(1);
+        for n in [2, 3, 8] {
+            assert_eq!(run(n), serial, "n={n}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fold boom")]
+    fn par_for_each_mut_panic_propagates() {
+        let mut items: Vec<u32> = (0..8).collect();
+        with_threads(4, || {
+            par_for_each_mut(&mut items, |_, x| {
+                if *x == 5 {
+                    panic!("fold boom");
+                }
+            });
+        });
     }
 
     #[test]

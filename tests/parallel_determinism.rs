@@ -287,6 +287,159 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Event-driven cycle skipping: the skip path (OooConfig::event_skip, the
+// default) must be bit-identical to the legacy exhaustive tick path on ANY
+// input — reports, finish times, checker stats, per-domain rows. The only
+// permitted difference is the `cycles_skipped` accounting itself, which the
+// tick path deliberately leaves at zero; fingerprints below zero it out on
+// both sides before comparing.
+// ---------------------------------------------------------------------------
+
+/// [`run_fingerprint`] with `cycles_skipped` normalized to zero — the one
+/// field that legitimately differs between the skip and tick paths.
+fn run_fingerprint_skipless(
+    cfg: SystemConfig,
+    program: &Arc<Program>,
+    fault: Option<ArmedFault>,
+    log_fault: Option<(u64, usize, u8)>,
+    max_instrs: u64,
+) -> (String, u64) {
+    let mut sys = PairedSystem::new_shared(cfg, program);
+    if let Some(f) = fault {
+        sys.arm_fault(f);
+    }
+    if let Some((seq, entry, bit)) = log_fault {
+        sys.arm_log_fault(seq, entry, bit);
+    }
+    let mut report = sys.run(max_instrs);
+    let skipped = report.core.cycles_skipped;
+    report.core.cycles_skipped = 0;
+    let fp = format!(
+        "{report:?}|finishes={:?}|checkers={:?}",
+        sys.detector().finish_times(),
+        sys.detector().checkers
+    );
+    (fp, skipped)
+}
+
+/// Skip vs tick over real workloads, including the stall-heavy small-log
+/// config whose wrap-around retries are exactly the jumps being skipped.
+#[test]
+fn event_skip_matches_exhaustive_tick_on_workloads() {
+    use paradet::workloads::Workload;
+    for (w, cfg) in [
+        (Workload::Stream, SystemConfig::paper_default()),
+        (Workload::Randacc, SystemConfig::paper_default()),
+        (Workload::Swaptions, farm_sweep_config()),
+    ] {
+        let program = Arc::new(w.build(w.iters_for_instrs(5_000)));
+        let (skip, skipped) =
+            run_fingerprint_skipless(cfg.with_event_skip(true), &program, None, None, 5_000);
+        let (tick, tick_skipped) =
+            run_fingerprint_skipless(cfg.with_event_skip(false), &program, None, None, 5_000);
+        assert_eq!(skip, tick, "skip diverged from tick on {}", w.name());
+        assert_eq!(tick_skipped, 0, "the tick path must account no skipped cycles");
+        assert!(skipped > 0, "{} skipped no cycles — the skip path never engaged", w.name());
+    }
+}
+
+/// Skip vs tick with secondary clock domains swept in the run: the
+/// per-domain rows (delays, finishes, errors, divergence counters) ride the
+/// report fingerprint and must agree too.
+#[test]
+fn event_skip_matches_tick_with_clock_domains() {
+    use paradet::detect::DomainSet;
+    let w = paradet::workloads::Workload::Swaptions;
+    let program = Arc::new(w.build(w.iters_for_instrs(5_000)));
+    let cfg = SystemConfig::paper_default().with_extra_domains(DomainSet::from_mhz(&[250, 2000]));
+    let (skip, _) =
+        run_fingerprint_skipless(cfg.with_event_skip(true), &program, None, None, 5_000);
+    let (tick, _) =
+        run_fingerprint_skipless(cfg.with_event_skip(false), &program, None, None, 5_000);
+    assert_eq!(skip, tick, "skip diverged from tick on a clock-domain run");
+}
+
+/// The parallel domain folds (`paradet_par::par_for_each_mut` at each join
+/// point) are bit-identical to the serial in-place loop: same per-domain
+/// rows at 1 and 4 workers. This is the thread-invariance contract of the
+/// "parallel domain folds" ROADMAP item.
+#[test]
+fn domain_folds_parallel_identity() {
+    use paradet::detect::DomainSet;
+    let w = paradet::workloads::Workload::Stream;
+    let program = Arc::new(w.build(w.iters_for_instrs(5_000)));
+    let cfg = SystemConfig::paper_default()
+        .with_extra_domains(DomainSet::from_mhz(&[125, 250, 500, 2000]));
+    let serial = with_threads(1, || run_fingerprint(cfg, &program, None, None, 5_000));
+    let parallel = with_threads(4, || run_fingerprint(cfg, &program, None, None, 5_000));
+    assert_eq!(serial, parallel, "parallel domain folds changed simulated results");
+}
+
+proptest! {
+    /// Random kernels × random geometries × random faults: event-driven
+    /// cycle skipping is invisible — the skip and tick paths agree bit for
+    /// bit on the full fingerprint (report, finish times, checker stats),
+    /// clock domains included.
+    #[test]
+    fn event_skip_is_bit_identical(
+        seeds in proptest::collection::vec(any::<u64>(), 4..9),
+        ops in proptest::collection::vec(
+            (prop_oneof![
+                Just(AluOp::Add), Just(AluOp::Sub), Just(AluOp::Xor),
+                Just(AluOp::Mul), Just(AluOp::Div), Just(AluOp::Sll),
+            ], 0usize..16, 0usize..16),
+            1..8,
+        ),
+        iters in 8u64..60,
+        rdcycle in any::<bool>(),
+        n_checkers in 1usize..5,
+        mhz_sel in 0usize..3,
+        log_sel in 0usize..3,
+        timeout_sel in 0usize..3,
+        domains_sel in 0usize..3,
+        fault_sel in 0usize..4,
+        fault_instr in 1u64..400,
+        fault_bit in 0u8..64,
+    ) {
+        use paradet::detect::DomainSet;
+        let program = Arc::new(farm_kernel(&seeds, &ops, iters, rdcycle));
+        let mhz = [250, 500, 1000][mhz_sel];
+        let (log_bytes, timeout) =
+            ([512, 1024, 8192][log_sel], [None, Some(48), Some(400)][timeout_sel]);
+        let domains = [
+            DomainSet::new(),
+            DomainSet::from_mhz(&[500]),
+            DomainSet::from_mhz(&[125, 2000]),
+        ][domains_sel];
+        let cfg = SystemConfig::paper_default()
+            .with_checkers(n_checkers)
+            .with_checker_mhz(mhz)
+            .with_log(log_bytes, timeout)
+            .with_extra_domains(domains);
+        let fault = match fault_sel {
+            1 => Some(ArmedFault::new(
+                fault_instr,
+                FaultTarget::IntRegBit { reg: Reg::X8, bit: fault_bit },
+            )),
+            2 => Some(ArmedFault::new(
+                fault_instr,
+                FaultTarget::PcBit { bit: 2 + (fault_bit % 8) },
+            )),
+            _ => None,
+        };
+        let log_fault =
+            if fault_sel == 3 { Some((fault_instr % 4, fault_bit as usize, fault_bit)) } else { None };
+
+        let (skip, _) = run_fingerprint_skipless(
+            cfg.with_event_skip(true), &program, fault, log_fault, 2_000);
+        let (tick, tick_skipped) = run_fingerprint_skipless(
+            cfg.with_event_skip(false), &program, fault, log_fault, 2_000);
+        prop_assert_eq!(&skip, &tick, "event skip changed simulated results");
+        prop_assert_eq!(tick_skipped, 0);
+    }
+}
+
 proptest! {
     /// Per-trial seeds are a pure function of (seed, site, trial): deriving
     /// them in any shuffled order gives the same value per pair, and the
