@@ -4,7 +4,8 @@
 use crate::runner::out_dir;
 use paradet_core::SystemConfig;
 use paradet_faults::{
-    run_campaign, run_overdetection_trials, CampaignConfig, FaultSite, SiteResult,
+    coverage_cells, run_campaign, run_campaign_sharded, run_overdetection_trials, CampaignConfig,
+    CampaignResult, FaultSite, SiteResult,
 };
 use paradet_stats::{wilson_interval, Table};
 use paradet_workloads::Workload;
@@ -16,21 +17,40 @@ fn ci95(successes: u64, trials: u64) -> String {
     format!("[{:.0}%, {:.0}%]", lo * 100.0, hi * 100.0)
 }
 
-/// One coverage row: counts, the point rate, and its 95% Wilson interval
-/// over unmasked faults.
+/// One coverage row, rendered through the same cell formatter the sharded
+/// campaign service uses (`paradet_faults::coverage_cells`) — the
+/// experiment table and a `campaign-merge` table can never drift apart.
 fn site_row(t: &mut Table, workload: &str, site: &str, s: &SiteResult) {
-    let unmasked = s.trials - s.masked;
-    t.row(&[
-        workload.to_string(),
-        site.to_string(),
-        s.trials.to_string(),
-        s.detected.to_string(),
-        s.crashed.to_string(),
-        s.sdc.to_string(),
-        s.masked.to_string(),
-        format!("{:.0}%", s.coverage() * 100.0),
-        ci95(s.detected + s.crashed, unmasked),
-    ]);
+    t.row(&coverage_cells(workload, site, s));
+}
+
+/// Runs a coverage campaign, optionally through the on-disk sharded
+/// checkpoint/merge path: set `PARADET_CAMPAIGN_SHARDS=<n>` (n ≥ 2) to
+/// split the grid into n shards, run them through the store, and merge.
+/// The merged result is bit-identical to the in-memory one-shot — the
+/// tables this experiment emits are byte-for-byte the same either way,
+/// which is exactly the determinism contract CI's `campaign-shard` job
+/// enforces.
+fn campaign(cfg: &CampaignConfig) -> CampaignResult {
+    let shards = std::env::var("PARADET_CAMPAIGN_SHARDS")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .filter(|&n| n >= 2);
+    match shards {
+        Some(n) => {
+            let dir = std::env::temp_dir().join(format!(
+                "paradet-bench-shards-{}-{}",
+                std::process::id(),
+                paradet_faults::store::fingerprint(cfg)
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            let result = run_campaign_sharded(cfg, n, &dir)
+                .unwrap_or_else(|e| panic!("sharded campaign in {}: {e}", dir.display()));
+            let _ = std::fs::remove_dir_all(&dir);
+            result
+        }
+        None => run_campaign(cfg),
+    }
 }
 
 /// Runs the fault campaign on two representative workloads (one memory
@@ -39,22 +59,12 @@ fn site_row(t: &mut Table, workload: &str, site: &str, s: &SiteResult) {
 pub fn fault_coverage(trials_per_site: u64, instrs: u64) -> Table {
     let mut t = Table::new(
         "Fault-injection coverage (per unmasked fault)",
-        &[
-            "workload",
-            "site",
-            "trials",
-            "detected",
-            "crashed",
-            "SDC",
-            "masked",
-            "coverage",
-            "cov 95% CI",
-        ],
+        &paradet_faults::COVERAGE_HEADER,
     );
     for w in [Workload::Freqmine, Workload::Bitcount] {
         let cfg =
             CampaignConfig { workload: w, instrs, trials_per_site, ..CampaignConfig::default() };
-        let result = run_campaign(&cfg);
+        let result = campaign(&cfg);
         for (site, s) in &result.per_site {
             site_row(&mut t, w.name(), site.name(), s);
         }
@@ -68,7 +78,7 @@ pub fn fault_coverage(trials_per_site: u64, instrs: u64) -> Table {
         sites: vec![FaultSite::LoadCapture, FaultSite::LoadValue],
         ..CampaignConfig::default()
     };
-    let result = run_campaign(&ablation);
+    let result = campaign(&ablation);
     for (site, s) in &result.per_site {
         site_row(&mut t, "freqmine (no LFU)", site.name(), s);
     }

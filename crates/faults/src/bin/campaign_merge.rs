@@ -1,0 +1,74 @@
+//! `campaign-merge` — folds the shard checkpoints of a campaign directory
+//! into the coverage table, byte-identical to a one-shot run of the same
+//! campaign.
+//!
+//! ```text
+//! campaign-merge --dir camp/ [--out coverage.csv] [config flags]
+//! ```
+//!
+//! When any campaign config flag is given, the directory's manifest must
+//! fingerprint-match the described campaign — merging a directory that
+//! belongs to a different campaign (other seed, workload, fault model, or
+//! trial count) is refused rather than producing a plausible but wrong
+//! table. Without config flags the manifest is trusted as-is.
+//!
+//! Exit codes: 0 success, 2 usage, 3 config-fingerprint mismatch, 5
+//! incomplete shards (the error names which shard to resume), 1 other
+//! store errors.
+
+use paradet_faults::cli::{parse_campaign_flags, reject_unknown, take_value};
+use paradet_faults::{coverage_table, merge_campaign, StoreError};
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: campaign-merge --dir <dir> [--out <csv>] [config flags]\n\
+         \n\
+         campaign config (optional; when given, the directory's manifest must match):\n{}",
+        paradet_faults::cli::CONFIG_FLAGS_HELP
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let (cfg, explicit) = parse_campaign_flags(&mut args).unwrap_or_else(|e| {
+        eprintln!("campaign-merge: {e}");
+        usage();
+    });
+    let Some(dir) = take_value(&mut args, "--dir").unwrap_or_else(|_| usage()).map(PathBuf::from)
+    else {
+        eprintln!("campaign-merge: --dir is required");
+        usage();
+    };
+    let out = take_value(&mut args, "--out").unwrap_or_else(|_| usage()).map(PathBuf::from);
+    if let Err(e) = reject_unknown(&args) {
+        eprintln!("campaign-merge: {e}");
+        usage();
+    }
+
+    let expect = if explicit { Some(&cfg) } else { None };
+    let (manifest, result) = merge_campaign(&dir, expect).unwrap_or_else(|e| {
+        eprintln!("campaign-merge: {e}");
+        std::process::exit(match e {
+            StoreError::FingerprintMismatch { .. } => 3,
+            StoreError::Incomplete(_) => 5,
+            _ => 1,
+        });
+    });
+    let table = coverage_table(&manifest.workload, &result);
+    print!("{}", table.render());
+    eprintln!(
+        "merged {} shards, {} trials, fingerprint {}",
+        manifest.shards,
+        result.trials.len(),
+        manifest.fingerprint
+    );
+    if let Some(path) = out {
+        table.write_csv(&path).unwrap_or_else(|e| {
+            eprintln!("campaign-merge: writing {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,149 @@
+//! `campaignd` — runs a fault campaign one-shot, or one resumable shard of
+//! it against an on-disk checkpoint store.
+//!
+//! ```text
+//! # The in-memory one-shot (the golden reference):
+//! campaignd --one-shot [config flags] [--out coverage.csv]
+//!
+//! # One shard of a 2-way split, checkpointing every 5 trials:
+//! campaignd --shard 0/2 --dir camp/ --checkpoint-every 5 [config flags]
+//!
+//! # Resume it after a crash or SIGKILL:
+//! campaignd --shard 0/2 --resume camp/ --checkpoint-every 5 [config flags]
+//! ```
+//!
+//! Shards of one campaign can run in any order, in parallel processes, on
+//! different hosts sharing the directory. After every shard completes,
+//! `campaign-merge --dir camp/` folds the checkpoints into a coverage
+//! table byte-identical to `--one-shot` with the same config flags.
+//!
+//! Exit codes: 0 success, 2 usage, 3 config-fingerprint mismatch, 4 shard
+//! locked / checkpoint exists without `--resume`, 1 other store errors.
+//!
+//! `--exit-after-checkpoints <k>` is the service's own fault-injection
+//! hook: the process `abort()`s (as if SIGKILLed) right after the k-th
+//! checkpoint write. The integration tests and the CI `campaign-shard` job
+//! use it to prove interrupt/resume determinism.
+
+use paradet_faults::cli::{parse_campaign_flags, reject_unknown, take_switch, take_value};
+use paradet_faults::{
+    coverage_table, run_campaign, run_campaign_shard, ShardRunOptions, ShardSpec, StoreError,
+};
+use std::path::PathBuf;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: campaignd (--one-shot | --shard i/n) [options]\n\
+         \n\
+         modes:\n  \
+         --one-shot                run the whole campaign in memory, print the coverage table\n  \
+         --shard <i/n>             run slice i of an n-way split against --dir\n\
+         \n\
+         shard options:\n  \
+         --dir <dir>               campaign directory (manifest, checkpoints, status, locks)\n  \
+         --resume <dir>            like --dir, but continue from the existing checkpoint\n  \
+         --checkpoint-every <n>    trials between checkpoints (default 25)\n  \
+         --exit-after-checkpoints <k>  abort() after the k-th checkpoint (fault-injection hook)\n\
+         \n\
+         output:\n  \
+         --out <csv>               write the coverage table as CSV (one-shot mode)\n\
+         \n\
+         campaign config:\n{}",
+        paradet_faults::cli::CONFIG_FLAGS_HELP
+    );
+    std::process::exit(2);
+}
+
+fn fail(e: &StoreError) -> ! {
+    eprintln!("campaignd: {e}");
+    std::process::exit(match e {
+        StoreError::FingerprintMismatch { .. } => 3,
+        StoreError::Locked(_) => 4,
+        _ => 1,
+    });
+}
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = parse_campaign_flags(&mut args);
+    let (cfg, _) = match parsed {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("campaignd: {e}");
+            usage();
+        }
+    };
+
+    let one_shot = take_switch(&mut args, "--one-shot");
+    let shard_arg = take_value(&mut args, "--shard").unwrap_or_else(|e| {
+        eprintln!("campaignd: {e}");
+        usage();
+    });
+    let dir_arg = take_value(&mut args, "--dir").unwrap_or_else(|_| usage());
+    let resume_arg = take_value(&mut args, "--resume").unwrap_or_else(|_| usage());
+    let every: u64 = take_value(&mut args, "--checkpoint-every")
+        .unwrap_or_else(|_| usage())
+        .map(|v| v.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(25);
+    let exit_after: Option<u64> = take_value(&mut args, "--exit-after-checkpoints")
+        .unwrap_or_else(|_| usage())
+        .map(|v| v.parse().unwrap_or_else(|_| usage()));
+    let out = take_value(&mut args, "--out").unwrap_or_else(|_| usage()).map(PathBuf::from);
+    if let Err(e) = reject_unknown(&args) {
+        eprintln!("campaignd: {e}");
+        usage();
+    }
+
+    match (one_shot, shard_arg) {
+        (true, None) => {
+            let result = run_campaign(&cfg);
+            let table = coverage_table(cfg.workload.name(), &result);
+            print!("{}", table.render());
+            if let Some(path) = out {
+                table.write_csv(&path).unwrap_or_else(|e| {
+                    eprintln!("campaignd: writing {}: {e}", path.display());
+                    std::process::exit(1);
+                });
+                eprintln!("wrote {}", path.display());
+            }
+        }
+        (false, Some(spec)) => {
+            let shard = ShardSpec::parse(&spec).unwrap_or_else(|e| {
+                eprintln!("campaignd: --shard: {e}");
+                usage();
+            });
+            let (dir, resume) = match (dir_arg, resume_arg) {
+                (Some(d), None) => (PathBuf::from(d), false),
+                (None, Some(d)) => (PathBuf::from(d), true),
+                _ => {
+                    eprintln!("campaignd: --shard needs exactly one of --dir or --resume");
+                    usage();
+                }
+            };
+            let opts = ShardRunOptions { shard, checkpoint_every: every, resume };
+            let mut checkpoints = 0u64;
+            let summary = run_campaign_shard(&dir, &cfg, &opts, |done, total| {
+                checkpoints += 1;
+                eprintln!("shard {shard}: {done}/{total} trials checkpointed");
+                if exit_after == Some(checkpoints) {
+                    // Simulate a SIGKILL mid-campaign: no cleanup, no lock
+                    // release, no final status — the resume path must cope.
+                    eprintln!("shard {shard}: aborting after checkpoint {checkpoints} (--exit-after-checkpoints)");
+                    std::process::abort();
+                }
+            })
+            .unwrap_or_else(|e| fail(&e));
+            println!(
+                "shard {shard} complete: {} trials ({} resumed, {} run) in {}",
+                summary.total,
+                summary.resumed_from,
+                summary.total - summary.resumed_from,
+                dir.display()
+            );
+        }
+        _ => {
+            eprintln!("campaignd: pass exactly one of --one-shot or --shard i/n");
+            usage();
+        }
+    }
+}

@@ -86,6 +86,12 @@ impl FaultSite {
         }
     }
 
+    /// Looks a site class up by its [`name`](FaultSite::name) — the inverse
+    /// used when reading manifests and checkpoints back from disk.
+    pub fn from_name(name: &str) -> Option<FaultSite> {
+        FaultSite::all().into_iter().find(|s| s.name() == name)
+    }
+
     fn sample(self, rng: &mut StdRng) -> FaultTarget {
         match self {
             FaultSite::IntReg => FaultTarget::IntRegBit {
@@ -125,6 +131,25 @@ pub enum Outcome {
     Masked,
 }
 
+impl Outcome {
+    /// The stable tag written into shard checkpoints.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Outcome::Detected => "detected",
+            Outcome::Crashed => "crashed",
+            Outcome::SilentDataCorruption => "sdc",
+            Outcome::Masked => "masked",
+        }
+    }
+
+    /// Parses a checkpoint [`tag`](Outcome::tag) back.
+    pub fn from_tag(tag: &str) -> Option<Outcome> {
+        [Outcome::Detected, Outcome::Crashed, Outcome::SilentDataCorruption, Outcome::Masked]
+            .into_iter()
+            .find(|o| o.tag() == tag)
+    }
+}
+
 /// One trial's record.
 #[derive(Debug, Clone)]
 pub struct TrialResult {
@@ -152,6 +177,19 @@ pub struct SiteResult {
     pub sdc: u64,
     /// Masked.
     pub masked: u64,
+}
+
+impl paradet_stats::Mergeable for SiteResult {
+    /// Per-site counts are integer tallies, so partial aggregates from
+    /// different shards fold together exactly — the property
+    /// `campaign-merge` relies on for byte-identical coverage tables.
+    fn merge_from(&mut self, other: &Self) {
+        self.trials += other.trials;
+        self.detected += other.detected;
+        self.crashed += other.crashed;
+        self.sdc += other.sdc;
+        self.masked += other.masked;
+    }
 }
 
 impl SiteResult {
@@ -266,17 +304,84 @@ pub fn trial_fault(seed: u64, site: FaultSite, trial: u64, instrs: u64) -> Armed
 /// Stream tag for over-detection trials (distinct from every `FaultSite::id`).
 const OVERDETECTION_STREAM: u64 = 0xFACE;
 
+/// The shared golden-run context every trial classifies against: the built
+/// program plus the clean run's report and final architectural state.
+///
+/// One-shot campaigns build this once per campaign; each shard process of a
+/// sharded campaign rebuilds it independently (the golden run is
+/// deterministic, so every shard classifies against the identical
+/// reference).
+#[derive(Debug)]
+pub(crate) struct Golden {
+    pub(crate) program: Arc<Program>,
+    report: paradet_core::RunReport,
+    state: paradet_isa::ArchState,
+    mem: paradet_isa::FlatMemory,
+}
+
+/// Builds the workload program and runs it clean.
+pub(crate) fn prepare_golden(cfg: &CampaignConfig) -> Golden {
+    let program = Arc::new(cfg.workload.build(cfg.workload.iters_for_instrs(cfg.instrs)));
+    // Golden run (same detection config so timing-visible state like
+    // instruction counts is comparable).
+    let mut gold_sys = PairedSystem::new_shared(cfg.system, &program);
+    let report = gold_sys.run(cfg.instrs);
+    assert!(!report.detected(), "golden run must be clean");
+    let state = gold_sys.core().committed_state().clone();
+    let mem = gold_sys.hier().data.clone();
+    Golden { program, report, state, mem }
+}
+
+/// Runs and classifies grid point `(site, trial)` — a pure function of the
+/// campaign config and the point, which is what makes the grid shardable
+/// and resumable: any process that evaluates the point gets the same
+/// [`TrialResult`].
+pub(crate) fn run_point(
+    cfg: &CampaignConfig,
+    golden: &Golden,
+    site: FaultSite,
+    trial: u64,
+    scratch: &mut SimScratch,
+) -> TrialResult {
+    let fault = trial_fault(cfg.seed, site, trial, cfg.instrs);
+    let (outcome, detect_latency) = run_trial(cfg, golden, fault, scratch);
+    TrialResult { site, fault, outcome, detect_latency }
+}
+
+/// Folds grid-ordered trials into per-site aggregates, in `sites` order.
+/// Shared by the one-shot path and `campaign-merge`, so both produce the
+/// same aggregation of the same trials.
+pub(crate) fn aggregate(
+    sites: &[FaultSite],
+    trials: &[TrialResult],
+) -> Vec<(FaultSite, SiteResult)> {
+    let trials_per_site = trials.len() / sites.len().max(1);
+    let mut per_site: Vec<(FaultSite, SiteResult)> = Vec::with_capacity(sites.len());
+    for (i, &site) in sites.iter().enumerate() {
+        let mut agg = SiteResult::default();
+        let base = i * trials_per_site;
+        for trial in &trials[base..base + trials_per_site] {
+            agg.trials += 1;
+            match trial.outcome {
+                Outcome::Detected => agg.detected += 1,
+                Outcome::Crashed => agg.crashed += 1,
+                Outcome::SilentDataCorruption => agg.sdc += 1,
+                Outcome::Masked => agg.masked += 1,
+            }
+        }
+        per_site.push((site, agg));
+    }
+    per_site
+}
+
 /// Runs one trial with the given fault armed.
 fn run_trial(
     cfg: &CampaignConfig,
-    program: &Arc<Program>,
-    golden: &paradet_core::RunReport,
-    golden_state: &paradet_isa::ArchState,
-    golden_mem: &paradet_isa::FlatMemory,
+    golden: &Golden,
     fault: ArmedFault,
     scratch: &mut SimScratch,
 ) -> (Outcome, Option<Time>) {
-    let mut sys = PairedSystem::new_with_scratch(cfg.system, program, scratch);
+    let mut sys = PairedSystem::new_with_scratch(cfg.system, &golden.program, scratch);
     sys.arm_fault(fault);
     let report = sys.run(cfg.instrs);
     let outcome = if report.detected() {
@@ -287,9 +392,9 @@ fn run_trial(
     } else {
         // No detection: compare final state with golden.
         let regs_differ =
-            sys.core().committed_state().first_register_mismatch(golden_state).is_some();
-        let mem_differs = sys.hier().data.first_difference(golden_mem).is_some();
-        let counts_differ = report.instrs != golden.instrs;
+            sys.core().committed_state().first_register_mismatch(&golden.state).is_some();
+        let mem_differs = sys.hier().data.first_difference(&golden.mem).is_some();
+        let counts_differ = report.instrs != golden.report.instrs;
         if regs_differ || mem_differs || counts_differ {
             (Outcome::SilentDataCorruption, None)
         } else {
@@ -304,47 +409,19 @@ fn run_trial(
 /// runs per site class, in parallel across `PARADET_THREADS` workers with
 /// bit-identical results at any thread count.
 pub fn run_campaign(cfg: &CampaignConfig) -> CampaignResult {
-    let program = Arc::new(cfg.workload.build(cfg.workload.iters_for_instrs(cfg.instrs)));
-    // Golden run (same detection config so timing-visible state like
-    // instruction counts is comparable).
-    let mut gold_sys = PairedSystem::new_shared(cfg.system, &program);
-    let golden = gold_sys.run(cfg.instrs);
-    assert!(!golden.detected(), "golden run must be clean");
-    let golden_state = gold_sys.core().committed_state().clone();
-    let golden_mem = gold_sys.hier().data.clone();
+    let golden = prepare_golden(cfg);
 
     // One work item per (site, trial), in reporting order. Trial cost is
     // wildly uneven (a crash ends a run early; an SDC runs to the budget
     // plus a full state diff), so claim granularity 1 for balance.
-    let points: Vec<(FaultSite, u64)> = cfg
-        .sites
-        .iter()
-        .flat_map(|&site| (0..cfg.trials_per_site).map(move |t| (site, t)))
-        .collect();
+    let points = crate::shard::grid_points(&cfg.sites, cfg.trials_per_site);
     let trials: Vec<TrialResult> =
         paradet_par::par_map_init_chunked(1, &points, SimScratch::new, |scratch, _, &(site, t)| {
-            let fault = trial_fault(cfg.seed, site, t, cfg.instrs);
-            let (outcome, lat) =
-                run_trial(cfg, &program, &golden, &golden_state, &golden_mem, fault, scratch);
-            TrialResult { site, fault, outcome, detect_latency: lat }
+            run_point(cfg, &golden, site, t, scratch)
         });
 
     // Aggregate per site; `trials` is site-major in `cfg.sites` order.
-    let mut per_site: Vec<(FaultSite, SiteResult)> = Vec::with_capacity(cfg.sites.len());
-    for (i, &site) in cfg.sites.iter().enumerate() {
-        let mut agg = SiteResult::default();
-        let base = i * cfg.trials_per_site as usize;
-        for trial in &trials[base..base + cfg.trials_per_site as usize] {
-            agg.trials += 1;
-            match trial.outcome {
-                Outcome::Detected => agg.detected += 1,
-                Outcome::Crashed => agg.crashed += 1,
-                Outcome::SilentDataCorruption => agg.sdc += 1,
-                Outcome::Masked => agg.masked += 1,
-            }
-        }
-        per_site.push((site, agg));
-    }
+    let per_site = aggregate(&cfg.sites, &trials);
     CampaignResult { trials, per_site }
 }
 

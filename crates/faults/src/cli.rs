@@ -1,0 +1,150 @@
+//! Flag parsing shared by the `campaignd` and `campaign-merge` binaries.
+//!
+//! Both binaries describe a campaign with the same flags, and both must
+//! turn them into the same [`CampaignConfig`] — the config fingerprint
+//! that gates resume and merge is computed from it, so a parsing
+//! divergence between the binaries would read as a (spurious) fingerprint
+//! mismatch. Keeping the parsing here makes that impossible.
+
+use crate::campaign::{CampaignConfig, FaultSite};
+use paradet_core::SystemConfig;
+use paradet_workloads::Workload;
+
+/// The campaign-describing flags both binaries accept.
+pub const CONFIG_FLAGS_HELP: &str = "\
+  --workload <name>         workload kernel (default freqmine)
+  --instrs <n>              dynamic instructions per trial (default 20000)
+  --trials-per-site <n>     trials per fault-site class (default 50)
+  --seed <n>                campaign RNG seed (default 42)
+  --sites <a,b,...>         fault-site classes (default: all eight)
+  --no-lfu                  disable the load forwarding unit (ablation)";
+
+/// Removes `--name <value>` from `args`, returning the value.
+pub fn take_value(args: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
+    let Some(i) = args.iter().position(|a| a == name) else {
+        return Ok(None);
+    };
+    if i + 1 >= args.len() {
+        return Err(format!("{name} requires a value"));
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Ok(Some(v))
+}
+
+/// Removes the bare switch `--name` from `args`, returning whether it was
+/// present.
+pub fn take_switch(args: &mut Vec<String>, name: &str) -> bool {
+    if let Some(i) = args.iter().position(|a| a == name) {
+        args.remove(i);
+        true
+    } else {
+        false
+    }
+}
+
+/// Parses the shared campaign-config flags out of `args` (consuming them).
+/// Returns the config and whether *any* config flag was explicitly given —
+/// `campaign-merge` only enforces the fingerprint expectation when the
+/// caller actually described a campaign.
+pub fn parse_campaign_flags(args: &mut Vec<String>) -> Result<(CampaignConfig, bool), String> {
+    let mut cfg = CampaignConfig::default();
+    let mut explicit = false;
+
+    if let Some(w) = take_value(args, "--workload")? {
+        cfg.workload = Workload::by_name(&w).ok_or_else(|| format!("unknown workload `{w}`"))?;
+        explicit = true;
+    }
+    if let Some(v) = take_value(args, "--instrs")? {
+        cfg.instrs = v.parse().map_err(|_| format!("bad --instrs `{v}`"))?;
+        explicit = true;
+    }
+    if let Some(v) = take_value(args, "--trials-per-site")? {
+        cfg.trials_per_site = v.parse().map_err(|_| format!("bad --trials-per-site `{v}`"))?;
+        explicit = true;
+    }
+    if let Some(v) = take_value(args, "--seed")? {
+        cfg.seed = v.parse().map_err(|_| format!("bad --seed `{v}`"))?;
+        explicit = true;
+    }
+    if let Some(v) = take_value(args, "--sites")? {
+        cfg.sites = v
+            .split(',')
+            .map(|n| {
+                FaultSite::from_name(n.trim())
+                    .ok_or_else(|| format!("unknown fault site `{}`", n.trim()))
+            })
+            .collect::<Result<_, _>>()?;
+        if cfg.sites.is_empty() {
+            return Err("--sites needs at least one site".to_string());
+        }
+        explicit = true;
+    }
+    if take_switch(args, "--no-lfu") {
+        cfg.system = SystemConfig { lfu_enabled: false, ..cfg.system };
+        explicit = true;
+    }
+    Ok((cfg, explicit))
+}
+
+/// Fails on any remaining `--flag` the binary didn't consume (typo guard:
+/// a misspelled flag must not silently fall back to a default config,
+/// where it would fingerprint as a different campaign).
+pub fn reject_unknown(args: &[String]) -> Result<(), String> {
+    if let Some(a) = args.iter().find(|a| a.starts_with('-')) {
+        return Err(format!("unknown flag `{a}`"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_when_no_flags() {
+        let mut args = argv(&[]);
+        let (cfg, explicit) = parse_campaign_flags(&mut args).unwrap();
+        assert!(!explicit);
+        assert_eq!(cfg.seed, CampaignConfig::default().seed);
+    }
+
+    #[test]
+    fn flags_override_and_consume() {
+        let mut args = argv(&[
+            "--workload",
+            "stream",
+            "--seed",
+            "7",
+            "--sites",
+            "pc,int-reg",
+            "--no-lfu",
+            "--dir",
+            "x",
+        ]);
+        let (cfg, explicit) = parse_campaign_flags(&mut args).unwrap();
+        assert!(explicit);
+        assert_eq!(cfg.workload.name(), "stream");
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.sites, vec![FaultSite::Pc, FaultSite::IntReg]);
+        assert!(!cfg.system.lfu_enabled);
+        assert_eq!(args, argv(&["--dir", "x"]));
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        assert!(reject_unknown(&argv(&["--wrokload", "stream"])).is_err());
+        assert!(reject_unknown(&argv(&[])).is_ok());
+    }
+
+    #[test]
+    fn bad_values_error() {
+        assert!(parse_campaign_flags(&mut argv(&["--workload", "nope"])).is_err());
+        assert!(parse_campaign_flags(&mut argv(&["--instrs", "many"])).is_err());
+        assert!(parse_campaign_flags(&mut argv(&["--seed"])).is_err());
+    }
+}

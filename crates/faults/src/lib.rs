@@ -18,13 +18,34 @@
 //! Over-detection (§IV-I) is exercised separately by corrupting the
 //! detection hardware's own log: the program is fine, but an error is
 //! reported anyway — a false positive.
+//!
+//! # Sharded, resumable campaigns
+//!
+//! Because each trial is a pure function of `(seed, site, trial)`, a
+//! campaign's work grid can be partitioned across processes ([`shard`]),
+//! checkpointed to disk and resumed after a crash or `SIGKILL`
+//! ([`store`], [`run_campaign_shard`]), and merged back
+//! ([`merge_campaign`]) into a result **bit-identical** to the one-shot
+//! in-memory [`run_campaign`]. The `campaignd` and `campaign-merge`
+//! binaries expose this as a service; CI proves the identity on every
+//! push.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 mod campaign;
+pub mod cli;
+mod service;
+pub mod shard;
+pub mod store;
 
 pub use campaign::{
     run_campaign, run_overdetection_trials, trial_fault, trial_seed, CampaignConfig,
     CampaignResult, FaultSite, Outcome, SiteResult, TrialResult,
 };
+pub use service::{
+    coverage_cells, coverage_table, merge_campaign, run_campaign_shard, run_campaign_sharded,
+    ShardRunOptions, ShardRunSummary, COVERAGE_HEADER,
+};
+pub use shard::ShardSpec;
+pub use store::StoreError;

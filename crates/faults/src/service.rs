@@ -1,0 +1,320 @@
+//! The campaign-as-a-service layer: resumable shard execution and the
+//! merge that folds shard checkpoints back into a one-shot-identical
+//! [`CampaignResult`].
+//!
+//! Determinism contract (invariant 8 in ARCHITECTURE.md): for any shard
+//! count, interruption schedule, and resume sequence,
+//!
+//! ```text
+//! merge(shard 0/n, …, shard n−1/n)  ≡  run_campaign(cfg)
+//! ```
+//!
+//! bit for bit — same `TrialResult`s in the same grid order, same per-site
+//! aggregates, same rendered coverage table. The proof obligations:
+//!
+//! * each trial is a pure function of `(config, site, trial)`
+//!   ([`run_point`](crate::campaign)), so *where/when* it runs is
+//!   invisible;
+//! * the partitioner's slices are disjoint and cover the grid
+//!   ([`shard_points`]);
+//! * checkpoints are written atomically, so a kill leaves a valid prefix
+//!   of the slice and resume recomputes only the suffix;
+//! * the merge places each record back at its grid index and aggregates
+//!   with the same fold as the one-shot path
+//!   ([`aggregate`](crate::campaign)).
+//!
+//! CI enforces the contract on every push (`campaign-shard` job): a
+//! one-shot golden vs. a 2-shard run with one shard killed mid-run and
+//! resumed, coverage CSVs diffed byte-for-byte.
+
+use crate::campaign::{
+    aggregate, prepare_golden, run_point, CampaignConfig, CampaignResult, SiteResult, TrialResult,
+};
+use crate::shard::{shard_points, ShardSpec};
+use crate::store::{
+    ensure_manifest, fingerprint, read_checkpoint, read_manifest, write_checkpoint, write_status,
+    Manifest, ShardLock, StoreError, TrialRecord,
+};
+use crate::trial_fault;
+use paradet_core::SimScratch;
+use paradet_mem::Time;
+use paradet_stats::{wilson_interval, Table};
+use std::path::Path;
+
+/// How a shard run should execute.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardRunOptions {
+    /// Which slice of the grid this process owns.
+    pub shard: ShardSpec,
+    /// Checkpoint (and heartbeat) after this many completed trials.
+    pub checkpoint_every: u64,
+    /// Continue from an existing checkpoint and take over a stale lock.
+    pub resume: bool,
+}
+
+impl Default for ShardRunOptions {
+    fn default() -> ShardRunOptions {
+        ShardRunOptions { shard: ShardSpec::SOLO, checkpoint_every: 25, resume: false }
+    }
+}
+
+/// What a completed (or resumed-to-completion) shard run did.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardRunSummary {
+    /// Trials already in the checkpoint when the run started.
+    pub resumed_from: u64,
+    /// Trials completed by the end of the run (== `total`).
+    pub done: u64,
+    /// Trials in this shard's slice.
+    pub total: u64,
+}
+
+/// Runs (or resumes) one shard of `cfg` in `dir`, checkpointing every
+/// `opts.checkpoint_every` trials. `on_checkpoint(done, total)` fires after
+/// each checkpoint write — the campaign's own fault-injection harness uses
+/// it to abort the process mid-run and prove resume determinism.
+///
+/// # Errors
+///
+/// Fails if the directory's manifest or checkpoint fingerprints don't match
+/// `cfg` (see [`StoreError::FingerprintMismatch`]), if the shard is locked
+/// by another (live or killed) run and `opts.resume` is not set, or on I/O.
+pub fn run_campaign_shard(
+    dir: &Path,
+    cfg: &CampaignConfig,
+    opts: &ShardRunOptions,
+    mut on_checkpoint: impl FnMut(u64, u64),
+) -> Result<ShardRunSummary, StoreError> {
+    let fp = fingerprint(cfg).hex();
+    ensure_manifest(dir, cfg, opts.shard.count())?;
+    let _lock = ShardLock::acquire(dir, opts.shard, opts.resume)?;
+
+    let points = shard_points(&cfg.sites, cfg.trials_per_site, opts.shard);
+    let total = points.len() as u64;
+
+    let mut records: Vec<TrialRecord> = match read_checkpoint(dir, opts.shard, &fp)? {
+        Some(existing) if opts.resume => existing,
+        Some(_) => {
+            return Err(StoreError::Locked(format!(
+                "checkpoint for shard {} already exists in {}; pass --resume to continue it \
+                 (or use a fresh directory)",
+                opts.shard,
+                dir.display()
+            )))
+        }
+        None => Vec::new(),
+    };
+    // A checkpoint is always a prefix of the slice in slice order; verify
+    // so a corrupted or foreign file can't silently misalign the grid.
+    if records.len() > points.len() {
+        return Err(StoreError::Corrupt(format!(
+            "shard {} checkpoint has {} records for a {}-point slice",
+            opts.shard,
+            records.len(),
+            points.len()
+        )));
+    }
+    for (r, &(site, trial)) in records.iter().zip(&points) {
+        if r.site != site || r.trial != trial {
+            return Err(StoreError::Corrupt(format!(
+                "shard {} checkpoint diverges from its slice at ({}, {})",
+                opts.shard,
+                r.site.name(),
+                r.trial
+            )));
+        }
+    }
+    let resumed_from = records.len() as u64;
+    write_status(dir, opts.shard, "running", resumed_from, total)?;
+
+    if resumed_from < total {
+        let golden = prepare_golden(cfg);
+        let every = opts.checkpoint_every.max(1) as usize;
+        let mut at = resumed_from as usize;
+        while at < points.len() {
+            let chunk = &points[at..(at + every).min(points.len())];
+            let batch: Vec<TrialResult> = paradet_par::par_map_init_chunked(
+                1,
+                chunk,
+                SimScratch::new,
+                |scratch, _, &(site, t)| run_point(cfg, &golden, site, t, scratch),
+            );
+            // par_map_* is order-preserving: batch[j] is chunk[j]'s result.
+            records.extend(batch.iter().zip(chunk).map(|(t, &(site, trial))| {
+                debug_assert_eq!(t.site, site);
+                TrialRecord {
+                    site,
+                    trial,
+                    outcome: t.outcome,
+                    latency_fs: t.detect_latency.map(Time::as_fs),
+                }
+            }));
+            at += chunk.len();
+            write_checkpoint(dir, opts.shard, &fp, &records)?;
+            write_status(dir, opts.shard, "running", at as u64, total)?;
+            on_checkpoint(at as u64, total);
+        }
+    } else {
+        // Nothing left (a resume of a finished shard): still refresh the
+        // checkpoint so the file exists even for an empty slice.
+        write_checkpoint(dir, opts.shard, &fp, &records)?;
+    }
+    write_status(dir, opts.shard, "done", total, total)?;
+    Ok(ShardRunSummary { resumed_from, done: total, total })
+}
+
+/// Merges every shard checkpoint in `dir` into the campaign result,
+/// byte-identical to [`run_campaign`](crate::run_campaign) on the same
+/// configuration.
+///
+/// With `expect`, the directory's manifest fingerprint must match the
+/// expected configuration — merging a directory from a different campaign
+/// (other seed, workload, fault model, or trial count) is refused with
+/// [`StoreError::FingerprintMismatch`] rather than producing a plausible
+/// but wrong table.
+///
+/// # Errors
+///
+/// Also fails if any shard checkpoint is missing or incomplete (the error
+/// names the shard to resume) or if any store file is corrupt.
+pub fn merge_campaign(
+    dir: &Path,
+    expect: Option<&CampaignConfig>,
+) -> Result<(Manifest, CampaignResult), StoreError> {
+    let manifest = read_manifest(dir)?;
+    if let Some(cfg) = expect {
+        let mine = fingerprint(cfg).hex();
+        if manifest.fingerprint != mine {
+            return Err(StoreError::FingerprintMismatch {
+                expected: mine,
+                found: manifest.fingerprint.clone(),
+                detail: format!(
+                    "{} (workload={}, seed={}, instrs={}, trials_per_site={})",
+                    crate::store::manifest_path(dir).display(),
+                    manifest.workload,
+                    manifest.seed,
+                    manifest.instrs,
+                    manifest.trials_per_site
+                ),
+            });
+        }
+    }
+    let sites = manifest.site_list()?;
+    let grid_len = sites.len() * manifest.trials_per_site as usize;
+    let mut slots: Vec<Option<TrialResult>> = vec![None; grid_len];
+
+    for i in 0..manifest.shards {
+        let shard = ShardSpec::new(i, manifest.shards);
+        let points = shard_points(&sites, manifest.trials_per_site, shard);
+        let records = read_checkpoint(dir, shard, &manifest.fingerprint)?.ok_or_else(|| {
+            StoreError::Incomplete(format!(
+                "shard {shard} has no checkpoint in {} — run it first",
+                dir.display()
+            ))
+        })?;
+        if records.len() < points.len() {
+            return Err(StoreError::Incomplete(format!(
+                "shard {shard} has {}/{} trials — resume it before merging",
+                records.len(),
+                points.len()
+            )));
+        }
+        for (r, &(site, trial)) in records.iter().zip(&points) {
+            if r.site != site || r.trial != trial {
+                return Err(StoreError::Corrupt(format!(
+                    "shard {shard} checkpoint diverges from its slice at ({}, {})",
+                    r.site.name(),
+                    r.trial
+                )));
+            }
+            let site_pos = sites.iter().position(|&s| s == site).expect("site from slice");
+            let g = site_pos * manifest.trials_per_site as usize + trial as usize;
+            // The fault is reconstructed, not stored: it is pure in
+            // (seed, site, trial), which is the whole reason sharding can
+            // be bit-identical.
+            let fault = trial_fault(manifest.seed, site, trial, manifest.instrs);
+            slots[g] = Some(TrialResult {
+                site,
+                fault,
+                outcome: r.outcome,
+                detect_latency: r.latency_fs.map(Time::from_fs),
+            });
+        }
+    }
+
+    let trials: Vec<TrialResult> = slots
+        .into_iter()
+        .enumerate()
+        .map(|(g, s)| {
+            s.ok_or_else(|| {
+                StoreError::Incomplete(format!("grid point {g} was produced by no shard"))
+            })
+        })
+        .collect::<Result<_, _>>()?;
+    let per_site = aggregate(&sites, &trials);
+    Ok((manifest, CampaignResult { trials, per_site }))
+}
+
+/// Convenience used by tests and the bench sharded path: runs every shard
+/// of `cfg` (serially, in this process) into `dir`, then merges.
+pub fn run_campaign_sharded(
+    cfg: &CampaignConfig,
+    shards: u32,
+    dir: &Path,
+) -> Result<CampaignResult, StoreError> {
+    for i in 0..shards {
+        let opts = ShardRunOptions { shard: ShardSpec::new(i, shards), ..Default::default() };
+        run_campaign_shard(dir, cfg, &opts, |_, _| {})?;
+    }
+    Ok(merge_campaign(dir, Some(cfg))?.1)
+}
+
+/// Formats the 95% Wilson interval on `successes/trials` as a percentage
+/// range — the exact cell format of the `fault_coverage` experiment.
+fn ci95(successes: u64, trials: u64) -> String {
+    let (lo, hi) = wilson_interval(successes, trials, 1.96);
+    format!("[{:.0}%, {:.0}%]", lo * 100.0, hi * 100.0)
+}
+
+/// The column headers of a coverage table (shared with the
+/// `fault_coverage` experiment so every producer agrees byte-for-byte).
+pub const COVERAGE_HEADER: [&str; 9] = [
+    "workload",
+    "site",
+    "trials",
+    "detected",
+    "crashed",
+    "SDC",
+    "masked",
+    "coverage",
+    "cov 95% CI",
+];
+
+/// One coverage row: counts, the point rate, and its 95% Wilson interval
+/// over unmasked faults. The single source of the cell formatting — the
+/// one-shot experiment table, `campaignd --one-shot`, and `campaign-merge`
+/// all render through here, which is what makes "merged table ≡ one-shot
+/// table" a byte-level statement.
+pub fn coverage_cells(label: &str, site: &str, s: &SiteResult) -> Vec<String> {
+    let unmasked = s.trials - s.masked;
+    vec![
+        label.to_string(),
+        site.to_string(),
+        s.trials.to_string(),
+        s.detected.to_string(),
+        s.crashed.to_string(),
+        s.sdc.to_string(),
+        s.masked.to_string(),
+        format!("{:.0}%", s.coverage() * 100.0),
+        ci95(s.detected + s.crashed, unmasked),
+    ]
+}
+
+/// Renders a campaign's per-site coverage as the standard table.
+pub fn coverage_table(label: &str, result: &CampaignResult) -> Table {
+    let mut t = Table::new("Fault-injection coverage (per unmasked fault)", &COVERAGE_HEADER);
+    for (site, s) in &result.per_site {
+        t.row(&coverage_cells(label, site.name(), s));
+    }
+    t
+}

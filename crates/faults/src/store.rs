@@ -1,0 +1,680 @@
+//! The on-disk campaign store: manifest, per-shard checkpoints, status
+//! heartbeats, and lock files.
+//!
+//! Layout of a campaign directory:
+//!
+//! ```text
+//! <dir>/
+//!   run_manifest.json        config fingerprint + shard spec (one per run)
+//!   shard-0-of-2.jsonl       shard 0's checkpoint: header + one line/trial
+//!   shard-1-of-2.jsonl       shard 1's checkpoint
+//!   status-shard-0.json      shard 0's heartbeat (progress, state)
+//!   shard-0.lock             present while shard 0 runs (or died running)
+//! ```
+//!
+//! Every file is written atomically (full rewrite to a `.tmp` sibling, then
+//! rename), so a `SIGKILL` at any instant leaves either the previous
+//! complete checkpoint or the new complete checkpoint — never a torn file.
+//! A killed shard loses at most `checkpoint_every − 1` trials of work;
+//! because trials are pure in `(seed, site, trial)`, re-running them on
+//! resume reproduces the identical results.
+//!
+//! The workspace is deliberately dependency-free (no serde); the JSON here
+//! is hand-rendered and hand-scanned, like `BENCH_speed.json`.
+
+use crate::campaign::{CampaignConfig, FaultSite, Outcome};
+use crate::shard::ShardSpec;
+use std::fmt;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Schema tag of `run_manifest.json`.
+pub const MANIFEST_SCHEMA: &str = "paradet-campaign-manifest/v1";
+/// Schema tag of the checkpoint header line.
+pub const CHECKPOINT_SCHEMA: &str = "paradet-campaign-ckpt/v1";
+/// Schema tag of the status heartbeat files.
+pub const STATUS_SCHEMA: &str = "paradet-campaign-status/v1";
+
+/// Errors from the campaign store and the shard/merge service.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem error.
+    Io(io::Error),
+    /// The manifest on disk describes a different campaign than the current
+    /// invocation — resuming or merging would silently mix incompatible
+    /// trial grids, so both refuse.
+    FingerprintMismatch {
+        /// Fingerprint the current invocation computes.
+        expected: String,
+        /// Fingerprint recorded on disk.
+        found: String,
+        /// Which file disagreed and the human-readable config it records.
+        detail: String,
+    },
+    /// A store file exists but cannot be understood.
+    Corrupt(String),
+    /// A lock file says the shard is (or died) running.
+    Locked(String),
+    /// A merge found a shard with missing trials.
+    Incomplete(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "campaign store I/O error: {e}"),
+            StoreError::FingerprintMismatch { expected, found, detail } => write!(
+                f,
+                "config fingerprint mismatch: this invocation is {expected} but {detail} \
+                 records {found} — the directory belongs to a different campaign \
+                 (seed/workload/fault model/trials differ); use a fresh --dir or rerun \
+                 with the original configuration"
+            ),
+            StoreError::Corrupt(m) => write!(f, "corrupt campaign store: {m}"),
+            StoreError::Locked(m) => write!(f, "{m}"),
+            StoreError::Incomplete(m) => write!(f, "incomplete campaign: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+/// A campaign's config fingerprint: a 64-bit FNV-1a digest over the
+/// canonical rendering of everything that determines the trial grid and
+/// each trial's result — seed, workload, per-trial budget, trials per
+/// site, the site list (order included: it fixes grid positions), and the
+/// full `SystemConfig` (its `Debug` form, which covers the fault-model
+/// ablations such as `lfu_enabled`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    /// Renders as fixed-width hex (the manifest/checkpoint form).
+    pub fn hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+/// Computes the fingerprint of a campaign configuration.
+pub fn fingerprint(cfg: &CampaignConfig) -> Fingerprint {
+    let site_names: Vec<&str> = cfg.sites.iter().map(|s| s.name()).collect();
+    let canonical = format!(
+        "seed={}|workload={}|instrs={}|trials_per_site={}|sites={}|system={:?}",
+        cfg.seed,
+        cfg.workload.name(),
+        cfg.instrs,
+        cfg.trials_per_site,
+        site_names.join(","),
+        cfg.system,
+    );
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in canonical.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    Fingerprint(h)
+}
+
+/// `run_manifest.json`: the campaign identity a directory serves. Written
+/// by the first shard to start; every later shard, resume, and merge
+/// validates against it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Config fingerprint (hex form of [`fingerprint`]).
+    pub fingerprint: String,
+    /// Campaign RNG seed.
+    pub seed: u64,
+    /// Workload name.
+    pub workload: String,
+    /// Dynamic instructions per trial.
+    pub instrs: u64,
+    /// Trials per site class.
+    pub trials_per_site: u64,
+    /// Site-class names, in grid order.
+    pub sites: Vec<String>,
+    /// Number of shards the grid is partitioned into.
+    pub shards: u32,
+    /// Human-readable `SystemConfig` (diagnostic only; the fingerprint is
+    /// what gates resume/merge).
+    pub system: String,
+}
+
+impl Manifest {
+    /// Builds the manifest a fresh campaign run writes.
+    pub fn from_config(cfg: &CampaignConfig, shards: u32) -> Manifest {
+        Manifest {
+            fingerprint: fingerprint(cfg).hex(),
+            seed: cfg.seed,
+            workload: cfg.workload.name().to_string(),
+            instrs: cfg.instrs,
+            trials_per_site: cfg.trials_per_site,
+            sites: cfg.sites.iter().map(|s| s.name().to_string()).collect(),
+            shards,
+            system: format!("{:?}", cfg.system),
+        }
+    }
+
+    /// The site list parsed back into [`FaultSite`]s.
+    pub fn site_list(&self) -> Result<Vec<FaultSite>, StoreError> {
+        self.sites
+            .iter()
+            .map(|n| {
+                FaultSite::from_name(n)
+                    .ok_or_else(|| StoreError::Corrupt(format!("unknown fault site `{n}`")))
+            })
+            .collect()
+    }
+
+    fn render(&self) -> String {
+        let sites =
+            self.sites.iter().map(|s| format!("\"{}\"", json_escape(s))).collect::<Vec<_>>();
+        format!(
+            "{{\n  \"schema\": \"{}\",\n  \"fingerprint\": \"{}\",\n  \"seed\": {},\n  \
+             \"workload\": \"{}\",\n  \"instrs\": {},\n  \"trials_per_site\": {},\n  \
+             \"sites\": [{}],\n  \"shards\": {},\n  \"system\": \"{}\"\n}}\n",
+            MANIFEST_SCHEMA,
+            json_escape(&self.fingerprint),
+            self.seed,
+            json_escape(&self.workload),
+            self.instrs,
+            self.trials_per_site,
+            sites.join(", "),
+            self.shards,
+            json_escape(&self.system),
+        )
+    }
+
+    fn parse(text: &str) -> Result<Manifest, StoreError> {
+        let schema = str_field(text, "schema")
+            .ok_or_else(|| StoreError::Corrupt("manifest has no schema tag".into()))?;
+        if schema != MANIFEST_SCHEMA {
+            return Err(StoreError::Corrupt(format!(
+                "manifest schema `{schema}` != `{MANIFEST_SCHEMA}`"
+            )));
+        }
+        Ok(Manifest {
+            fingerprint: str_field(text, "fingerprint")
+                .ok_or_else(|| StoreError::Corrupt("manifest missing fingerprint".into()))?,
+            seed: u64_field(text, "seed")
+                .ok_or_else(|| StoreError::Corrupt("manifest missing seed".into()))?,
+            workload: str_field(text, "workload")
+                .ok_or_else(|| StoreError::Corrupt("manifest missing workload".into()))?,
+            instrs: u64_field(text, "instrs")
+                .ok_or_else(|| StoreError::Corrupt("manifest missing instrs".into()))?,
+            trials_per_site: u64_field(text, "trials_per_site")
+                .ok_or_else(|| StoreError::Corrupt("manifest missing trials_per_site".into()))?,
+            sites: str_array(text, "sites"),
+            shards: u64_field(text, "shards")
+                .ok_or_else(|| StoreError::Corrupt("manifest missing shards".into()))?
+                as u32,
+            system: str_field(text, "system").unwrap_or_default(),
+        })
+    }
+}
+
+/// Path of the manifest inside `dir`.
+pub fn manifest_path(dir: &Path) -> PathBuf {
+    dir.join("run_manifest.json")
+}
+
+/// Reads and parses `run_manifest.json` from `dir`.
+pub fn read_manifest(dir: &Path) -> Result<Manifest, StoreError> {
+    let path = manifest_path(dir);
+    let text = std::fs::read_to_string(&path).map_err(|e| {
+        if e.kind() == io::ErrorKind::NotFound {
+            StoreError::Corrupt(format!("no run_manifest.json in {}", dir.display()))
+        } else {
+            StoreError::Io(e)
+        }
+    })?;
+    Manifest::parse(&text)
+}
+
+/// Writes the manifest if absent, or validates the existing one against
+/// this invocation (fingerprint and shard count must match). Returns the
+/// manifest in force.
+pub fn ensure_manifest(
+    dir: &Path,
+    cfg: &CampaignConfig,
+    shards: u32,
+) -> Result<Manifest, StoreError> {
+    std::fs::create_dir_all(dir)?;
+    let mine = Manifest::from_config(cfg, shards);
+    let path = manifest_path(dir);
+    if !path.exists() {
+        atomic_write(&path, &mine.render())?;
+        return Ok(mine);
+    }
+    let found = read_manifest(dir)?;
+    if found.fingerprint != mine.fingerprint {
+        return Err(StoreError::FingerprintMismatch {
+            expected: mine.fingerprint,
+            found: found.fingerprint,
+            detail: format!(
+                "{} (workload={}, seed={}, instrs={}, trials_per_site={})",
+                path.display(),
+                found.workload,
+                found.seed,
+                found.instrs,
+                found.trials_per_site
+            ),
+        });
+    }
+    if found.shards != shards {
+        return Err(StoreError::Corrupt(format!(
+            "{} partitions the grid into {} shards, this invocation says {}",
+            path.display(),
+            found.shards,
+            shards
+        )));
+    }
+    Ok(found)
+}
+
+/// One checkpointed trial: the grid point and its classification. The
+/// concrete fault is *not* stored — it is a pure function of
+/// `(seed, site, trial)` and is reconstructed on merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrialRecord {
+    /// Site class of the point.
+    pub site: FaultSite,
+    /// Trial index within the site.
+    pub trial: u64,
+    /// Classification.
+    pub outcome: Outcome,
+    /// Detection latency in femtoseconds, when detected.
+    pub latency_fs: Option<u64>,
+}
+
+/// Path of shard `shard`'s checkpoint inside `dir`.
+pub fn checkpoint_path(dir: &Path, shard: ShardSpec) -> PathBuf {
+    dir.join(format!("shard-{}-of-{}.jsonl", shard.index(), shard.count()))
+}
+
+/// Atomically (re)writes shard `shard`'s checkpoint: a header line carrying
+/// the schema + fingerprint, then one line per completed trial in slice
+/// order.
+pub fn write_checkpoint(
+    dir: &Path,
+    shard: ShardSpec,
+    fp: &str,
+    records: &[TrialRecord],
+) -> Result<(), StoreError> {
+    let mut out = String::with_capacity(64 + records.len() * 64);
+    out.push_str(&format!(
+        "{{\"schema\": \"{}\", \"fingerprint\": \"{}\", \"shard\": \"{}\"}}\n",
+        CHECKPOINT_SCHEMA,
+        json_escape(fp),
+        shard
+    ));
+    for r in records {
+        match r.latency_fs {
+            Some(fs) => out.push_str(&format!(
+                "{{\"site\": \"{}\", \"trial\": {}, \"outcome\": \"{}\", \"latency_fs\": {}}}\n",
+                r.site.name(),
+                r.trial,
+                r.outcome.tag(),
+                fs
+            )),
+            None => out.push_str(&format!(
+                "{{\"site\": \"{}\", \"trial\": {}, \"outcome\": \"{}\"}}\n",
+                r.site.name(),
+                r.trial,
+                r.outcome.tag()
+            )),
+        }
+    }
+    atomic_write(&checkpoint_path(dir, shard), &out)
+}
+
+/// Reads shard `shard`'s checkpoint, if present, validating its header
+/// fingerprint against `expect_fp`.
+pub fn read_checkpoint(
+    dir: &Path,
+    shard: ShardSpec,
+    expect_fp: &str,
+) -> Result<Option<Vec<TrialRecord>>, StoreError> {
+    let path = checkpoint_path(dir, shard);
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(StoreError::Io(e)),
+    };
+    let mut lines = text.lines();
+    let header =
+        lines.next().ok_or_else(|| StoreError::Corrupt(format!("{} is empty", path.display())))?;
+    let schema = str_field(header, "schema").unwrap_or_default();
+    if schema != CHECKPOINT_SCHEMA {
+        return Err(StoreError::Corrupt(format!(
+            "{} header schema `{schema}` != `{CHECKPOINT_SCHEMA}`",
+            path.display()
+        )));
+    }
+    let fp = str_field(header, "fingerprint").unwrap_or_default();
+    if fp != expect_fp {
+        return Err(StoreError::FingerprintMismatch {
+            expected: expect_fp.to_string(),
+            found: fp,
+            detail: format!("checkpoint {}", path.display()),
+        });
+    }
+    let mut records = Vec::new();
+    for (i, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let site_name = str_field(line, "site").ok_or_else(|| {
+            StoreError::Corrupt(format!("{} line {}: no site", path.display(), i + 2))
+        })?;
+        let site = FaultSite::from_name(&site_name).ok_or_else(|| {
+            StoreError::Corrupt(format!(
+                "{} line {}: unknown site `{site_name}`",
+                path.display(),
+                i + 2
+            ))
+        })?;
+        let trial = u64_field(line, "trial").ok_or_else(|| {
+            StoreError::Corrupt(format!("{} line {}: no trial", path.display(), i + 2))
+        })?;
+        let tag = str_field(line, "outcome").ok_or_else(|| {
+            StoreError::Corrupt(format!("{} line {}: no outcome", path.display(), i + 2))
+        })?;
+        let outcome = Outcome::from_tag(&tag).ok_or_else(|| {
+            StoreError::Corrupt(format!(
+                "{} line {}: unknown outcome `{tag}`",
+                path.display(),
+                i + 2
+            ))
+        })?;
+        records.push(TrialRecord {
+            site,
+            trial,
+            outcome,
+            latency_fs: u64_field(line, "latency_fs"),
+        });
+    }
+    Ok(Some(records))
+}
+
+/// Atomically writes shard `shard`'s status heartbeat.
+pub fn write_status(
+    dir: &Path,
+    shard: ShardSpec,
+    state: &str,
+    done: u64,
+    total: u64,
+) -> Result<(), StoreError> {
+    let unix = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let body = format!(
+        "{{\n  \"schema\": \"{}\",\n  \"shard\": \"{}\",\n  \"state\": \"{}\",\n  \
+         \"done\": {},\n  \"total\": {},\n  \"updated_unix\": {}\n}}\n",
+        STATUS_SCHEMA,
+        shard,
+        json_escape(state),
+        done,
+        total,
+        unix
+    );
+    atomic_write(&dir.join(format!("status-shard-{}.json", shard.index())), &body)
+}
+
+/// A held per-shard lock file. Dropped on clean completion (the file is
+/// removed); a `SIGKILL` leaves the file behind, which is exactly the
+/// signal `--resume` overrides and a fresh start refuses.
+#[derive(Debug)]
+pub struct ShardLock {
+    path: PathBuf,
+}
+
+impl ShardLock {
+    /// Acquires the lock for `shard` in `dir`. With `takeover` (resume), an
+    /// existing lock — a crashed or killed previous owner — is replaced;
+    /// without it, an existing lock is an error.
+    pub fn acquire(dir: &Path, shard: ShardSpec, takeover: bool) -> Result<ShardLock, StoreError> {
+        let path = dir.join(format!("shard-{}.lock", shard.index()));
+        if path.exists() && !takeover {
+            return Err(StoreError::Locked(format!(
+                "{} exists: shard {} is already running (or died mid-run); \
+                 pass --resume to take over and continue from its checkpoint",
+                path.display(),
+                shard
+            )));
+        }
+        std::fs::write(&path, format!("{}\n", std::process::id()))?;
+        Ok(ShardLock { path })
+    }
+}
+
+impl Drop for ShardLock {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// Writes `contents` to `path` via a `.tmp` sibling + rename, so readers
+/// (and a kill at any instant) see either the old file or the new one.
+fn atomic_write(path: &Path, contents: &str) -> Result<(), StoreError> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, contents)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Unescapes the subset [`json_escape`] produces.
+fn json_unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('u') => {
+                let hex: String = chars.by_ref().take(4).collect();
+                if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    out.push(c);
+                }
+            }
+            Some(c) => out.push(c),
+            None => {}
+        }
+    }
+    out
+}
+
+/// Scans `"key": "value"` out of our own JSON (not a general parser — the
+/// format is ours, as with `BENCH_speed.json`).
+fn str_field(json: &str, key: &str) -> Option<String> {
+    let tag = format!("\"{key}\": \"");
+    let at = json.find(&tag)? + tag.len();
+    let rest = &json[at..];
+    // Find the closing quote, skipping escaped ones.
+    let mut end = None;
+    let bytes = rest.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'"' => {
+                end = Some(i);
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    Some(json_unescape(&rest[..end?]))
+}
+
+/// Scans `"key": <u64>` out of our own JSON.
+fn u64_field(json: &str, key: &str) -> Option<u64> {
+    let tag = format!("\"{key}\": ");
+    let at = json.find(&tag)? + tag.len();
+    json[at..].split([',', '}', '\n']).next()?.trim().parse().ok()
+}
+
+/// Scans `"key": ["a", "b", ...]` out of our own JSON.
+fn str_array(json: &str, key: &str) -> Vec<String> {
+    let tag = format!("\"{key}\": [");
+    let Some(at) = json.find(&tag).map(|i| i + tag.len()) else {
+        return Vec::new();
+    };
+    let Some(end) = json[at..].find(']') else {
+        return Vec::new();
+    };
+    json[at..at + end]
+        .split(',')
+        .filter_map(|item| {
+            let item = item.trim();
+            item.strip_prefix('"').and_then(|s| s.strip_suffix('"')).map(json_unescape)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use paradet_workloads::Workload;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("paradet-store-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn manifest_round_trips() {
+        let cfg = CampaignConfig::default();
+        let m = Manifest::from_config(&cfg, 3);
+        let parsed = Manifest::parse(&m.render()).unwrap();
+        assert_eq!(m, parsed);
+        assert_eq!(parsed.site_list().unwrap(), cfg.sites);
+    }
+
+    #[test]
+    fn fingerprint_separates_configs() {
+        let base = CampaignConfig::default();
+        let f0 = fingerprint(&base);
+        assert_eq!(f0, fingerprint(&base.clone()));
+        let seeds = CampaignConfig { seed: 43, ..base.clone() };
+        assert_ne!(f0, fingerprint(&seeds));
+        let workload = CampaignConfig { workload: Workload::Stream, ..base.clone() };
+        assert_ne!(f0, fingerprint(&workload));
+        let trials = CampaignConfig { trials_per_site: 51, ..base.clone() };
+        assert_ne!(f0, fingerprint(&trials));
+        let system = CampaignConfig {
+            system: paradet_core::SystemConfig {
+                lfu_enabled: false,
+                ..paradet_core::SystemConfig::paper_default()
+            },
+            ..base.clone()
+        };
+        assert_ne!(f0, fingerprint(&system), "fault-model ablations must refingerprint");
+        let sites = CampaignConfig { sites: vec![FaultSite::Pc], ..base };
+        assert_ne!(f0, fingerprint(&sites));
+    }
+
+    #[test]
+    fn ensure_manifest_rejects_mismatch() {
+        let dir = tmpdir("manifest");
+        let cfg = CampaignConfig::default();
+        ensure_manifest(&dir, &cfg, 2).unwrap();
+        // Same config, same shards: fine (the resume path).
+        ensure_manifest(&dir, &cfg, 2).unwrap();
+        // Different seed: refused.
+        let other = CampaignConfig { seed: 7, ..cfg.clone() };
+        match ensure_manifest(&dir, &other, 2) {
+            Err(StoreError::FingerprintMismatch { .. }) => {}
+            r => panic!("expected fingerprint mismatch, got {r:?}"),
+        }
+        // Different shard count: refused.
+        assert!(matches!(ensure_manifest(&dir, &cfg, 3), Err(StoreError::Corrupt(_))));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_round_trips() {
+        let dir = tmpdir("ckpt");
+        let shard = ShardSpec::new(0, 2);
+        let records = vec![
+            TrialRecord {
+                site: FaultSite::IntReg,
+                trial: 0,
+                outcome: Outcome::Detected,
+                latency_fs: Some(123_456),
+            },
+            TrialRecord {
+                site: FaultSite::Pc,
+                trial: 3,
+                outcome: Outcome::Masked,
+                latency_fs: None,
+            },
+        ];
+        write_checkpoint(&dir, shard, "deadbeef", &records).unwrap();
+        let back = read_checkpoint(&dir, shard, "deadbeef").unwrap().unwrap();
+        assert_eq!(back, records);
+        // Wrong fingerprint: refused.
+        assert!(matches!(
+            read_checkpoint(&dir, shard, "cafebabe"),
+            Err(StoreError::FingerprintMismatch { .. })
+        ));
+        // Absent shard: None.
+        assert!(read_checkpoint(&dir, ShardSpec::new(1, 2), "deadbeef").unwrap().is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn locks_block_and_takeover() {
+        let dir = tmpdir("lock");
+        let shard = ShardSpec::new(0, 1);
+        let lock = ShardLock::acquire(&dir, shard, false).unwrap();
+        // Second acquire without takeover: refused.
+        assert!(matches!(ShardLock::acquire(&dir, shard, false), Err(StoreError::Locked(_))));
+        // Takeover (the --resume path after a kill): allowed.
+        drop(ShardLock::acquire(&dir, shard, true).unwrap());
+        drop(lock);
+        // Clean drop removed the file; fresh acquire works again.
+        drop(ShardLock::acquire(&dir, shard, false).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        let s = "a\"b\\c\nd\te\u{1}";
+        assert_eq!(json_unescape(&json_escape(s)), s);
+    }
+}

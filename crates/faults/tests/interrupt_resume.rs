@@ -1,0 +1,201 @@
+//! Fault injection for the campaign service itself: the `campaignd`
+//! process is aborted (SIGABRT via `--exit-after-checkpoints`) and
+//! SIGKILLed mid-shard, then resumed — and the merged coverage table must
+//! come out byte-identical to the one-shot golden.
+//!
+//! These tests drive the real binaries (`CARGO_BIN_EXE_*`), so they cover
+//! the full surface CI's `campaign-shard` job gates: CLI parsing, the
+//! on-disk store, lock semantics after an unclean death, resume, merge,
+//! and the rendered CSV bytes.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+const CAMPAIGND: &str = env!("CARGO_BIN_EXE_campaignd");
+const MERGE: &str = env!("CARGO_BIN_EXE_campaign-merge");
+
+/// The small-but-real campaign every test here runs: three site classes,
+/// four trials each (12 grid points), 2.5k instructions per trial.
+const CONFIG_FLAGS: [&str; 8] = [
+    "--instrs",
+    "2500",
+    "--trials-per-site",
+    "4",
+    "--seed",
+    "42",
+    "--sites",
+    "int-reg,store-value,pc",
+];
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("paradet-interrupt-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn campaignd(args: &[&str]) -> Output {
+    Command::new(CAMPAIGND).args(CONFIG_FLAGS).args(args).output().expect("spawn campaignd")
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// One-shot golden written to `path`; returns its bytes.
+fn golden_csv(path: &PathBuf) -> Vec<u8> {
+    let out = campaignd(&["--one-shot", "--out", path.to_str().unwrap()]);
+    assert!(out.status.success(), "one-shot failed: {}", stderr_of(&out));
+    std::fs::read(path).expect("golden csv written")
+}
+
+/// The acceptance-criteria scenario, end to end: a 2-shard campaign with
+/// one shard deterministically aborted mid-run (after its first
+/// checkpoint, with 5 of its 6 trials outstanding) and resumed, merged,
+/// and diffed byte-for-byte against the one-shot golden.
+#[test]
+fn aborted_shard_resumes_and_merges_byte_identical() {
+    let dir = tmpdir("abort");
+    let dir_s = dir.to_str().unwrap();
+    let golden_path = dir.join("golden.csv");
+    std::fs::create_dir_all(&dir).unwrap();
+    let golden = golden_csv(&golden_path);
+
+    // Shard 0 aborts right after its first checkpoint (1 of 6 trials).
+    let out = campaignd(&[
+        "--shard",
+        "0/2",
+        "--dir",
+        dir_s,
+        "--checkpoint-every",
+        "1",
+        "--exit-after-checkpoints",
+        "1",
+    ]);
+    assert!(!out.status.success(), "the abort hook must kill the process");
+    assert!(dir.join("shard-0-of-2.jsonl").exists(), "checkpoint must survive the abort");
+    assert!(dir.join("shard-0.lock").exists(), "an aborted process leaves its lock");
+    assert!(dir.join("run_manifest.json").exists());
+
+    // A restart WITHOUT --resume must refuse (stale lock).
+    let blocked = campaignd(&["--shard", "0/2", "--dir", dir_s]);
+    assert_eq!(blocked.status.code(), Some(4), "stale lock must block: {}", stderr_of(&blocked));
+
+    // Resume completes the slice.
+    let resumed = campaignd(&["--shard", "0/2", "--resume", dir_s, "--checkpoint-every", "1"]);
+    assert!(resumed.status.success(), "resume failed: {}", stderr_of(&resumed));
+    let stdout = String::from_utf8_lossy(&resumed.stdout).into_owned();
+    assert!(stdout.contains("(1 resumed, 5 run)"), "must resume from the checkpoint: {stdout}");
+
+    // Shard 1 runs uninterrupted.
+    let s1 = campaignd(&["--shard", "1/2", "--dir", dir_s]);
+    assert!(s1.status.success(), "shard 1 failed: {}", stderr_of(&s1));
+
+    // Merge (with the config flags, so the fingerprint gate is exercised
+    // on the happy path too) and compare bytes.
+    let merged_path = dir.join("merged.csv");
+    let merge = Command::new(MERGE)
+        .args(CONFIG_FLAGS)
+        .args(["--dir", dir_s, "--out", merged_path.to_str().unwrap()])
+        .output()
+        .expect("spawn campaign-merge");
+    assert!(merge.status.success(), "merge failed: {}", stderr_of(&merge));
+    let merged = std::fs::read(&merged_path).expect("merged csv written");
+    assert_eq!(
+        golden, merged,
+        "merged coverage table must be byte-identical to the one-shot golden"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The same invariant under a real SIGKILL: the shard is killed from
+/// outside as soon as its first checkpoint appears, resumed, and merged.
+/// (On a fast machine the shard may finish before the kill lands; resume
+/// and merge must hold either way, and the deterministic-abort test above
+/// always exercises the interrupted path.)
+#[test]
+fn sigkilled_shard_resumes_and_merges_byte_identical() {
+    let dir = tmpdir("sigkill");
+    let dir_s = dir.to_str().unwrap();
+    let golden_path = dir.join("golden.csv");
+    std::fs::create_dir_all(&dir).unwrap();
+    let golden = golden_csv(&golden_path);
+
+    let mut child = Command::new(CAMPAIGND)
+        .args(CONFIG_FLAGS)
+        .args(["--shard", "0/1", "--dir", dir_s, "--checkpoint-every", "1"])
+        .spawn()
+        .expect("spawn campaignd shard");
+    // Kill (SIGKILL on unix) as soon as the first checkpoint is on disk.
+    let ckpt = dir.join("shard-0-of-1.jsonl");
+    for _ in 0..600 {
+        if ckpt.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+    }
+    let _ = child.kill();
+    let _ = child.wait();
+
+    let resumed = campaignd(&["--shard", "0/1", "--resume", dir_s, "--checkpoint-every", "1"]);
+    assert!(resumed.status.success(), "resume failed: {}", stderr_of(&resumed));
+
+    let merged_path = dir.join("merged.csv");
+    let merge = Command::new(MERGE)
+        .args(["--dir", dir_s, "--out", merged_path.to_str().unwrap()])
+        .output()
+        .expect("spawn campaign-merge");
+    assert!(merge.status.success(), "merge failed: {}", stderr_of(&merge));
+    let merged = std::fs::read(&merged_path).expect("merged csv written");
+    assert_eq!(golden, merged);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The fingerprint gate, through the binaries: resuming or merging with a
+/// different campaign config is a clear, distinct failure (exit 3), and
+/// merging an unfinished campaign names the missing shard (exit 5).
+#[test]
+fn binaries_reject_mismatched_fingerprint_and_incomplete_merge() {
+    let dir = tmpdir("reject");
+    let dir_s = dir.to_str().unwrap();
+
+    // Run shard 0 of 2 to completion (shard 1 never runs).
+    let s0 = campaignd(&["--shard", "0/2", "--dir", dir_s]);
+    assert!(s0.status.success(), "shard 0 failed: {}", stderr_of(&s0));
+
+    // Resume with a different seed: fingerprint mismatch, exit 3.
+    let out = Command::new(CAMPAIGND)
+        .args(["--instrs", "2500", "--trials-per-site", "4", "--seed", "43"])
+        .args(["--sites", "int-reg,store-value,pc"])
+        .args(["--shard", "0/2", "--resume", dir_s])
+        .output()
+        .expect("spawn campaignd");
+    assert_eq!(out.status.code(), Some(3), "wrong seed must exit 3: {}", stderr_of(&out));
+    assert!(
+        stderr_of(&out).contains("fingerprint mismatch"),
+        "error must say what went wrong: {}",
+        stderr_of(&out)
+    );
+
+    // Merge with a different trial count: fingerprint mismatch, exit 3.
+    let out = Command::new(MERGE)
+        .args(["--instrs", "2500", "--trials-per-site", "5", "--seed", "42"])
+        .args(["--sites", "int-reg,store-value,pc"])
+        .args(["--dir", dir_s])
+        .output()
+        .expect("spawn campaign-merge");
+    assert_eq!(out.status.code(), Some(3), "wrong trials must exit 3: {}", stderr_of(&out));
+
+    // Merge with the right config but a missing shard: incomplete, exit 5.
+    let out = Command::new(MERGE)
+        .args(CONFIG_FLAGS)
+        .args(["--dir", dir_s])
+        .output()
+        .expect("spawn campaign-merge");
+    assert_eq!(out.status.code(), Some(5), "missing shard must exit 5: {}", stderr_of(&out));
+    assert!(
+        stderr_of(&out).contains("shard 1/2"),
+        "error must name the missing shard: {}",
+        stderr_of(&out)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
