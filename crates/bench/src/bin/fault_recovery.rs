@@ -1,0 +1,5 @@
+//! Runs the recovery campaign (detect → rollback → re-execute) per fault kind.
+fn main() {
+    let trials = std::env::var("PARADET_TRIALS").ok().and_then(|v| v.parse().ok()).unwrap_or(15);
+    print!("{}", paradet_bench::experiments::fault_recovery(trials, 20_000).render());
+}

@@ -55,6 +55,7 @@ fn main() {
     show("area_power", &[&ex::area_power()]);
     show("sec6d_bigger_cores", &[&ex::sec6d_bigger_cores(&r)]);
     show("fault_coverage", &[&ex::fault_coverage(cov_trials, cov_instrs)]);
+    show("fault_recovery", &[&ex::fault_recovery(cov_trials, cov_instrs)]);
 
     println!(
         "total wall time: {:.1?}; CSVs in {}",

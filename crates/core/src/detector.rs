@@ -186,6 +186,49 @@ struct PendingCheck {
     base_instr: u64,
 }
 
+/// Rollback bookkeeping for one sealed-but-not-yet-validated segment:
+/// everything needed to undo it if a check (of it or any earlier segment)
+/// fails.
+#[derive(Debug)]
+struct SealRecord {
+    seal_seq: u64,
+    /// Retired-instruction count at the segment's start checkpoint.
+    base_instr: u64,
+    /// Architectural state at the segment's start checkpoint.
+    start: ArchState,
+    /// `(addr, width, old_value)` per committed store, in commit order.
+    undo: Vec<(u64, MemWidth, u64)>,
+}
+
+/// Live rollback bookkeeping (present only when recovery tracking is
+/// enabled): the window of sealed-but-unvalidated segments, oldest first.
+/// A segment leaves the window when its check folds clean; the window
+/// freezes (`poisoned`) at the first failed check, so the front record is
+/// always the first errored segment — its start checkpoint is the last
+/// *validated* state of the run.
+#[derive(Debug, Default)]
+struct RecoveryState {
+    seals: VecDeque<SealRecord>,
+    poisoned: bool,
+}
+
+/// Everything a recovery driver needs to roll the system back to the last
+/// validated checkpoint after a detected error (see
+/// [`Detector::rollback_plan`]).
+#[derive(Debug, Clone)]
+pub struct RollbackPlan {
+    /// Retired-instruction count at the rollback target (counted from this
+    /// run's start — a resumed run's driver adds its own global offset).
+    pub base_instr: u64,
+    /// Architectural state to resume from: the last validated checkpoint.
+    pub state: ArchState,
+    /// Store-undo writes `(addr, width, old_value)` in application order —
+    /// newest unvalidated segment first, stores reversed within each
+    /// segment — so applying them front-to-back restores memory to the
+    /// checkpoint.
+    pub undo: Vec<(u64, MemWidth, u64)>,
+}
+
 /// The detection hardware: load forwarding unit, partitioned log,
 /// checkpointing, and the checker-core farm.
 #[derive(Debug)]
@@ -238,6 +281,13 @@ pub struct Detector {
     /// within the checker circuitry do not affect the main program", but
     /// are still reported.
     log_fault: Option<(u64, usize, u8)>,
+    /// Rollback bookkeeping, present only when recovery tracking is on
+    /// (see [`Detector::enable_recovery_tracking`]).
+    rec: Option<RecoveryState>,
+    /// A lying checker that always reports "pass": every detected error is
+    /// silently dropped (the missed-detection checker-fault class). The
+    /// converse lie — a false positive — is [`Detector::arm_log_fault`].
+    lie_miss: bool,
 }
 
 /// Folds one secondary clock domain's timing for a finished replay — the
@@ -371,7 +421,55 @@ impl Detector {
             errors: Vec::new(),
             stats: DetectorStats::default(),
             log_fault: None,
+            rec: None,
+            lie_miss: false,
         }
+    }
+
+    /// Turns on rollback bookkeeping: every sealed segment's start
+    /// checkpoint and store-undo rows are retained until its check
+    /// validates, so [`Detector::rollback_plan`] can reconstruct the last
+    /// validated state after a detected error. Full-detection mode only.
+    pub fn enable_recovery_tracking(&mut self) {
+        debug_assert_eq!(self.mode, DetectionMode::Full, "recovery needs full detection");
+        self.rec = Some(RecoveryState::default());
+    }
+
+    /// Arms the missed-detection checker fault: from now on the checker
+    /// farm lies "pass" on every check, silently dropping detected errors
+    /// (the segment counts as validated downstream). Models a faulty
+    /// checker core — the converse of [`Detector::arm_log_fault`]'s
+    /// over-detection.
+    pub fn arm_checker_miss(&mut self) {
+        self.lie_miss = true;
+    }
+
+    /// Restarts the detection chain from `state` instead of the program
+    /// entry point — the first sealed segment of a resumed run replays from
+    /// this checkpoint. Call before the first commit.
+    pub fn resume_from(&mut self, state: &ArchState) {
+        debug_assert_eq!(self.seal_seq, 0, "resume_from after seals");
+        self.chain_ckpt.clone_from(state);
+    }
+
+    /// After a run with recovery tracking enabled ends with a detected
+    /// error, returns the plan that rolls the system back to the last
+    /// validated checkpoint: the resume state, its retired-instruction
+    /// offset, and the store-undo writes (already ordered for
+    /// front-to-back application). `None` when no check failed, when
+    /// tracking is off, or when the failing check left no unvalidated
+    /// window (nothing to undo).
+    pub fn rollback_plan(&self) -> Option<RollbackPlan> {
+        let rec = self.rec.as_ref()?;
+        if !rec.poisoned {
+            return None;
+        }
+        let front = rec.seals.front()?;
+        let mut undo = Vec::new();
+        for s in rec.seals.iter().rev() {
+            undo.extend(s.undo.iter().rev().copied());
+        }
+        Some(RollbackPlan { base_instr: front.base_instr, state: front.start.clone(), undo })
     }
 
     /// Returns the detector's reusable allocations (segment entry buffers,
@@ -563,6 +661,8 @@ impl Detector {
             errors,
             ckpt_pool,
             trace_pool,
+            rec,
+            lie_miss,
             ..
         } = self;
         let log = &done.log;
@@ -570,14 +670,37 @@ impl Detector {
             record_delay(delays, store_delays, log, idx, now);
         });
         finishes.push(outcome.finish_time);
-        if let Err(error) = outcome.result {
-            errors.push(DetectedError {
-                seal_seq: p.seal_seq,
-                error,
-                detect_time: outcome.finish_time,
-                confirm_time: Time::ZERO,
-                base_instr: p.base_instr,
-            });
+        // A lying checker reports "pass" regardless of the replay verdict
+        // (missed-detection fault class); the segment then counts as
+        // validated downstream like any clean check.
+        let result = if *lie_miss { Ok(()) } else { outcome.result };
+        match result {
+            Ok(()) => {
+                if let Some(rec) = rec {
+                    if !rec.poisoned {
+                        debug_assert_eq!(
+                            rec.seals.front().map(|s| s.seal_seq),
+                            Some(p.seal_seq),
+                            "folds run in seal order"
+                        );
+                        rec.seals.pop_front();
+                    }
+                }
+            }
+            Err(error) => {
+                errors.push(DetectedError {
+                    seal_seq: p.seal_seq,
+                    error,
+                    detect_time: outcome.finish_time,
+                    confirm_time: Time::ZERO,
+                    base_instr: p.base_instr,
+                });
+                // Freeze the unvalidated window: the front record is now
+                // the first errored segment, the rollback target.
+                if let Some(rec) = rec {
+                    rec.poisoned = true;
+                }
+            }
         }
         // Secondary clock domains fold the same replay trace, in set order,
         // against their own checker cores and cache paths. Their I-fetch
@@ -737,6 +860,18 @@ impl Detector {
                     let new_chain = Detector::pooled_clone(&mut self.ckpt_pool, committed);
                     let start = std::mem::replace(&mut self.chain_ckpt, new_chain);
                     chained = true;
+                    // Rollback bookkeeping: snapshot the start checkpoint
+                    // and the segment's store-undo rows before the log
+                    // moves into the job. The record is dropped when the
+                    // fold validates cleanly.
+                    if let Some(rec) = &mut self.rec {
+                        rec.seals.push_back(SealRecord {
+                            seal_seq: self.seal_seq,
+                            base_instr: self.segs[cur].base_instr,
+                            start: start.clone(),
+                            undo: self.segs[cur].log.undo_rows(),
+                        });
+                    }
                     let seg = &mut self.segs[cur];
                     let job = SealedJob {
                         cfg,
@@ -836,12 +971,15 @@ impl DetectionSink for Detector {
                     // commit (the window of vulnerability of §IV-C).
                     (EntryKind::Load, m.value)
                 };
-                Some((kind, m.addr, value, m.width))
+                // A store's pre-image is the undo value checkpoint
+                // recovery rolls it back with; loads have nothing to undo.
+                let undo = if m.is_store { m.old } else { 0 };
+                Some((kind, m.addr, value, m.width, undo))
             }
-            (None, Some(v)) => Some((EntryKind::Nondet, 0, v, MemWidth::D)),
+            (None, Some(v)) => Some((EntryKind::Nondet, 0, v, MemWidth::D, 0)),
             (None, None) => None,
         };
-        if let Some((kind, addr, value, width)) = entry {
+        if let Some((kind, addr, value, width, undo)) = entry {
             // The wrap-around stall decision: record, per secondary domain,
             // whether a dedicated run at that clock would have decided
             // differently (its segment's check finishing at another time).
@@ -868,7 +1006,7 @@ impl DetectionSink for Detector {
                 seg.base_instr = self.base_instr;
             }
             debug_assert!(seg.log.len() < seg.capacity, "macro-op boundary rule violated");
-            seg.log.push(kind, addr, value, width, at);
+            seg.log.push(kind, addr, value, width, at, undo);
             self.stats.entries_logged += 1;
         }
 

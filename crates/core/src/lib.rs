@@ -60,17 +60,21 @@ mod detector;
 mod error;
 mod lfu;
 mod log;
+mod recovery;
 mod scratch;
 mod system;
 
 pub use config::{DetectionMode, LogConfig, SystemConfig};
 pub use delay::DelayStats;
-pub use detector::{Detector, DetectorStats, DomainReport, SealKind};
+pub use detector::{Detector, DetectorStats, DomainReport, RollbackPlan, SealKind};
 pub use error::DetectedError;
 pub use lfu::{LfuEntry, LfuStats, LoadForwardingUnit};
 pub use log::{EntryKind, LogEntry, Segment, SegmentLog, SegmentReader, SegmentState};
 pub use paradet_checker::{ClockDomain, DomainSet};
 pub use paradet_isa::MAX_UOPS_PER_INSN;
+pub use recovery::{
+    run_recovery, RecoveryDisposition, RecoveryPolicy, RecoveryReport, TrialFaults,
+};
 pub use scratch::SimScratch;
 pub use system::{
     normalized_slowdown, run_unchecked, run_unchecked_shared, PairedSystem, RunReport,

@@ -60,15 +60,16 @@ pub struct SegmentLog {
     addrs: Vec<u64>,
     values: Vec<u64>,
     commit_times: Vec<Time>,
+    undos: Vec<u64>,
 }
 
 impl SegmentLog {
     /// SRAM bits one entry actually occupies in the modelled hardware:
     /// 2-bit kind tag + 2-bit width + 48-bit physical address + 64-bit
-    /// value. Commit times are simulator instrumentation, not SRAM.
-    ///
-    /// 116 bits = 14.5 bytes, vs the paper's conservative 18-byte estimate
-    /// that [`LogConfig`](crate::LogConfig) keeps for segment capacity.
+    /// value. Commit times are simulator instrumentation, not SRAM, and
+    /// the store-undo column models a separate store-undo FIFO (the
+    /// recovery hardware's rollback buffer), not checker-SRAM capacity —
+    /// neither enters this figure or the 18 B/entry capacity model.
     pub const SRAM_BITS_PER_ENTRY: u64 = 2 + 2 + 48 + 64;
 
     /// Creates an empty log.
@@ -93,6 +94,7 @@ impl SegmentLog {
         self.addrs.clear();
         self.values.clear();
         self.commit_times.clear();
+        self.undos.clear();
     }
 
     /// Smallest per-column capacity (for pool diagnostics).
@@ -103,6 +105,7 @@ impl SegmentLog {
             .min(self.addrs.capacity())
             .min(self.values.capacity())
             .min(self.commit_times.capacity())
+            .min(self.undos.capacity())
     }
 
     /// Grows every column to hold at least `capacity` entries.
@@ -117,15 +120,26 @@ impl SegmentLog {
         grow(&mut self.addrs, capacity);
         grow(&mut self.values, capacity);
         grow(&mut self.commit_times, capacity);
+        grow(&mut self.undos, capacity);
     }
 
-    /// Appends one entry.
-    pub fn push(&mut self, kind: EntryKind, addr: u64, value: u64, width: MemWidth, at: Time) {
+    /// Appends one entry. `undo` is the pre-store memory value for `Store`
+    /// entries (the recovery rollback writes it back) and zero otherwise.
+    pub fn push(
+        &mut self,
+        kind: EntryKind,
+        addr: u64,
+        value: u64,
+        width: MemWidth,
+        at: Time,
+        undo: u64,
+    ) {
         self.kinds.push(kind);
         self.widths.push(width);
         self.addrs.push(addr);
         self.values.push(value);
         self.commit_times.push(at);
+        self.undos.push(undo);
     }
 
     /// Entry `i`'s kind.
@@ -136,6 +150,17 @@ impl SegmentLog {
     /// Entry `i`'s commit time.
     pub fn commit_time(&self, i: usize) -> Time {
         self.commit_times[i]
+    }
+
+    /// The store-undo rows of this segment, in commit order: every `Store`
+    /// entry's `(addr, width, pre-store value)`. Rolling a segment back
+    /// means writing these back **in reverse order** (overlapping stores
+    /// must unwind newest-first).
+    pub fn undo_rows(&self) -> Vec<(u64, MemWidth, u64)> {
+        (0..self.len())
+            .filter(|&i| self.kinds[i] == EntryKind::Store)
+            .map(|i| (self.addrs[i], self.widths[i], self.undos[i]))
+            .collect()
     }
 
     /// Entry `i` as a row view.
@@ -326,7 +351,7 @@ mod tests {
     fn log_of(rows: &[(EntryKind, u64, u64, u64)]) -> SegmentLog {
         let mut log = SegmentLog::new();
         for &(kind, addr, value, t_ns) in rows {
-            log.push(kind, addr, value, MemWidth::D, Time::from_ns(t_ns));
+            log.push(kind, addr, value, MemWidth::D, Time::from_ns(t_ns), 0);
         }
         log
     }
@@ -361,7 +386,7 @@ mod tests {
         // A 4-byte store of a value with high garbage bits must compare
         // only the stored 4 bytes.
         let mut entries = SegmentLog::new();
-        entries.push(EntryKind::Store, 0x100, 0x1234_5678, MemWidth::W, Time::ZERO);
+        entries.push(EntryKind::Store, 0x100, 0x1234_5678, MemWidth::W, Time::ZERO, 0);
         let mut r = SegmentReader::new(&entries);
         assert_eq!(r.check_store(0x100, 0xFFFF_FFFF_1234_5678, MemWidth::W, Time::ZERO), Ok(()));
     }
@@ -377,10 +402,10 @@ mod tests {
     fn segment_space_rule() {
         let mut s = Segment::new(4);
         assert!(s.has_space_for_macro());
-        s.log.push(EntryKind::Load, 0, 0, MemWidth::D, Time::ZERO);
-        s.log.push(EntryKind::Load, 0, 0, MemWidth::D, Time::ZERO);
+        s.log.push(EntryKind::Load, 0, 0, MemWidth::D, Time::ZERO, 0);
+        s.log.push(EntryKind::Load, 0, 0, MemWidth::D, Time::ZERO, 0);
         assert!(s.has_space_for_macro()); // 2 + 2 <= 4
-        s.log.push(EntryKind::Load, 0, 0, MemWidth::D, Time::ZERO);
+        s.log.push(EntryKind::Load, 0, 0, MemWidth::D, Time::ZERO, 0);
         assert!(!s.has_space_for_macro()); // 3 + 2 > 4
         s.reset();
         assert_eq!(s.state, SegmentState::Free);
@@ -411,5 +436,15 @@ mod tests {
         log.clear();
         assert!(log.is_empty());
         assert!(log.capacity() >= 2);
+    }
+
+    #[test]
+    fn undo_rows_are_store_only_in_commit_order() {
+        let mut log = SegmentLog::new();
+        log.push(EntryKind::Load, 0x10, 1, MemWidth::D, Time::ZERO, 0);
+        log.push(EntryKind::Store, 0x20, 2, MemWidth::W, Time::ZERO, 7);
+        log.push(EntryKind::Nondet, 0, 3, MemWidth::D, Time::ZERO, 0);
+        log.push(EntryKind::Store, 0x28, 4, MemWidth::D, Time::ZERO, 9);
+        assert_eq!(log.undo_rows(), vec![(0x20, MemWidth::W, 7), (0x28, MemWidth::D, 9)]);
     }
 }

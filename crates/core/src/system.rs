@@ -3,11 +3,11 @@
 
 use crate::config::SystemConfig;
 use crate::delay::DelayStats;
-use crate::detector::{Detector, DetectorStats, DomainReport};
+use crate::detector::{Detector, DetectorStats, DomainReport, RollbackPlan};
 use crate::error::DetectedError;
 use crate::scratch::SimScratch;
-use paradet_isa::Program;
-use paradet_mem::{HierStats, MemHier, Time};
+use paradet_isa::{ArchState, FlatMemory, Program};
+use paradet_mem::{ArrayFault, HierStats, MemHier, Time};
 use paradet_ooo::{ArmedFault, CoreError, CoreStats, NullSink, OooCore};
 use std::sync::Arc;
 
@@ -147,10 +147,43 @@ impl PairedSystem {
         }
     }
 
+    /// Builds a system resumed from a validated checkpoint instead of the
+    /// program entry point: the main core and the detection chain restart
+    /// from `state`, and `mem` (a rolled-back memory image, not the
+    /// program's initial one) becomes the functional contents. The
+    /// re-execution leg of detect → rollback → re-execute; see
+    /// [`run_recovery`](crate::run_recovery).
+    pub fn new_resumed(
+        cfg: SystemConfig,
+        program: &Arc<Program>,
+        scratch: &mut SimScratch,
+        state: &ArchState,
+        mem: FlatMemory,
+    ) -> PairedSystem {
+        let mut hier = MemHier::new(&cfg.mem_config(), cfg.n_checkers);
+        hier.data = mem;
+        let mut det = Detector::new_shared(&cfg, Arc::clone(program), scratch);
+        det.resume_from(state);
+        PairedSystem {
+            core: OooCore::new_resumed(cfg.main, Arc::clone(program), state.clone()),
+            det,
+            hier,
+            cfg,
+        }
+    }
+
     /// Tears the system down, returning its reusable allocations to
     /// `scratch` for the next [`PairedSystem::new_with_scratch`].
     pub fn recycle_into(self, scratch: &mut SimScratch) {
         self.det.recycle_into(scratch);
+    }
+
+    /// Tears the system down like [`PairedSystem::recycle_into`], but
+    /// hands back the functional memory contents — the rollback and
+    /// final-state-audit paths of the recovery driver need them.
+    pub fn dismantle(self, scratch: &mut SimScratch) -> FlatMemory {
+        self.det.recycle_into(scratch);
+        self.hier.data
     }
 
     /// The system configuration.
@@ -184,6 +217,39 @@ impl PairedSystem {
     /// before its check runs (§IV-I).
     pub fn arm_log_fault(&mut self, seal_seq: u64, entry: usize, bit: u8) {
         self.det.arm_log_fault(seal_seq, entry, bit);
+    }
+
+    /// Arms a memory-array fault (cache/DRAM bit flip; see
+    /// [`ArrayFault`]). Outside the detection sphere by design — the paper
+    /// assumes ECC on arrays — so the expected outcome is SDC or Masked.
+    pub fn arm_array_fault(&mut self, fault: ArrayFault) {
+        self.hier.arm_array_fault(fault);
+    }
+
+    /// Arms the missed-detection checker fault: the checker farm lies
+    /// "pass" on every check from now on (see
+    /// [`Detector::arm_checker_miss`]).
+    pub fn arm_checker_miss(&mut self) {
+        self.det.arm_checker_miss();
+    }
+
+    /// Turns on rollback bookkeeping so a detected error yields a
+    /// [`RollbackPlan`] after the run (see
+    /// [`Detector::enable_recovery_tracking`]).
+    pub fn enable_recovery_tracking(&mut self) {
+        self.det.enable_recovery_tracking();
+    }
+
+    /// The rollback plan after a run whose checks failed (see
+    /// [`Detector::rollback_plan`]).
+    pub fn rollback_plan(&self) -> Option<RollbackPlan> {
+        self.det.rollback_plan()
+    }
+
+    /// Faults armed on the main core that have not fired yet (see
+    /// [`OooCore::unfired_faults`]).
+    pub fn unfired_faults(&self) -> &[ArmedFault] {
+        self.core.unfired_faults()
     }
 
     /// Runs until the program halts, crashes, or `max_instrs` instructions

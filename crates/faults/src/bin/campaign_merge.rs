@@ -13,11 +13,11 @@
 //! table. Without config flags the manifest is trusted as-is.
 //!
 //! Exit codes: 0 success, 2 usage, 3 config-fingerprint mismatch, 5
-//! incomplete shards (the error names which shard to resume), 1 other
-//! store errors.
+//! incomplete shards (the error names which shard to resume), 6 store
+//! written by an incompatible schema version, 1 other store errors.
 
 use paradet_faults::cli::{parse_campaign_flags, reject_unknown, take_value};
-use paradet_faults::{coverage_table, merge_campaign, StoreError};
+use paradet_faults::{coverage_table, merge_campaign, recovery_table, StoreError};
 use std::path::PathBuf;
 
 fn usage() -> ! {
@@ -53,10 +53,24 @@ fn main() {
         std::process::exit(match e {
             StoreError::FingerprintMismatch { .. } => 3,
             StoreError::Incomplete(_) => 5,
+            StoreError::SchemaVersion { .. } => 6,
             _ => 1,
         });
     });
-    let table = coverage_table(&manifest.workload, &result);
+    // A recovery campaign (manifest records a policy) merges to the
+    // coverage-by-fault-class table, byte-identical to its one-shot; a
+    // detection-only campaign keeps the historic coverage table.
+    let table = if manifest.recovery != "None" && !manifest.recovery.is_empty() {
+        let kind = manifest
+            .fault_kind
+            .split_whitespace()
+            .next()
+            .unwrap_or("transient")
+            .to_ascii_lowercase();
+        recovery_table(&manifest.workload, &kind, &result)
+    } else {
+        coverage_table(&manifest.workload, &result)
+    };
     print!("{}", table.render());
     eprintln!(
         "merged {} shards, {} trials, fingerprint {}",

@@ -18,7 +18,9 @@
 //! table byte-identical to `--one-shot` with the same config flags.
 //!
 //! Exit codes: 0 success, 2 usage, 3 config-fingerprint mismatch, 4 shard
-//! locked / checkpoint exists without `--resume`, 1 other store errors.
+//! locked / checkpoint exists without `--resume`, 6 store written by an
+//! incompatible schema version (e.g. a v1 directory), 1 other store
+//! errors.
 //!
 //! `--exit-after-checkpoints <k>` is the service's own fault-injection
 //! hook: the process `abort()`s (as if SIGKILLed) right after the k-th
@@ -27,7 +29,8 @@
 
 use paradet_faults::cli::{parse_campaign_flags, reject_unknown, take_switch, take_value};
 use paradet_faults::{
-    coverage_table, run_campaign, run_campaign_shard, ShardRunOptions, ShardSpec, StoreError,
+    coverage_table, recovery_table, run_campaign, run_campaign_shard, ShardRunOptions, ShardSpec,
+    StoreError,
 };
 use std::path::PathBuf;
 
@@ -59,6 +62,7 @@ fn fail(e: &StoreError) -> ! {
     std::process::exit(match e {
         StoreError::FingerprintMismatch { .. } => 3,
         StoreError::Locked(_) => 4,
+        StoreError::SchemaVersion { .. } => 6,
         _ => 1,
     });
 }
@@ -97,7 +101,12 @@ fn main() {
     match (one_shot, shard_arg) {
         (true, None) => {
             let result = run_campaign(&cfg);
-            let table = coverage_table(cfg.workload.name(), &result);
+            // Recovery campaigns render the coverage-by-fault-class table;
+            // detection-only campaigns keep the historic coverage table.
+            let table = match &cfg.recovery {
+                Some(_) => recovery_table(cfg.workload.name(), cfg.fault_kind.name(), &result),
+                None => coverage_table(cfg.workload.name(), &result),
+            };
             print!("{}", table.render());
             if let Some(path) = out {
                 table.write_csv(&path).unwrap_or_else(|e| {

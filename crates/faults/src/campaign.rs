@@ -7,10 +7,13 @@
 //! **bit-identical at any thread count**, and a trial's fault does not
 //! depend on which other sites or trials the campaign happens to run.
 
-use paradet_core::{PairedSystem, SimScratch, SystemConfig};
+use paradet_core::{
+    run_recovery, PairedSystem, RecoveryDisposition, RecoveryPolicy, SimScratch, SystemConfig,
+    TrialFaults,
+};
 use paradet_isa::{FReg, Program, Reg};
-use paradet_mem::Time;
-use paradet_ooo::{ArmedFault, FaultTarget};
+use paradet_mem::{ArrayFault, ArrayKind, Time};
+use paradet_ooo::{ArmedFault, FaultKind, FaultTarget};
 use paradet_workloads::Workload;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -38,10 +41,34 @@ pub enum FaultSite {
     Pc,
     /// Hard stuck-at fault in one integer ALU.
     AluStuckAt,
+    /// Multi-bit upset: two or three bits of one integer register flip in
+    /// the same cycle (an MCU — increasingly common at small geometries;
+    /// defeats per-word parity but not the checker's replay).
+    IntRegMulti,
+    /// Bit flip in a cache data array at the accessed line. Outside the
+    /// detection sphere: the paper assumes ECC on the arrays (§IV-F), so
+    /// the checker — which validates the *logged* values — is expected to
+    /// miss it (SDC or masked, never detected).
+    CacheArray,
+    /// Bit flip in a DRAM array on the line *adjacent* to an accessed one
+    /// (a disturbance/rowhammer-style upset). Also outside the detection
+    /// sphere; expected SDC/masked.
+    DramArray,
+    /// Checker-side false positive (§IV-I over-detection): a bit of the
+    /// detection hardware's own load-store log flips, so a check fails on
+    /// a perfectly healthy main core.
+    CheckerFalsePos,
+    /// Checker-side missed detection: a lying checker suppresses every
+    /// error report while a real store-datapath fault strikes the main
+    /// core — the fault escapes as SDC by construction.
+    CheckerMiss,
 }
 
 impl FaultSite {
-    /// All sites, in reporting order.
+    /// The legacy (main-core) sites, in reporting order. Kept distinct
+    /// from [`extended`](FaultSite::extended) so the default campaign —
+    /// and every golden table derived from it — is unchanged by the
+    /// widened fault space.
     pub fn all() -> [FaultSite; 8] {
         [
             FaultSite::IntReg,
@@ -53,6 +80,33 @@ impl FaultSite {
             FaultSite::Pc,
             FaultSite::AluStuckAt,
         ]
+    }
+
+    /// Every site class, legacy and widened, in reporting order.
+    pub fn extended() -> [FaultSite; 13] {
+        [
+            FaultSite::IntReg,
+            FaultSite::FpReg,
+            FaultSite::StoreValue,
+            FaultSite::StoreAddr,
+            FaultSite::LoadValue,
+            FaultSite::LoadCapture,
+            FaultSite::Pc,
+            FaultSite::AluStuckAt,
+            FaultSite::IntRegMulti,
+            FaultSite::CacheArray,
+            FaultSite::DramArray,
+            FaultSite::CheckerFalsePos,
+            FaultSite::CheckerMiss,
+        ]
+    }
+
+    /// Whether faults at this site strike *inside* the paper's detection
+    /// sphere (the main core + the logged dataflow). Array faults are
+    /// outside it — the paper assumes ECC there — so campaigns must not
+    /// count their escapes against checker coverage.
+    pub fn in_detection_sphere(self) -> bool {
+        !matches!(self, FaultSite::CacheArray | FaultSite::DramArray)
     }
 
     /// A stable identifier mixed into per-trial seeds. Tied to the site
@@ -69,6 +123,11 @@ impl FaultSite {
             FaultSite::LoadCapture => 5,
             FaultSite::Pc => 6,
             FaultSite::AluStuckAt => 7,
+            FaultSite::IntRegMulti => 8,
+            FaultSite::CacheArray => 9,
+            FaultSite::DramArray => 10,
+            FaultSite::CheckerFalsePos => 11,
+            FaultSite::CheckerMiss => 12,
         }
     }
 
@@ -83,13 +142,18 @@ impl FaultSite {
             FaultSite::LoadCapture => "load-capture",
             FaultSite::Pc => "pc",
             FaultSite::AluStuckAt => "alu-stuck",
+            FaultSite::IntRegMulti => "int-reg-multi",
+            FaultSite::CacheArray => "cache-array",
+            FaultSite::DramArray => "dram-array",
+            FaultSite::CheckerFalsePos => "checker-false-pos",
+            FaultSite::CheckerMiss => "checker-miss",
         }
     }
 
     /// Looks a site class up by its [`name`](FaultSite::name) — the inverse
     /// used when reading manifests and checkpoints back from disk.
     pub fn from_name(name: &str) -> Option<FaultSite> {
-        FaultSite::all().into_iter().find(|s| s.name() == name)
+        FaultSite::extended().into_iter().find(|s| s.name() == name)
     }
 
     fn sample(self, rng: &mut StdRng) -> FaultTarget {
@@ -114,6 +178,15 @@ impl FaultSite {
                 bit: rng.gen_range(0..64),
                 value: rng.gen(),
             },
+            // Widened sites don't reduce to a single main-core target;
+            // their draws live in `trial_plan`.
+            FaultSite::IntRegMulti
+            | FaultSite::CacheArray
+            | FaultSite::DramArray
+            | FaultSite::CheckerFalsePos
+            | FaultSite::CheckerMiss => {
+                unreachable!("extended site {self:?} draws via trial_plan")
+            }
         }
     }
 }
@@ -121,7 +194,8 @@ impl FaultSite {
 /// Classification of one trial.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Outcome {
-    /// A checker raised an error.
+    /// A checker raised an error (detection-only campaign: no recovery
+    /// was attempted).
     Detected,
     /// Execution crashed; §IV-H semantics report the fault after checks.
     Crashed,
@@ -129,24 +203,52 @@ pub enum Outcome {
     SilentDataCorruption,
     /// No architectural difference and no detection.
     Masked,
+    /// Detected, rolled back, and re-executed to a final state
+    /// bit-identical to golden after `retries` rollbacks.
+    Recovered {
+        /// Rollbacks performed before an attempt validated end-to-end.
+        retries: u32,
+    },
+    /// Detected but not outrunnable by rollback (a persistent fault):
+    /// the remainder completed on the degraded known-good path, final
+    /// state still bit-identical to golden — forward progress held.
+    Degraded,
+    /// Detected, but neither re-execution nor the degraded path reached
+    /// the golden state: recovery failed.
+    Unrecoverable,
 }
 
 impl Outcome {
-    /// The stable tag written into shard checkpoints.
+    /// The stable tag written into shard checkpoints. `Recovered` drops
+    /// its retry count here; the checkpoint record carries it in a
+    /// separate field and the merge re-attaches it.
     pub fn tag(self) -> &'static str {
         match self {
             Outcome::Detected => "detected",
             Outcome::Crashed => "crashed",
             Outcome::SilentDataCorruption => "sdc",
             Outcome::Masked => "masked",
+            Outcome::Recovered { .. } => "recovered",
+            Outcome::Degraded => "degraded",
+            Outcome::Unrecoverable => "unrecoverable",
         }
     }
 
-    /// Parses a checkpoint [`tag`](Outcome::tag) back.
+    /// Parses a checkpoint [`tag`](Outcome::tag) back. A `recovered` tag
+    /// parses as `Recovered { retries: 0 }`; the caller patches the count
+    /// from the record's own field.
     pub fn from_tag(tag: &str) -> Option<Outcome> {
-        [Outcome::Detected, Outcome::Crashed, Outcome::SilentDataCorruption, Outcome::Masked]
-            .into_iter()
-            .find(|o| o.tag() == tag)
+        [
+            Outcome::Detected,
+            Outcome::Crashed,
+            Outcome::SilentDataCorruption,
+            Outcome::Masked,
+            Outcome::Recovered { retries: 0 },
+            Outcome::Degraded,
+            Outcome::Unrecoverable,
+        ]
+        .into_iter()
+        .find(|o| o.tag() == tag)
     }
 }
 
@@ -162,6 +264,9 @@ pub struct TrialResult {
     /// Detection latency (error confirm time − fault commit-side seal
     /// time), when detected.
     pub detect_latency: Option<Time>,
+    /// Modeled recovery cost in femtoseconds (aborted attempts + rollback
+    /// penalties), when a recovery driver rolled back at least once.
+    pub recovery_fs: Option<u64>,
 }
 
 /// Per-site aggregate counts.
@@ -177,6 +282,16 @@ pub struct SiteResult {
     pub sdc: u64,
     /// Masked.
     pub masked: u64,
+    /// Detected and recovered to a golden-identical state by rollback.
+    pub recovered: u64,
+    /// Detected and completed on the degraded path (persistent fault).
+    pub degraded: u64,
+    /// Detected but recovery failed to reach the golden state.
+    pub unrecoverable: u64,
+    /// Total rollbacks across recovered/degraded/unrecoverable trials.
+    pub retries_sum: u64,
+    /// Total modeled recovery cost (femtoseconds) across those trials.
+    pub recovery_fs_sum: u64,
 }
 
 impl paradet_stats::Mergeable for SiteResult {
@@ -189,11 +304,22 @@ impl paradet_stats::Mergeable for SiteResult {
         self.crashed += other.crashed;
         self.sdc += other.sdc;
         self.masked += other.masked;
+        self.recovered += other.recovered;
+        self.degraded += other.degraded;
+        self.unrecoverable += other.unrecoverable;
+        self.retries_sum += other.retries_sum;
+        self.recovery_fs_sum += other.recovery_fs_sum;
     }
 }
 
 impl SiteResult {
-    /// Coverage over *unmasked* faults: (detected + crashed) / (trials −
+    /// Every outcome that began with a checker detection (the recovery
+    /// dispositions are detections that were then acted on).
+    pub fn detected_family(&self) -> u64 {
+        self.detected + self.crashed + self.recovered + self.degraded + self.unrecoverable
+    }
+
+    /// Coverage over *unmasked* faults: detected-family / (trials −
     /// masked). Masked faults are benign; the paper's detection guarantee
     /// concerns faults that change architectural state.
     pub fn coverage(&self) -> f64 {
@@ -201,7 +327,7 @@ impl SiteResult {
         if unmasked == 0 {
             1.0
         } else {
-            (self.detected + self.crashed) as f64 / unmasked as f64
+            self.detected_family() as f64 / unmasked as f64
         }
     }
 }
@@ -222,6 +348,13 @@ pub struct CampaignConfig {
     pub seed: u64,
     /// Site classes to exercise.
     pub sites: Vec<FaultSite>,
+    /// Temporal behaviour of the main-core strikes (transient by
+    /// default — the historic campaign semantics).
+    pub fault_kind: FaultKind,
+    /// When set, trials run under the detect → rollback → re-execute
+    /// driver and classify into the recovery outcomes; when `None`,
+    /// trials classify detection-only (the historic campaign).
+    pub recovery: Option<RecoveryPolicy>,
 }
 
 impl Default for CampaignConfig {
@@ -237,6 +370,8 @@ impl Default for CampaignConfig {
             trials_per_site: 50,
             seed: 42,
             sites: FaultSite::all().to_vec(),
+            fault_kind: FaultKind::Transient,
+            recovery: None,
         }
     }
 }
@@ -255,11 +390,7 @@ impl CampaignResult {
     pub fn overall_coverage(&self) -> f64 {
         let mut agg = SiteResult::default();
         for (_, s) in &self.per_site {
-            agg.trials += s.trials;
-            agg.detected += s.detected;
-            agg.crashed += s.crashed;
-            agg.sdc += s.sdc;
-            agg.masked += s.masked;
+            paradet_stats::Mergeable::merge_from(&mut agg, s);
         }
         agg.coverage()
     }
@@ -288,17 +419,85 @@ pub fn trial_seed(seed: u64, site: FaultSite, trial: u64) -> u64 {
     derive_seed(seed, site.id(), trial)
 }
 
-/// The concrete fault armed for trial `trial` on `site` in a campaign with
-/// base seed `seed` and per-trial budget `instrs`.
+/// The complete fault load drawn for trial `trial` on `site` in a campaign
+/// with base seed `seed` and per-trial budget `instrs` — main-core strikes
+/// plus any array or checker-side fault the widened site classes carry.
 ///
 /// A pure function of its arguments: no shared RNG stream, so the fault is
 /// independent of which other sites/trials the campaign runs, their order,
 /// and the thread count. (`instrs` must be ≥ 2, which every campaign
-/// satisfies by construction.)
-pub fn trial_fault(seed: u64, site: FaultSite, trial: u64, instrs: u64) -> ArmedFault {
+/// satisfies by construction.) For the eight legacy sites the draw order
+/// is the historic one (`at_instr`, then the target) — the same `(seed,
+/// site, trial)` yields the same fault it always did.
+///
+/// `kind` sets only the temporal behaviour of the core strikes; the draws
+/// themselves are kind-independent, so a checkpoint written by a transient
+/// campaign and one written by a permanent campaign over the same grid
+/// disagree only in outcomes, never in faults.
+pub fn trial_plan(
+    seed: u64,
+    site: FaultSite,
+    trial: u64,
+    instrs: u64,
+    kind: FaultKind,
+) -> TrialFaults {
     let mut rng = StdRng::seed_from_u64(trial_seed(seed, site, trial));
     let at_instr = rng.gen_range(1..instrs * 8 / 10);
-    ArmedFault::new(at_instr, site.sample(&mut rng))
+    let mut plan = TrialFaults { kind, ..TrialFaults::default() };
+    match site {
+        FaultSite::IntRegMulti => {
+            // A multi-cell upset: 2–3 bits of one register, one event.
+            let reg = Reg::from_index(rng.gen_range(1..16));
+            let n = rng.gen_range(2..4);
+            for _ in 0..n {
+                let bit = rng.gen_range(0..64);
+                plan.core.push(ArmedFault::new(at_instr, FaultTarget::IntRegBit { reg, bit }));
+            }
+        }
+        FaultSite::CacheArray => {
+            plan.array = Some(ArrayFault {
+                array: ArrayKind::Cache,
+                at_access: at_instr / 8,
+                bit: rng.gen_range(0..8),
+            });
+        }
+        FaultSite::DramArray => {
+            plan.array = Some(ArrayFault {
+                array: ArrayKind::Dram,
+                at_access: at_instr / 8,
+                bit: rng.gen_range(0..8),
+            });
+        }
+        FaultSite::CheckerFalsePos => {
+            plan.log_fault =
+                Some((rng.gen_range(0..4), rng.gen_range(0..64), rng.gen_range(0..64)));
+        }
+        FaultSite::CheckerMiss => {
+            plan.checker_miss = true;
+            plan.core.push(ArmedFault::new(
+                at_instr,
+                FaultTarget::StoreValueBit { bit: rng.gen_range(0..64) },
+            ));
+        }
+        legacy => {
+            plan.core.push(ArmedFault::new(at_instr, legacy.sample(&mut rng)));
+        }
+    }
+    plan
+}
+
+/// The representative [`ArmedFault`] of trial `trial` on `site` — the
+/// first main-core strike of its [`trial_plan`], or a placeholder for
+/// site classes with no core strike (array and false-positive faults).
+///
+/// For the eight legacy sites this is byte-for-byte the fault this
+/// function has always returned.
+pub fn trial_fault(seed: u64, site: FaultSite, trial: u64, instrs: u64) -> ArmedFault {
+    let plan = trial_plan(seed, site, trial, instrs, FaultKind::Transient);
+    plan.core.first().copied().unwrap_or_else(|| {
+        let at = plan.array.map(|a| a.at_access).unwrap_or(0);
+        ArmedFault::new(at, FaultTarget::PcBit { bit: 2 })
+    })
 }
 
 /// Stream tag for over-detection trials (distinct from every `FaultSite::id`).
@@ -344,8 +543,15 @@ pub(crate) fn run_point(
     scratch: &mut SimScratch,
 ) -> TrialResult {
     let fault = trial_fault(cfg.seed, site, trial, cfg.instrs);
-    let (outcome, detect_latency) = run_trial(cfg, golden, fault, scratch);
-    TrialResult { site, fault, outcome, detect_latency }
+    let plan = trial_plan(cfg.seed, site, trial, cfg.instrs, cfg.fault_kind);
+    let (outcome, detect_latency, recovery_fs) = match &cfg.recovery {
+        Some(policy) => run_trial_recover(cfg, golden, &plan, policy, scratch),
+        None => {
+            let (outcome, latency) = run_trial(cfg, golden, &plan, scratch);
+            (outcome, latency, None)
+        }
+    };
+    TrialResult { site, fault, outcome, detect_latency, recovery_fs }
 }
 
 /// Folds grid-ordered trials into per-site aggregates, in `sites` order.
@@ -367,22 +573,56 @@ pub(crate) fn aggregate(
                 Outcome::Crashed => agg.crashed += 1,
                 Outcome::SilentDataCorruption => agg.sdc += 1,
                 Outcome::Masked => agg.masked += 1,
+                Outcome::Recovered { retries } => {
+                    agg.recovered += 1;
+                    agg.retries_sum += retries as u64;
+                }
+                Outcome::Degraded => agg.degraded += 1,
+                Outcome::Unrecoverable => agg.unrecoverable += 1,
             }
+            agg.recovery_fs_sum += trial.recovery_fs.unwrap_or(0);
         }
         per_site.push((site, agg));
     }
     per_site
 }
 
-/// Runs one trial with the given fault armed.
+/// Arms every fault of `plan` on a fresh system for one attempt. The
+/// temporal kind expands here: an intermittent fault becomes `count`
+/// strikes `period` retired instructions apart; transient and permanent
+/// both arm once (a permanent *target* like a stuck-at ALU persists on
+/// its own once triggered).
+fn arm_plan(sys: &mut PairedSystem, plan: &TrialFaults) {
+    for f in &plan.core {
+        match plan.kind {
+            FaultKind::Transient | FaultKind::Permanent => sys.arm_fault(*f),
+            FaultKind::Intermittent { period, count } => {
+                for k in 0..count as u64 {
+                    sys.arm_fault(ArmedFault::new(f.at_instr + k * period.max(1), f.target));
+                }
+            }
+        }
+    }
+    if let Some(a) = plan.array {
+        sys.arm_array_fault(a);
+    }
+    if let Some((seal, entry, bit)) = plan.log_fault {
+        sys.arm_log_fault(seal, entry, bit);
+    }
+    if plan.checker_miss {
+        sys.arm_checker_miss();
+    }
+}
+
+/// Runs one detection-only trial with the plan's faults armed.
 fn run_trial(
     cfg: &CampaignConfig,
     golden: &Golden,
-    fault: ArmedFault,
+    plan: &TrialFaults,
     scratch: &mut SimScratch,
 ) -> (Outcome, Option<Time>) {
     let mut sys = PairedSystem::new_with_scratch(cfg.system, &golden.program, scratch);
-    sys.arm_fault(fault);
+    arm_plan(&mut sys, plan);
     let report = sys.run(cfg.instrs);
     let outcome = if report.detected() {
         let latency = report.first_error().map(|e| e.confirm_time.saturating_sub(Time::from_fs(0)));
@@ -403,6 +643,41 @@ fn run_trial(
     };
     sys.recycle_into(scratch);
     outcome
+}
+
+/// Runs one trial under the detect → rollback → re-execute driver and
+/// classifies its [`RecoveryDisposition`] against the golden run.
+fn run_trial_recover(
+    cfg: &CampaignConfig,
+    golden: &Golden,
+    plan: &TrialFaults,
+    policy: &RecoveryPolicy,
+    scratch: &mut SimScratch,
+) -> (Outcome, Option<Time>, Option<u64>) {
+    let r = run_recovery(&cfg.system, &golden.program, scratch, cfg.instrs, plan, policy);
+    let matches_golden =
+        r.final_state == golden.state && r.final_mem.first_difference(&golden.mem).is_none();
+    let detect_latency = r.detected.then(|| Time::from_fs(r.detect_fs));
+    let recovery_fs = (r.retries > 0).then_some(r.recovery_fs);
+    let outcome = match r.disposition {
+        // No check ever failed: classic undetected classification.
+        RecoveryDisposition::Clean if r.crashed => Outcome::Crashed,
+        RecoveryDisposition::Clean if matches_golden => Outcome::Masked,
+        RecoveryDisposition::Clean => Outcome::SilentDataCorruption,
+        // Rolled back and converged: recovery succeeded only if the final
+        // state really is the golden one (the crown property); anything
+        // else is a silent divergence wearing a recovered label.
+        RecoveryDisposition::Recovered if matches_golden => {
+            Outcome::Recovered { retries: r.retries }
+        }
+        RecoveryDisposition::Recovered => Outcome::SilentDataCorruption,
+        // Forward progress on the degraded path counts only if it landed
+        // on the golden state.
+        RecoveryDisposition::Degraded if matches_golden => Outcome::Degraded,
+        RecoveryDisposition::Degraded => Outcome::Unrecoverable,
+        RecoveryDisposition::Unrecoverable => Outcome::Unrecoverable,
+    };
+    (outcome, detect_latency, recovery_fs)
 }
 
 /// Runs a full campaign: one golden run, then `trials_per_site` faulted

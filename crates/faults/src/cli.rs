@@ -7,7 +7,8 @@
 //! mismatch. Keeping the parsing here makes that impossible.
 
 use crate::campaign::{CampaignConfig, FaultSite};
-use paradet_core::SystemConfig;
+use paradet_core::{RecoveryPolicy, SystemConfig};
+use paradet_ooo::FaultKind;
 use paradet_workloads::Workload;
 
 /// The campaign-describing flags both binaries accept.
@@ -16,8 +17,33 @@ pub const CONFIG_FLAGS_HELP: &str = "\
   --instrs <n>              dynamic instructions per trial (default 20000)
   --trials-per-site <n>     trials per fault-site class (default 50)
   --seed <n>                campaign RNG seed (default 42)
-  --sites <a,b,...>         fault-site classes (default: all eight)
+  --sites <a,b,...>         fault-site classes (default: the eight legacy
+                            sites; `extended` selects all thirteen)
+  --fault-kind <k>          transient | intermittent:<period>,<count> |
+                            permanent (default transient)
+  --recover                 run trials under the rollback/re-execute driver
+  --max-retries <n>         rollback budget before degrading (implies
+                            --recover; default 3)
   --no-lfu                  disable the load forwarding unit (ablation)";
+
+/// Parses a `--fault-kind` value.
+pub fn parse_fault_kind(v: &str) -> Result<FaultKind, String> {
+    match v {
+        "transient" => Ok(FaultKind::Transient),
+        "permanent" => Ok(FaultKind::Permanent),
+        other => {
+            let spec = other
+                .strip_prefix("intermittent:")
+                .ok_or_else(|| format!("bad --fault-kind `{other}`"))?;
+            let (p, c) = spec
+                .split_once(',')
+                .ok_or_else(|| format!("bad --fault-kind `{other}` (want period,count)"))?;
+            let period = p.parse().map_err(|_| format!("bad intermittent period `{p}`"))?;
+            let count = c.parse().map_err(|_| format!("bad intermittent count `{c}`"))?;
+            Ok(FaultKind::Intermittent { period, count })
+        }
+    }
+}
 
 /// Removes `--name <value>` from `args`, returning the value.
 pub fn take_value(args: &mut Vec<String>, name: &str) -> Result<Option<String>, String> {
@@ -68,16 +94,34 @@ pub fn parse_campaign_flags(args: &mut Vec<String>) -> Result<(CampaignConfig, b
         explicit = true;
     }
     if let Some(v) = take_value(args, "--sites")? {
-        cfg.sites = v
-            .split(',')
-            .map(|n| {
-                FaultSite::from_name(n.trim())
-                    .ok_or_else(|| format!("unknown fault site `{}`", n.trim()))
-            })
-            .collect::<Result<_, _>>()?;
+        if v.trim() == "extended" {
+            cfg.sites = FaultSite::extended().to_vec();
+        } else {
+            cfg.sites = v
+                .split(',')
+                .map(|n| {
+                    FaultSite::from_name(n.trim())
+                        .ok_or_else(|| format!("unknown fault site `{}`", n.trim()))
+                })
+                .collect::<Result<_, _>>()?;
+        }
         if cfg.sites.is_empty() {
             return Err("--sites needs at least one site".to_string());
         }
+        explicit = true;
+    }
+    if let Some(v) = take_value(args, "--fault-kind")? {
+        cfg.fault_kind = parse_fault_kind(&v)?;
+        explicit = true;
+    }
+    if take_switch(args, "--recover") {
+        cfg.recovery = Some(RecoveryPolicy::default());
+        explicit = true;
+    }
+    if let Some(v) = take_value(args, "--max-retries")? {
+        let max_retries = v.parse().map_err(|_| format!("bad --max-retries `{v}`"))?;
+        let base = cfg.recovery.unwrap_or_default();
+        cfg.recovery = Some(RecoveryPolicy { max_retries, ..base });
         explicit = true;
     }
     if take_switch(args, "--no-lfu") {
@@ -146,5 +190,31 @@ mod tests {
         assert!(parse_campaign_flags(&mut argv(&["--workload", "nope"])).is_err());
         assert!(parse_campaign_flags(&mut argv(&["--instrs", "many"])).is_err());
         assert!(parse_campaign_flags(&mut argv(&["--seed"])).is_err());
+        assert!(parse_campaign_flags(&mut argv(&["--fault-kind", "flaky"])).is_err());
+        assert!(parse_campaign_flags(&mut argv(&["--fault-kind", "intermittent:40"])).is_err());
+        assert!(parse_campaign_flags(&mut argv(&["--max-retries", "lots"])).is_err());
+    }
+
+    #[test]
+    fn recovery_flags_parse() {
+        let mut args = argv(&[
+            "--fault-kind",
+            "intermittent:40,3",
+            "--recover",
+            "--max-retries",
+            "5",
+            "--sites",
+            "extended",
+        ]);
+        let (cfg, explicit) = parse_campaign_flags(&mut args).unwrap();
+        assert!(explicit && args.is_empty());
+        assert_eq!(cfg.fault_kind, FaultKind::Intermittent { period: 40, count: 3 });
+        assert_eq!(cfg.recovery.unwrap().max_retries, 5);
+        assert_eq!(cfg.sites, FaultSite::extended().to_vec());
+        // --max-retries alone implies recovery.
+        let (cfg, _) = parse_campaign_flags(&mut argv(&["--max-retries", "2"])).unwrap();
+        assert_eq!(cfg.recovery.unwrap().max_retries, 2);
+        assert_eq!(parse_fault_kind("permanent").unwrap(), FaultKind::Permanent);
+        assert_eq!(parse_fault_kind("transient").unwrap(), FaultKind::Transient);
     }
 }

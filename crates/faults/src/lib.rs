@@ -40,12 +40,15 @@ pub mod shard;
 pub mod store;
 
 pub use campaign::{
-    run_campaign, run_overdetection_trials, trial_fault, trial_seed, CampaignConfig,
+    run_campaign, run_overdetection_trials, trial_fault, trial_plan, trial_seed, CampaignConfig,
     CampaignResult, FaultSite, Outcome, SiteResult, TrialResult,
 };
+pub use paradet_core::RecoveryPolicy;
+pub use paradet_ooo::FaultKind;
 pub use service::{
-    coverage_cells, coverage_table, merge_campaign, run_campaign_shard, run_campaign_sharded,
-    ShardRunOptions, ShardRunSummary, COVERAGE_HEADER,
+    coverage_cells, coverage_table, merge_campaign, recovery_cells, recovery_table,
+    run_campaign_shard, run_campaign_sharded, ShardRunOptions, ShardRunSummary, COVERAGE_HEADER,
+    RECOVERY_HEADER,
 };
 pub use shard::ShardSpec;
 pub use store::StoreError;

@@ -142,11 +142,17 @@ pub fn run_campaign_shard(
             // par_map_* is order-preserving: batch[j] is chunk[j]'s result.
             records.extend(batch.iter().zip(chunk).map(|(t, &(site, trial))| {
                 debug_assert_eq!(t.site, site);
+                let retries = match t.outcome {
+                    crate::Outcome::Recovered { retries } => Some(retries),
+                    _ => None,
+                };
                 TrialRecord {
                     site,
                     trial,
                     outcome: t.outcome,
                     latency_fs: t.detect_latency.map(Time::as_fs),
+                    retries,
+                    recovery_fs: t.recovery_fs,
                 }
             }));
             at += chunk.len();
@@ -238,6 +244,7 @@ pub fn merge_campaign(
                 fault,
                 outcome: r.outcome,
                 detect_latency: r.latency_fs.map(Time::from_fs),
+                recovery_fs: r.recovery_fs,
             });
         }
     }
@@ -306,7 +313,7 @@ pub fn coverage_cells(label: &str, site: &str, s: &SiteResult) -> Vec<String> {
         s.sdc.to_string(),
         s.masked.to_string(),
         format!("{:.0}%", s.coverage() * 100.0),
-        ci95(s.detected + s.crashed, unmasked),
+        ci95(s.detected_family(), unmasked),
     ]
 }
 
@@ -315,6 +322,60 @@ pub fn coverage_table(label: &str, result: &CampaignResult) -> Table {
     let mut t = Table::new("Fault-injection coverage (per unmasked fault)", &COVERAGE_HEADER);
     for (site, s) in &result.per_site {
         t.row(&coverage_cells(label, site.name(), s));
+    }
+    t
+}
+
+/// The column headers of a recovery (coverage-by-fault-class) table —
+/// shared by the `recovery` experiment, `campaignd`, and `campaign-merge`
+/// so every producer agrees byte-for-byte.
+pub const RECOVERY_HEADER: [&str; 12] = [
+    "workload",
+    "kind",
+    "site",
+    "trials",
+    "recovered",
+    "degraded",
+    "unrecov",
+    "crashed",
+    "SDC",
+    "masked",
+    "coverage",
+    "mean retries",
+];
+
+/// One recovery row: per-class recovery dispositions and the mean retry
+/// count over recovered trials. The single source of the cell formatting,
+/// for the same byte-identity reason as [`coverage_cells`].
+pub fn recovery_cells(label: &str, kind: &str, site: &str, s: &SiteResult) -> Vec<String> {
+    let mean_retries = if s.recovered == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.2}", s.retries_sum as f64 / s.recovered as f64)
+    };
+    vec![
+        label.to_string(),
+        kind.to_string(),
+        site.to_string(),
+        s.trials.to_string(),
+        s.recovered.to_string(),
+        s.degraded.to_string(),
+        s.unrecoverable.to_string(),
+        s.crashed.to_string(),
+        s.sdc.to_string(),
+        s.masked.to_string(),
+        format!("{:.0}%", s.coverage() * 100.0),
+        mean_retries,
+    ]
+}
+
+/// Renders a recovery campaign's per-site dispositions as the standard
+/// coverage-by-fault-class table.
+pub fn recovery_table(label: &str, kind: &str, result: &CampaignResult) -> Table {
+    let mut t =
+        Table::new("Fault recovery by class (detect → rollback → re-execute)", &RECOVERY_HEADER);
+    for (site, s) in &result.per_site {
+        t.row(&recovery_cells(label, kind, site.name(), s));
     }
     t
 }

@@ -28,12 +28,17 @@ use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
 
-/// Schema tag of `run_manifest.json`.
-pub const MANIFEST_SCHEMA: &str = "paradet-campaign-manifest/v1";
-/// Schema tag of the checkpoint header line.
-pub const CHECKPOINT_SCHEMA: &str = "paradet-campaign-ckpt/v1";
+/// Schema tag of `run_manifest.json`. Bumped to v2 when campaigns grew a
+/// fault kind, a recovery policy, and per-trial recovery fields — v1
+/// stores are refused with [`StoreError::SchemaVersion`] rather than
+/// silently misread (a v1 record has no retry/recovery columns, so a v2
+/// merge over it would fabricate zeros).
+pub const MANIFEST_SCHEMA: &str = "paradet-campaign-manifest/v2";
+/// Schema tag of the checkpoint header line (see [`MANIFEST_SCHEMA`] for
+/// the v2 bump; v2 also adds a per-line FNV-1a checksum).
+pub const CHECKPOINT_SCHEMA: &str = "paradet-campaign-ckpt/v2";
 /// Schema tag of the status heartbeat files.
-pub const STATUS_SCHEMA: &str = "paradet-campaign-status/v1";
+pub const STATUS_SCHEMA: &str = "paradet-campaign-status/v2";
 
 /// Errors from the campaign store and the shard/merge service.
 #[derive(Debug)]
@@ -53,6 +58,16 @@ pub enum StoreError {
     },
     /// A store file exists but cannot be understood.
     Corrupt(String),
+    /// A store file was written by a different (typically older) schema
+    /// version. Distinct from [`Corrupt`](StoreError::Corrupt): the file
+    /// is intact, it just speaks another dialect — re-run the campaign
+    /// with the current binaries instead of "repairing" anything.
+    SchemaVersion {
+        /// Schema tag recorded in the file.
+        found: String,
+        /// Schema tag this binary writes and reads.
+        expected: String,
+    },
     /// A lock file says the shard is (or died) running.
     Locked(String),
     /// A merge found a shard with missing trials.
@@ -71,6 +86,12 @@ impl fmt::Display for StoreError {
                  with the original configuration"
             ),
             StoreError::Corrupt(m) => write!(f, "corrupt campaign store: {m}"),
+            StoreError::SchemaVersion { found, expected } => write!(
+                f,
+                "campaign store schema `{found}` is not the supported `{expected}` — \
+                 this directory was written by an incompatible paradet version; \
+                 re-run the campaign into a fresh --dir"
+            ),
             StoreError::Locked(m) => write!(f, "{m}"),
             StoreError::Incomplete(m) => write!(f, "incomplete campaign: {m}"),
         }
@@ -108,16 +129,26 @@ impl fmt::Display for Fingerprint {
 }
 
 /// Computes the fingerprint of a campaign configuration.
+///
+/// Every field that can change a trial's fault or outcome is in the
+/// canonical string — including the temporal fault kind and the recovery
+/// policy, which change outcomes without changing the grid. Any new
+/// per-trial knob added to [`CampaignConfig`] must be appended here *and*
+/// to [`TrialRecord`] if it surfaces per trial, or resume/merge would mix
+/// incompatible campaigns.
 pub fn fingerprint(cfg: &CampaignConfig) -> Fingerprint {
     let site_names: Vec<&str> = cfg.sites.iter().map(|s| s.name()).collect();
     let canonical = format!(
-        "seed={}|workload={}|instrs={}|trials_per_site={}|sites={}|system={:?}",
+        "seed={}|workload={}|instrs={}|trials_per_site={}|sites={}|system={:?}|\
+         fault_kind={:?}|recovery={:?}",
         cfg.seed,
         cfg.workload.name(),
         cfg.instrs,
         cfg.trials_per_site,
         site_names.join(","),
         cfg.system,
+        cfg.fault_kind,
+        cfg.recovery,
     );
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in canonical.bytes() {
@@ -149,6 +180,11 @@ pub struct Manifest {
     /// Human-readable `SystemConfig` (diagnostic only; the fingerprint is
     /// what gates resume/merge).
     pub system: String,
+    /// Human-readable temporal fault kind (diagnostic; fingerprinted).
+    pub fault_kind: String,
+    /// Human-readable recovery policy, `"None"` for detection-only
+    /// campaigns (diagnostic; fingerprinted).
+    pub recovery: String,
 }
 
 impl Manifest {
@@ -163,6 +199,8 @@ impl Manifest {
             sites: cfg.sites.iter().map(|s| s.name().to_string()).collect(),
             shards,
             system: format!("{:?}", cfg.system),
+            fault_kind: format!("{:?}", cfg.fault_kind),
+            recovery: format!("{:?}", cfg.recovery),
         }
     }
 
@@ -183,7 +221,8 @@ impl Manifest {
         format!(
             "{{\n  \"schema\": \"{}\",\n  \"fingerprint\": \"{}\",\n  \"seed\": {},\n  \
              \"workload\": \"{}\",\n  \"instrs\": {},\n  \"trials_per_site\": {},\n  \
-             \"sites\": [{}],\n  \"shards\": {},\n  \"system\": \"{}\"\n}}\n",
+             \"sites\": [{}],\n  \"shards\": {},\n  \"system\": \"{}\",\n  \
+             \"fault_kind\": \"{}\",\n  \"recovery\": \"{}\"\n}}\n",
             MANIFEST_SCHEMA,
             json_escape(&self.fingerprint),
             self.seed,
@@ -193,6 +232,8 @@ impl Manifest {
             sites.join(", "),
             self.shards,
             json_escape(&self.system),
+            json_escape(&self.fault_kind),
+            json_escape(&self.recovery),
         )
     }
 
@@ -200,9 +241,10 @@ impl Manifest {
         let schema = str_field(text, "schema")
             .ok_or_else(|| StoreError::Corrupt("manifest has no schema tag".into()))?;
         if schema != MANIFEST_SCHEMA {
-            return Err(StoreError::Corrupt(format!(
-                "manifest schema `{schema}` != `{MANIFEST_SCHEMA}`"
-            )));
+            return Err(StoreError::SchemaVersion {
+                found: schema,
+                expected: MANIFEST_SCHEMA.to_string(),
+            });
         }
         Ok(Manifest {
             fingerprint: str_field(text, "fingerprint")
@@ -220,6 +262,8 @@ impl Manifest {
                 .ok_or_else(|| StoreError::Corrupt("manifest missing shards".into()))?
                 as u32,
             system: str_field(text, "system").unwrap_or_default(),
+            fault_kind: str_field(text, "fault_kind").unwrap_or_default(),
+            recovery: str_field(text, "recovery").unwrap_or_default(),
         })
     }
 }
@@ -296,6 +340,11 @@ pub struct TrialRecord {
     pub outcome: Outcome,
     /// Detection latency in femtoseconds, when detected.
     pub latency_fs: Option<u64>,
+    /// Rollbacks performed, for `recovered` outcomes (the tag drops the
+    /// count; this field and the tag reconstruct `Outcome::Recovered`).
+    pub retries: Option<u32>,
+    /// Modeled recovery cost in femtoseconds, when a rollback happened.
+    pub recovery_fs: Option<u64>,
 }
 
 /// Path of shard `shard`'s checkpoint inside `dir`.
@@ -303,44 +352,87 @@ pub fn checkpoint_path(dir: &Path, shard: ShardSpec) -> PathBuf {
     dir.join(format!("shard-{}-of-{}.jsonl", shard.index(), shard.count()))
 }
 
+/// FNV-1a-64 over `prefix`, in the fixed-width hex the per-line `crc`
+/// field carries. The checksum covers everything on the line before
+/// `", \"crc\""`, so the reader needs no JSON canonicalization to verify.
+fn line_crc(prefix: &str) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in prefix.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// Appends `line` to `out`, sealed with its [`line_crc`] as the final
+/// `crc` field. `line` must be an open JSON object (no closing brace).
+fn push_sealed(out: &mut String, line: &str) {
+    out.push_str(line);
+    out.push_str(", \"crc\": \"");
+    out.push_str(&line_crc(line));
+    out.push_str("\"}\n");
+}
+
+/// Verifies a sealed line's `crc` field; returns the checksummed prefix
+/// (the open JSON object) when intact.
+fn check_sealed(line: &str) -> Option<&str> {
+    let pos = line.rfind(", \"crc\": \"")?;
+    let claim = line[pos..].strip_prefix(", \"crc\": \"")?.strip_suffix("\"}")?;
+    let prefix = &line[..pos];
+    (claim == line_crc(prefix)).then_some(prefix)
+}
+
 /// Atomically (re)writes shard `shard`'s checkpoint: a header line carrying
 /// the schema + fingerprint, then one line per completed trial in slice
-/// order.
+/// order. Every line — header included — is sealed with a FNV-1a checksum
+/// so bit rot from non-atomic storage (NFS, torn replication) is caught on
+/// read instead of corrupting a resumed campaign.
 pub fn write_checkpoint(
     dir: &Path,
     shard: ShardSpec,
     fp: &str,
     records: &[TrialRecord],
 ) -> Result<(), StoreError> {
-    let mut out = String::with_capacity(64 + records.len() * 64);
-    out.push_str(&format!(
-        "{{\"schema\": \"{}\", \"fingerprint\": \"{}\", \"shard\": \"{}\"}}\n",
-        CHECKPOINT_SCHEMA,
-        json_escape(fp),
-        shard
-    ));
+    let mut out = String::with_capacity(64 + records.len() * 96);
+    push_sealed(
+        &mut out,
+        &format!(
+            "{{\"schema\": \"{}\", \"fingerprint\": \"{}\", \"shard\": \"{}\"",
+            CHECKPOINT_SCHEMA,
+            json_escape(fp),
+            shard
+        ),
+    );
     for r in records {
-        match r.latency_fs {
-            Some(fs) => out.push_str(&format!(
-                "{{\"site\": \"{}\", \"trial\": {}, \"outcome\": \"{}\", \"latency_fs\": {}}}\n",
-                r.site.name(),
-                r.trial,
-                r.outcome.tag(),
-                fs
-            )),
-            None => out.push_str(&format!(
-                "{{\"site\": \"{}\", \"trial\": {}, \"outcome\": \"{}\"}}\n",
-                r.site.name(),
-                r.trial,
-                r.outcome.tag()
-            )),
+        let mut line = format!(
+            "{{\"site\": \"{}\", \"trial\": {}, \"outcome\": \"{}\"",
+            r.site.name(),
+            r.trial,
+            r.outcome.tag()
+        );
+        if let Some(fs) = r.latency_fs {
+            line.push_str(&format!(", \"latency_fs\": {fs}"));
         }
+        if let Some(n) = r.retries {
+            line.push_str(&format!(", \"retries\": {n}"));
+        }
+        if let Some(fs) = r.recovery_fs {
+            line.push_str(&format!(", \"recovery_fs\": {fs}"));
+        }
+        push_sealed(&mut out, &line);
     }
     atomic_write(&checkpoint_path(dir, shard), &out)
 }
 
 /// Reads shard `shard`'s checkpoint, if present, validating its header
-/// fingerprint against `expect_fp`.
+/// fingerprint against `expect_fp` and every line's checksum.
+///
+/// A checksum failure on the **final** line is treated as a clean
+/// truncation (a partial append from foreign storage): the intact prefix
+/// is returned and resume recomputes the suffix — trials are pure in
+/// `(seed, site, trial)`, so the repaired campaign is bit-identical. A
+/// bad line anywhere *else* (or an intact line that doesn't parse) is
+/// real corruption and is refused.
 pub fn read_checkpoint(
     dir: &Path,
     shard: ShardSpec,
@@ -352,15 +444,19 @@ pub fn read_checkpoint(
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(StoreError::Io(e)),
     };
-    let mut lines = text.lines();
+    let all: Vec<&str> = text.lines().collect();
     let header =
-        lines.next().ok_or_else(|| StoreError::Corrupt(format!("{} is empty", path.display())))?;
-    let schema = str_field(header, "schema").unwrap_or_default();
+        *all.first().ok_or_else(|| StoreError::Corrupt(format!("{} is empty", path.display())))?;
+    let schema = str_field(header, "schema")
+        .ok_or_else(|| StoreError::Corrupt(format!("{} header has no schema", path.display())))?;
     if schema != CHECKPOINT_SCHEMA {
-        return Err(StoreError::Corrupt(format!(
-            "{} header schema `{schema}` != `{CHECKPOINT_SCHEMA}`",
-            path.display()
-        )));
+        return Err(StoreError::SchemaVersion {
+            found: schema,
+            expected: CHECKPOINT_SCHEMA.to_string(),
+        });
+    }
+    if check_sealed(header).is_none() {
+        return Err(StoreError::Corrupt(format!("{} header fails its checksum", path.display())));
     }
     let fp = str_field(header, "fingerprint").unwrap_or_default();
     if fp != expect_fp {
@@ -371,38 +467,57 @@ pub fn read_checkpoint(
         });
     }
     let mut records = Vec::new();
-    for (i, line) in lines.enumerate() {
+    for (i, &line) in all.iter().enumerate().skip(1) {
         if line.trim().is_empty() {
             continue;
         }
+        if check_sealed(line).is_none() {
+            if i == all.len() - 1 {
+                // Torn tail: the prefix is intact, resume recomputes the
+                // rest.
+                break;
+            }
+            return Err(StoreError::Corrupt(format!(
+                "{} line {}: checksum failure mid-file",
+                path.display(),
+                i + 1
+            )));
+        }
         let site_name = str_field(line, "site").ok_or_else(|| {
-            StoreError::Corrupt(format!("{} line {}: no site", path.display(), i + 2))
+            StoreError::Corrupt(format!("{} line {}: no site", path.display(), i + 1))
         })?;
         let site = FaultSite::from_name(&site_name).ok_or_else(|| {
             StoreError::Corrupt(format!(
                 "{} line {}: unknown site `{site_name}`",
                 path.display(),
-                i + 2
+                i + 1
             ))
         })?;
         let trial = u64_field(line, "trial").ok_or_else(|| {
-            StoreError::Corrupt(format!("{} line {}: no trial", path.display(), i + 2))
+            StoreError::Corrupt(format!("{} line {}: no trial", path.display(), i + 1))
         })?;
         let tag = str_field(line, "outcome").ok_or_else(|| {
-            StoreError::Corrupt(format!("{} line {}: no outcome", path.display(), i + 2))
+            StoreError::Corrupt(format!("{} line {}: no outcome", path.display(), i + 1))
         })?;
-        let outcome = Outcome::from_tag(&tag).ok_or_else(|| {
+        let mut outcome = Outcome::from_tag(&tag).ok_or_else(|| {
             StoreError::Corrupt(format!(
                 "{} line {}: unknown outcome `{tag}`",
                 path.display(),
-                i + 2
+                i + 1
             ))
         })?;
+        let retries = u64_field(line, "retries").map(|n| n as u32);
+        if let Outcome::Recovered { .. } = outcome {
+            // The tag drops the retry count; the record field restores it.
+            outcome = Outcome::Recovered { retries: retries.unwrap_or(0) };
+        }
         records.push(TrialRecord {
             site,
             trial,
             outcome,
             latency_fs: u64_field(line, "latency_fs"),
+            retries,
+            recovery_fs: u64_field(line, "recovery_fs"),
         });
     }
     Ok(Some(records))
@@ -626,27 +741,44 @@ mod tests {
         let _ = std::fs::remove_dir_all(&dir);
     }
 
-    #[test]
-    fn checkpoint_round_trips() {
-        let dir = tmpdir("ckpt");
-        let shard = ShardSpec::new(0, 2);
-        let records = vec![
+    fn sample_records() -> Vec<TrialRecord> {
+        vec![
             TrialRecord {
                 site: FaultSite::IntReg,
                 trial: 0,
                 outcome: Outcome::Detected,
                 latency_fs: Some(123_456),
+                retries: None,
+                recovery_fs: None,
             },
             TrialRecord {
                 site: FaultSite::Pc,
                 trial: 3,
                 outcome: Outcome::Masked,
                 latency_fs: None,
+                retries: None,
+                recovery_fs: None,
             },
-        ];
+            TrialRecord {
+                site: FaultSite::CheckerFalsePos,
+                trial: 7,
+                outcome: Outcome::Recovered { retries: 2 },
+                latency_fs: Some(9_999),
+                retries: Some(2),
+                recovery_fs: Some(42_000_000),
+            },
+        ]
+    }
+
+    #[test]
+    fn checkpoint_round_trips() {
+        let dir = tmpdir("ckpt");
+        let shard = ShardSpec::new(0, 2);
+        let records = sample_records();
         write_checkpoint(&dir, shard, "deadbeef", &records).unwrap();
         let back = read_checkpoint(&dir, shard, "deadbeef").unwrap().unwrap();
         assert_eq!(back, records);
+        assert_eq!(back[2].outcome, Outcome::Recovered { retries: 2 }, "retry count survives");
         // Wrong fingerprint: refused.
         assert!(matches!(
             read_checkpoint(&dir, shard, "cafebabe"),
@@ -655,6 +787,89 @@ mod tests {
         // Absent shard: None.
         assert!(read_checkpoint(&dir, ShardSpec::new(1, 2), "deadbeef").unwrap().is_none());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interior_byte_flip_is_corrupt() {
+        let dir = tmpdir("bitrot");
+        let shard = ShardSpec::new(0, 1);
+        write_checkpoint(&dir, shard, "deadbeef", &sample_records()).unwrap();
+        let path = checkpoint_path(&dir, shard);
+        let mut bytes = std::fs::read(&path).unwrap();
+        // Flip a bit inside the *second* line (an interior trial record):
+        // past the header, well before the file's tail.
+        let text = String::from_utf8(bytes.clone()).unwrap();
+        let second_line_start = text.find('\n').unwrap() + 1;
+        bytes[second_line_start + 10] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(
+            matches!(read_checkpoint(&dir, shard, "deadbeef"), Err(StoreError::Corrupt(_))),
+            "a flipped interior byte must fail the line checksum"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chopped_tail_repairs_to_prefix() {
+        let dir = tmpdir("chop");
+        let shard = ShardSpec::new(0, 1);
+        let records = sample_records();
+        write_checkpoint(&dir, shard, "deadbeef", &records).unwrap();
+        let path = checkpoint_path(&dir, shard);
+        let text = std::fs::read_to_string(&path).unwrap();
+        // Chop the file mid-way through its final line — a torn append.
+        let chopped = &text[..text.len() - 17];
+        std::fs::write(&path, chopped).unwrap();
+        let back = read_checkpoint(&dir, shard, "deadbeef").unwrap().unwrap();
+        assert_eq!(back, records[..2], "intact prefix survives, torn tail is dropped");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_checkpoint_is_refused_by_schema() {
+        let dir = tmpdir("v1ckpt");
+        let shard = ShardSpec::new(0, 1);
+        // A v1 header as the old writer produced it (no crc field).
+        let v1 = "{\"schema\": \"paradet-campaign-ckpt/v1\", \"fingerprint\": \"deadbeef\", \
+                  \"shard\": \"0/1\"}\n\
+                  {\"site\": \"pc\", \"trial\": 0, \"outcome\": \"masked\"}\n";
+        std::fs::write(checkpoint_path(&dir, shard), v1).unwrap();
+        match read_checkpoint(&dir, shard, "deadbeef") {
+            Err(StoreError::SchemaVersion { found, expected }) => {
+                assert_eq!(found, "paradet-campaign-ckpt/v1");
+                assert_eq!(expected, CHECKPOINT_SCHEMA);
+            }
+            r => panic!("expected SchemaVersion, got {r:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn v1_manifest_is_refused_by_schema() {
+        let v1 = "{\n  \"schema\": \"paradet-campaign-manifest/v1\",\n  \
+                  \"fingerprint\": \"deadbeef\",\n  \"seed\": 42\n}\n";
+        assert!(matches!(Manifest::parse(v1), Err(StoreError::SchemaVersion { .. })));
+    }
+
+    #[test]
+    fn fingerprint_covers_fault_kind_and_recovery() {
+        let base = CampaignConfig::default();
+        let f0 = fingerprint(&base);
+        let kind = CampaignConfig { fault_kind: paradet_ooo::FaultKind::Permanent, ..base.clone() };
+        assert_ne!(f0, fingerprint(&kind), "fault kind must refingerprint");
+        let recov = CampaignConfig {
+            recovery: Some(paradet_core::RecoveryPolicy::default()),
+            ..base.clone()
+        };
+        assert_ne!(f0, fingerprint(&recov), "recovery policy must refingerprint");
+        let retries = CampaignConfig {
+            recovery: Some(paradet_core::RecoveryPolicy {
+                max_retries: 5,
+                ..paradet_core::RecoveryPolicy::default()
+            }),
+            ..base
+        };
+        assert_ne!(fingerprint(&recov), fingerprint(&retries));
     }
 
     #[test]

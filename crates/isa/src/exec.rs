@@ -21,6 +21,19 @@ pub trait MemoryIface {
     fn load(&mut self, addr: u64, width: MemWidth) -> u64;
     /// Stores the low `width` bytes of `val` at `addr`.
     fn store(&mut self, addr: u64, width: MemWidth, val: u64);
+    /// Stores like [`MemoryIface::store`] and returns the pre-image — the
+    /// value at `addr` before the store, zero-extended from `width` — for
+    /// implementations that can observe it. The executor records it as the
+    /// store's undo value (checkpoint recovery rolls stores back with it).
+    ///
+    /// The default returns 0 *without reading*: `load` may have side
+    /// effects (the checker's log-backed replay memory consumes a log
+    /// entry per load), and validation-only consumers never use the
+    /// pre-image. Plain memories like [`FlatMemory`] override this.
+    fn store_with_undo(&mut self, addr: u64, width: MemWidth, val: u64) -> u64 {
+        self.store(addr, width, val);
+        0
+    }
 }
 
 /// Source of non-deterministic instruction results (`rdcycle`).
@@ -241,6 +254,23 @@ impl MemoryIface for FlatMemory {
             }
         }
     }
+
+    fn store_with_undo(&mut self, addr: u64, width: MemWidth, val: u64) -> u64 {
+        let n = width.bytes() as usize;
+        let off = (addr & (Self::PAGE as u64 - 1)) as usize;
+        if off + n <= Self::PAGE {
+            // One page lookup covers both the pre-image read and the write.
+            let p = self.pages.get_or_insert(addr >> Self::PAGE_SHIFT);
+            let mut buf = [0u8; 8];
+            buf[..n].copy_from_slice(&p[off..off + n]);
+            p[off..off + n].copy_from_slice(&val.to_le_bytes()[..n]);
+            u64::from_le_bytes(buf)
+        } else {
+            let old = self.load(addr, width);
+            self.store(addr, width, val);
+            old
+        }
+    }
 }
 
 /// Execution error from the golden model.
@@ -277,6 +307,10 @@ pub struct MemAccess {
     pub value: u64,
     /// Access width.
     pub width: MemWidth,
+    /// For stores, the memory value at `addr` *before* the store (zero-
+    /// extended from `width`); zero for loads. This is the undo value a
+    /// checkpoint-recovery scheme needs to roll a committed store back.
+    pub old: u64,
 }
 
 /// The memory accesses of one retired instruction, stored inline.
@@ -292,7 +326,8 @@ pub struct MemAccessList {
 }
 
 impl MemAccessList {
-    const EMPTY: MemAccess = MemAccess { is_store: false, addr: 0, value: 0, width: MemWidth::B };
+    const EMPTY: MemAccess =
+        MemAccess { is_store: false, addr: 0, value: 0, width: MemWidth::B, old: 0 };
 
     /// An empty list.
     pub fn new() -> MemAccessList {
@@ -459,13 +494,13 @@ impl ArchState {
                 let raw = mem.load(addr, width);
                 let v = if signed { width.sign_extend(raw) } else { raw };
                 self.set_x(rd, v);
-                accesses.push(MemAccess { is_store: false, addr, value: raw, width });
+                accesses.push(MemAccess { is_store: false, addr, value: raw, width, old: 0 });
             }
             I::Store { width, rs2, rs1, imm } => {
                 let addr = self.x(rs1).wrapping_add(imm as u64);
                 let v = width.truncate(self.x(rs2));
-                mem.store(addr, width, v);
-                accesses.push(MemAccess { is_store: true, addr, value: v, width });
+                let old = mem.store_with_undo(addr, width, v);
+                accesses.push(MemAccess { is_store: true, addr, value: v, width, old });
             }
             I::Ldp { rd1, rd2, rs1, imm } => {
                 let base = self.x(rs1);
@@ -480,12 +515,14 @@ impl ArchState {
                     addr: a0,
                     value: v0,
                     width: MemWidth::D,
+                    old: 0,
                 });
                 accesses.push(MemAccess {
                     is_store: false,
                     addr: a1,
                     value: v1,
                     width: MemWidth::D,
+                    old: 0,
                 });
             }
             I::Stp { rs2a, rs2b, rs1, imm } => {
@@ -494,32 +531,46 @@ impl ArchState {
                 let a1 = base.wrapping_add(imm as u64).wrapping_add(8);
                 let v0 = self.x(rs2a);
                 let v1 = self.x(rs2b);
-                mem.store(a0, MemWidth::D, v0);
-                mem.store(a1, MemWidth::D, v1);
+                let old0 = mem.store_with_undo(a0, MemWidth::D, v0);
+                let old1 = mem.store_with_undo(a1, MemWidth::D, v1);
                 accesses.push(MemAccess {
                     is_store: true,
                     addr: a0,
                     value: v0,
                     width: MemWidth::D,
+                    old: old0,
                 });
                 accesses.push(MemAccess {
                     is_store: true,
                     addr: a1,
                     value: v1,
                     width: MemWidth::D,
+                    old: old1,
                 });
             }
             I::FLoad { fd, rs1, imm } => {
                 let addr = self.x(rs1).wrapping_add(imm as u64);
                 let raw = mem.load(addr, MemWidth::D);
                 self.set_f_bits(fd, raw);
-                accesses.push(MemAccess { is_store: false, addr, value: raw, width: MemWidth::D });
+                accesses.push(MemAccess {
+                    is_store: false,
+                    addr,
+                    value: raw,
+                    width: MemWidth::D,
+                    old: 0,
+                });
             }
             I::FStore { fs2, rs1, imm } => {
                 let addr = self.x(rs1).wrapping_add(imm as u64);
                 let v = self.f_bits(fs2);
-                mem.store(addr, MemWidth::D, v);
-                accesses.push(MemAccess { is_store: true, addr, value: v, width: MemWidth::D });
+                let old = mem.store_with_undo(addr, MemWidth::D, v);
+                accesses.push(MemAccess {
+                    is_store: true,
+                    addr,
+                    value: v,
+                    width: MemWidth::D,
+                    old,
+                });
             }
             I::Branch { cond, rs1, rs2, offset } => {
                 if cond.eval(self.x(rs1), self.x(rs2)) {

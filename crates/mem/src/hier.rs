@@ -203,6 +203,38 @@ impl CheckerPath {
     }
 }
 
+/// Which memory array an [`ArrayFault`] strikes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArrayKind {
+    /// Cache data array: the flip lands on the byte being accessed (a bad
+    /// SRAM cell read back on the triggering access).
+    Cache,
+    /// DRAM cell disturbance: the flip lands on the *adjacent* cache line
+    /// (address ^ line size), corrupting data the triggering access never
+    /// touched — the victim row of a disturbance error.
+    Dram,
+}
+
+/// A fault in a memory array, injected on the `at_access`-th timed
+/// main-core data access.
+///
+/// These faults are deliberately **outside the detection sphere**: the
+/// paper's design assumes ECC on memory arrays (§III — "memory protected
+/// by ECC"), so the checkers validate logged values, not the arrays
+/// behind them. A flipped array bit enters the load-store log as
+/// legitimate data and replays identically on the checker — the expected
+/// campaign outcome is SDC or Masked, never Detected. The fault taxonomy
+/// table in the README documents this boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrayFault {
+    /// Which array is struck.
+    pub array: ArrayKind,
+    /// 0-based index of the main-core data access that triggers the flip.
+    pub at_access: u64,
+    /// Bit flipped within the struck byte (taken modulo 8).
+    pub bit: u8,
+}
+
 /// The composed, shared memory hierarchy.
 #[derive(Debug)]
 pub struct MemHier {
@@ -215,6 +247,11 @@ pub struct MemHier {
     prefetcher: StridePrefetcher,
     prefetch_enabled: bool,
     checker: CheckerPath,
+    /// An armed (not yet fired) array fault; `None` on every clean run, so
+    /// the hot data path pays one never-taken branch.
+    array_fault: Option<ArrayFault>,
+    /// Main-core data accesses seen while an array fault is armed.
+    daccesses: u64,
 }
 
 impl MemHier {
@@ -229,7 +266,38 @@ impl MemHier {
             prefetcher: StridePrefetcher::new(cfg.prefetcher),
             prefetch_enabled: cfg.prefetch_enabled,
             checker: CheckerPath::new(cfg, n_checkers),
+            array_fault: None,
+            daccesses: 0,
         }
+    }
+
+    /// Arms an [`ArrayFault`]: the flip fires on the `at_access`-th timed
+    /// main-core data access after arming, then disarms.
+    pub fn arm_array_fault(&mut self, fault: ArrayFault) {
+        self.array_fault = Some(fault);
+        self.daccesses = 0;
+    }
+
+    /// Whether an armed array fault has not fired yet.
+    pub fn array_fault_pending(&self) -> bool {
+        self.array_fault.is_some()
+    }
+
+    /// Fires the armed array fault if this access is its trigger.
+    fn poll_array_fault(&mut self, addr: u64) {
+        let Some(f) = self.array_fault else { return };
+        let n = self.daccesses;
+        self.daccesses += 1;
+        if n < f.at_access {
+            return;
+        }
+        self.array_fault = None;
+        let victim = match f.array {
+            ArrayKind::Cache => addr,
+            ArrayKind::Dram => addr ^ 64,
+        };
+        let b = self.data.read_byte(victim);
+        self.data.write_byte(victim, b ^ (1 << (f.bit & 7)));
     }
 
     /// Number of checker L0 caches.
@@ -257,6 +325,9 @@ impl MemHier {
     }
 
     fn daccess(&mut self, pc: u64, addr: u64, write: bool, now: Time) -> Time {
+        if self.array_fault.is_some() {
+            self.poll_array_fault(addr);
+        }
         let MemHier { l1d, l2, dram, prefetcher, prefetch_enabled, .. } = self;
         l1d.access(addr, write, now, &mut |line, wb, t| {
             let r = l2.access(line, wb, t, &mut |l, _w, t2| dram.access(l, t2));

@@ -31,6 +31,6 @@ mod time;
 
 pub use cache::{AccessResult, Cache, CacheConfig, CacheStats};
 pub use dram::{Dram, DramConfig, DramStats};
-pub use hier::{CheckerPath, HierStats, MemConfig, MemHier};
+pub use hier::{ArrayFault, ArrayKind, CheckerPath, HierStats, MemConfig, MemHier};
 pub use prefetch::{PrefetchStats, PrefetcherConfig, StridePrefetcher};
 pub use time::{Freq, Time};

@@ -247,6 +247,20 @@ impl OooCore {
         }
     }
 
+    /// Creates a core whose architectural state is `state` instead of the
+    /// program's entry point — the recovery path's "pipeline flush +
+    /// restore from the validated register checkpoint". Every
+    /// micro-architectural structure (predictor, occupancy windows,
+    /// in-flight stores, fetch state) starts cold, exactly as a restored
+    /// core would after a flush; `instr_index` restarts at zero, so armed
+    /// faults address the *re-execution* stream (callers translate global
+    /// strike indices by the checkpoint's retirement count).
+    pub fn new_resumed(cfg: OooConfig, program: Arc<Program>, state: ArchState) -> OooCore {
+        let mut core = OooCore::new_shared(cfg, program);
+        core.state = state;
+        core
+    }
+
     /// The core's configuration.
     pub fn config(&self) -> &OooConfig {
         &self.cfg
@@ -276,6 +290,14 @@ impl OooCore {
     /// Arms a fault (see [`FaultTarget`]).
     pub fn arm_fault(&mut self, fault: ArmedFault) {
         self.faults.push(fault);
+    }
+
+    /// Faults armed but not yet fired — still waiting for their trigger
+    /// instruction (or, for store/load faults, the first qualifying access
+    /// after it). A recovery driver uses this to carry unconsumed strikes
+    /// into a re-execution attempt.
+    pub fn unfired_faults(&self) -> &[ArmedFault] {
+        &self.faults
     }
 
     /// The cycle at (and after) which every modeled core resource is idle:
@@ -756,11 +778,16 @@ impl OooCore {
         // stack (≤ 2 accesses per macro-op): this path runs once per
         // retired instruction and must not allocate.
         let mut mem_effects =
-            [MemEffect { is_store: false, addr: 0, value: 0, width: MemWidth::B }; 2];
+            [MemEffect { is_store: false, addr: 0, value: 0, width: MemWidth::B, old: 0 }; 2];
         let mut n_effects = 0usize;
         for a in step.mem.iter() {
-            mem_effects[n_effects] =
-                MemEffect { is_store: a.is_store, addr: a.addr, value: a.value, width: a.width };
+            mem_effects[n_effects] = MemEffect {
+                is_store: a.is_store,
+                addr: a.addr,
+                value: a.value,
+                width: a.width,
+                old: a.old,
+            };
             n_effects += 1;
         }
         let mem_effects = &mut mem_effects[..n_effects];
@@ -784,19 +811,21 @@ impl OooCore {
         if let Some(bit) = store_addr_flip {
             if let Some(eff) = mem_effects.iter_mut().find(|e| e.is_store) {
                 use paradet_isa::MemoryIface;
-                // The store escaped to the wrong address: undo the correct
-                // write (restore zero? we must restore the pre-store bytes).
-                // The oracle already wrote to the correct address, so move
-                // the value: clear it by re-reading what was there is not
-                // possible — instead we model the wrong-address store as an
-                // *additional* corruption at the flipped address plus the
-                // log recording the flipped address. The checker detects the
-                // address mismatch either way, and the memory-state
-                // difference is what the SDC classifier needs.
+                // The store escaped to the wrong address: the oracle already
+                // wrote the correct one, so put its pre-store bytes back
+                // (`eff.old`, captured by the oracle before it stored), then
+                // land the value at the flipped address. The logged entry is
+                // exactly the one memory mutation the instruction made —
+                // (wrong, value, old-at-wrong) — so a per-entry undo restores
+                // memory precisely; the checker detects the address mismatch
+                // either way, and the memory-state difference is what the
+                // SDC classifier needs.
                 let wrong = eff.addr ^ (1u64 << (bit % 48));
-                let v = hier.data.load(eff.addr, eff.width);
-                hier.data.store(wrong, eff.width, v);
+                hier.data.store(eff.addr, eff.width, eff.old);
+                let old_at_wrong = hier.data.load(wrong, eff.width);
+                hier.data.store(wrong, eff.width, eff.value);
                 eff.addr = wrong;
+                eff.old = old_at_wrong;
             }
         }
         if load_value_flip.is_some() || load_capture_flip.is_some() {

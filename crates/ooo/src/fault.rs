@@ -65,8 +65,9 @@ pub enum FaultTarget {
     /// checker detects divergence via address/value mismatches or the
     /// instruction-count timeout (§IV-J).
     PcBit {
-        /// Bit flipped (2–20 keeps the PC near the text segment so both
-        /// in-text wild jumps and out-of-text crashes occur).
+        /// Bit flipped (2–15 keeps the PC near the text segment so both
+        /// in-text wild jumps and out-of-text crashes occur — the range
+        /// `FaultSite::Pc.sample` draws from).
         bit: u8,
     },
     /// A hard (permanent) stuck-at fault on one integer ALU: from the
@@ -81,6 +82,43 @@ pub enum FaultTarget {
         /// Value the bit is stuck at.
         value: bool,
     },
+}
+
+/// Temporal behaviour of a fault, orthogonal to its [`FaultTarget`].
+///
+/// The campaign's recovery driver interprets the kind: a `Transient`
+/// strike is consumed by its first firing (a rolled-back re-execution is
+/// clean), an `Intermittent` fault re-strikes every `period` retired
+/// instructions up to `count` times, and a `Permanent` fault re-arms on
+/// every re-execution attempt (rollback cannot outrun it — the driver must
+/// escalate to degradation instead of retrying forever).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultKind {
+    /// One strike, never repeated (a particle hit).
+    #[default]
+    Transient,
+    /// Re-strikes every `period` retired instructions, `count` times total
+    /// (a marginal circuit: wears in and out).
+    Intermittent {
+        /// Retired-instruction distance between successive strikes.
+        period: u64,
+        /// Total number of strikes.
+        count: u32,
+    },
+    /// Strikes on every execution that crosses the trigger point (a hard
+    /// fault: stuck-at damage that survives rollback).
+    Permanent,
+}
+
+impl FaultKind {
+    /// Canonical lowercase name (CLI/fingerprint form).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::Transient => "transient",
+            FaultKind::Intermittent { .. } => "intermittent",
+            FaultKind::Permanent => "permanent",
+        }
+    }
 }
 
 /// A fault armed to strike at a particular point of the dynamic instruction

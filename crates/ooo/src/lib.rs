@@ -42,7 +42,7 @@ mod types;
 
 pub use crate::core::{CoreError, CoreStats, OooCore, StepOutcome};
 pub use config::{LatencyTable, OooConfig};
-pub use fault::{ArmedFault, FaultTarget};
+pub use fault::{ArmedFault, FaultKind, FaultTarget};
 pub use predictor::{DirectionPrediction, PredictorConfig, PredictorStats, TournamentPredictor};
 pub use resources::{FifoOccupancy, SlotPool, UnorderedOccupancy};
 pub use types::{CommitEvent, CommitGate, DetectionSink, MemEffect, NullSink};

@@ -15,6 +15,9 @@ pub struct MemEffect {
     pub value: u64,
     /// Access width.
     pub width: MemWidth,
+    /// For stores, the memory value at `addr` before the store (the undo
+    /// value checkpoint recovery rolls back with); zero for loads.
+    pub old: u64,
 }
 
 /// A micro-op commit notification.
