@@ -117,8 +117,17 @@ pub struct SystemConfig {
 
 impl SystemConfig {
     /// The paper's Table I configuration.
+    ///
+    /// Honors `PARADET_BLOCK_EXEC=0` (read once per process): a whole
+    /// harness invocation — `run_all --smoke` in CI's bench-smoke matrix —
+    /// can be forced onto the legacy per-instruction paths without
+    /// touching any call site, so the block-vs-legacy byte-diff gate runs
+    /// the same binaries end to end.
     pub fn paper_default() -> SystemConfig {
-        SystemConfig {
+        static FORCED_OFF: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+        let forced_off =
+            *FORCED_OFF.get_or_init(|| std::env::var("PARADET_BLOCK_EXEC").is_ok_and(|v| v == "0"));
+        let cfg = SystemConfig {
             main: OooConfig::default(),
             checker: CheckerConfig::default(),
             n_checkers: 12,
@@ -130,13 +139,22 @@ impl SystemConfig {
             extra_domains: DomainSet::new(),
             parallel_domain_folds: true,
             eager_check: false,
+        };
+        if forced_off {
+            cfg.with_block_exec(false)
+        } else {
+            cfg
         }
     }
 
     /// Returns a copy with the checker cores clocked at `mhz` (Fig. 9/11
     /// sweeps 125–2000 MHz).
     pub fn with_checker_mhz(mut self, mhz: u64) -> SystemConfig {
-        self.checker = CheckerConfig::paper_default(Freq::from_mhz(mhz));
+        // Re-clocking must not undo a `with_block_exec` override.
+        self.checker = CheckerConfig {
+            block_exec: self.checker.block_exec,
+            ..CheckerConfig::paper_default(Freq::from_mhz(mhz))
+        };
         self
     }
 
@@ -169,6 +187,21 @@ impl SystemConfig {
     /// identity proof obligation.
     pub fn with_event_skip(mut self, on: bool) -> SystemConfig {
         self.main.event_skip = on;
+        self
+    }
+
+    /// Returns a copy with pre-decoded basic-block execution switched on or
+    /// off in *both* the main core and the checkers (on by default).
+    /// `false` selects the legacy per-instruction paths —
+    /// `OooCore::step` per macro-op and the per-instruction replay loop —
+    /// kept as the bit-identity reference in the same spirit as
+    /// [`with_event_skip`](SystemConfig::with_event_skip); see
+    /// `paradet_ooo::OooConfig::block_exec` and
+    /// `paradet_checker::CheckerConfig::block_exec` for the exact semantics
+    /// and `tests/block_exec_identity.rs` for the identity proof obligation.
+    pub fn with_block_exec(mut self, on: bool) -> SystemConfig {
+        self.main.block_exec = on;
+        self.checker.block_exec = on;
         self
     }
 

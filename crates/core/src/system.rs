@@ -258,9 +258,29 @@ impl PairedSystem {
         let mut n = 0u64;
         let mut crashed = false;
         while n < max_instrs {
-            match self.core.step(&mut self.hier, &mut self.det) {
+            // Whole-system event fast-forward (pure accounting, timing
+            // untouched): when the main core is quiescent and the detector
+            // holds no in-flight checks, nothing anywhere in the system
+            // changes before the next memory-hierarchy fill or detector
+            // deadline — cross the gap in one accounted jump instead of
+            // leaving it invisible to `CoreStats::cycles_skipped`. No-op on
+            // the exhaustive tick path (`with_event_skip(false)`).
+            if self.core.is_quiescent() && self.det.in_flight_checks() == 0 {
+                let now = self.core.now();
+                let next = match (self.hier.next_event_after(now), self.det.next_event_time(now)) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                if let Some(t) = next {
+                    self.core.note_system_jump(t);
+                }
+            }
+            // One basic block per call; degrades to exactly one legacy
+            // `step` when block execution is off or faults are armed, so
+            // this single driver loop covers both paths.
+            match self.core.step_block(&mut self.hier, &mut self.det, max_instrs - n) {
                 Ok(out) => {
-                    n += 1;
+                    n += out.instrs;
                     if out.halted {
                         break;
                     }
@@ -329,9 +349,17 @@ pub fn run_unchecked_shared(
     let mut n = 0u64;
     let mut crashed = false;
     while n < max_instrs {
-        match core.step(&mut hier, &mut NullSink) {
+        // Same whole-system fast-forward as the paired driver, minus the
+        // detector: with no detection hardware the only external event
+        // source is the memory hierarchy.
+        if core.is_quiescent() {
+            if let Some(t) = hier.next_event_after(core.now()) {
+                core.note_system_jump(t);
+            }
+        }
+        match core.step_block(&mut hier, &mut NullSink, max_instrs - n) {
             Ok(out) => {
-                n += 1;
+                n += out.instrs;
                 if out.halted {
                     break;
                 }

@@ -109,7 +109,14 @@ impl PageTable {
                 Some(k) if k == page => break,
                 Some(_) => i = (i + 1) & mask,
                 None => {
-                    self.slots[i] = Some((page, Box::new([0u8; FlatMemory::PAGE])));
+                    // Zeroed straight from the allocator (calloc): fresh OS
+                    // pages arrive zero already, so materializing a page is
+                    // one allocation, not a 4 KiB stack image plus a copy.
+                    let page_box: Box<[u8; FlatMemory::PAGE]> = vec![0u8; FlatMemory::PAGE]
+                        .into_boxed_slice()
+                        .try_into()
+                        .expect("boxed slice has PAGE bytes");
+                    self.slots[i] = Some((page, page_box));
                     self.len += 1;
                     break;
                 }
@@ -468,12 +475,28 @@ impl ArchState {
         mem: &mut M,
         nondet: &mut N,
     ) -> Result<StepInfo, ExecError> {
-        use Instruction as I;
         if self.halted {
             return Err(ExecError::AlreadyHalted);
         }
         let pc = self.pc;
         let insn = *program.instr_at(pc).ok_or(ExecError::BadPc { pc })?;
+        Ok(self.step_decoded(insn, mem, nondet))
+    }
+
+    /// Executes one already-fetched instruction, mutating the state and
+    /// memory: the fetch-free core of [`step`](Self::step), for callers
+    /// (block walkers, the out-of-order oracle) that resolved `insn` from
+    /// the current PC themselves. The caller must ensure the state has not
+    /// halted and that `insn` is the instruction at `self.pc`.
+    pub fn step_decoded<M: MemoryIface + ?Sized, N: NondetSource + ?Sized>(
+        &mut self,
+        insn: Instruction,
+        mem: &mut M,
+        nondet: &mut N,
+    ) -> StepInfo {
+        use Instruction as I;
+        debug_assert!(!self.halted);
+        let pc = self.pc;
         let mut next_pc = pc + 4;
         let mut accesses = MemAccessList::new();
         let mut nondet_val = None;
@@ -628,7 +651,7 @@ impl ArchState {
         self.pc = next_pc;
         self.halted = halted;
         self.retired += 1;
-        Ok(StepInfo { pc, next_pc, mem: accesses, nondet: nondet_val, taken_branch: taken, halted })
+        StepInfo { pc, next_pc, mem: accesses, nondet: nondet_val, taken_branch: taken, halted }
     }
 
     /// Runs until halt or until `max_steps` instructions have retired.
@@ -651,6 +674,54 @@ impl ArchState {
             n += 1;
         }
         Ok(n)
+    }
+
+    /// Runs until halt or until `max_steps` instructions have retired,
+    /// walking the pre-decoded basic-block stream: one block lookup (with
+    /// successor hints) per block instead of one `instr_at` per
+    /// instruction. Bit-identical to [`run`](Self::run) — within a block
+    /// only the last instruction can transfer control or halt, so the PC
+    /// advances sequentially over the block's text slice.
+    ///
+    /// Returns the number of instructions retired by this call.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::BadPc`] if control reaches a PC outside the
+    /// text segment.
+    pub fn run_blocks<M: MemoryIface + ?Sized, N: NondetSource + ?Sized>(
+        &mut self,
+        program: &Program,
+        mem: &mut M,
+        nondet: &mut N,
+        max_steps: u64,
+    ) -> Result<u64, ExecError> {
+        if self.halted || max_steps == 0 {
+            return Ok(0);
+        }
+        let text = program.text();
+        let mut n = 0;
+        let mut cur = match program.block_at(self.pc) {
+            Some(b) => b,
+            None => return Err(ExecError::BadPc { pc: self.pc }),
+        };
+        loop {
+            let (block, off) = cur;
+            let first = (block.first + off) as usize;
+            let end = (block.first + block.len) as usize;
+            for (i, &insn) in text.iter().enumerate().take(end).skip(first) {
+                debug_assert_eq!(self.pc, crate::TEXT_BASE + i as u64 * 4);
+                self.step_decoded(insn, mem, nondet);
+                n += 1;
+                if self.halted || n >= max_steps {
+                    return Ok(n);
+                }
+            }
+            cur = match program.succ_block(block.exit, self.pc) {
+                Some(b) => b,
+                None => return Err(ExecError::BadPc { pc: self.pc }),
+            };
+        }
     }
 
     /// Compares the register file (and PC) with another state, returning the
@@ -688,6 +759,53 @@ mod tests {
         st.run(&p, &mut mem, &mut NoNondet, 1_000_000).unwrap();
         assert!(st.halted, "program did not halt");
         (st, mem)
+    }
+
+    #[test]
+    fn run_blocks_matches_run() {
+        // A loop with a branch, memory traffic and a halt: x1 counts down
+        // from 5 accumulating into x2, storing each partial sum.
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::X1, 5);
+        b.li(Reg::X3, 0x4000);
+        let top = b.label_here();
+        b.op(AluOp::Add, Reg::X2, Reg::X2, Reg::X1);
+        b.sd(Reg::X2, Reg::X3, 0);
+        b.op_imm(AluOp::Add, Reg::X1, Reg::X1, -1);
+        b.bne(Reg::X1, Reg::X0, top);
+        b.halt();
+        let p = b.build();
+
+        let mut st_a = ArchState::at_entry(&p);
+        let mut mem_a = FlatMemory::new();
+        mem_a.load_image(&p);
+        let n_a = st_a.run(&p, &mut mem_a, &mut NoNondet, 1_000_000).unwrap();
+
+        let mut st_b = ArchState::at_entry(&p);
+        let mut mem_b = FlatMemory::new();
+        mem_b.load_image(&p);
+        // Drive in small chunks to exercise mid-block resumption.
+        let mut n_b = 0;
+        while !st_b.halted {
+            n_b += st_b.run_blocks(&p, &mut mem_b, &mut NoNondet, 3).unwrap();
+        }
+
+        assert_eq!(n_a, n_b);
+        assert_eq!(format!("{st_a:?}"), format!("{st_b:?}"));
+        assert!(mem_a.first_difference(&mem_b).is_none());
+    }
+
+    #[test]
+    fn run_blocks_bad_pc() {
+        let mut b = ProgramBuilder::new();
+        b.jalr(Reg::X0, Reg::X1, 0x9000); // wild indirect jump
+        b.halt();
+        let p = b.build();
+        let mut st = ArchState::at_entry(&p);
+        let mut mem = FlatMemory::new();
+        mem.load_image(&p);
+        let err = st.run_blocks(&p, &mut mem, &mut NoNondet, 10).unwrap_err();
+        assert!(matches!(err, ExecError::BadPc { .. }));
     }
 
     #[test]

@@ -58,6 +58,9 @@ pub use exec::{
     ArchState, ExecError, FlatMemory, MemAccessList, MemoryIface, NoNondet, NondetSource, StepInfo,
 };
 pub use insn::{AluOp, BranchCond, FpuOp, Instruction, MemWidth};
-pub use program::{DataImage, Program, TEXT_BASE};
+pub use program::{
+    BasicBlock, BlockExit, DataImage, PreUop, Program, UopClass, NO_REG_SLOT, N_UOP_CLASSES,
+    TEXT_BASE,
+};
 pub use reg::{FReg, Reg};
 pub use uop::{crack, DstReg, FMovKind, MemKind, MicroOp, SrcReg, UopKind, MAX_UOPS_PER_INSN};

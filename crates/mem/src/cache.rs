@@ -43,17 +43,6 @@ impl CacheConfig {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    /// Time at which the fill for this line completes; hits before this
-    /// time are delayed until then (models fill latency without events).
-    ready_at: Time,
-    lru: u64,
-}
-
 /// Running statistics for one cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -98,7 +87,21 @@ pub struct AccessResult {
 #[derive(Debug, Clone)]
 pub struct Cache {
     cfg: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// Line metadata in structure-of-arrays layout, `cfg.ways` entries per
+    /// set, one flat primitive array per field: a cold cache is four
+    /// zero-filled allocations on the allocator's zeroed-page path rather
+    /// than a write of every line struct (construction sits inside the
+    /// timed region of every trial), and a set walk scans a contiguous run
+    /// of tags.
+    tags: Vec<u64>,
+    /// Bit 0: line valid; bit 1: line dirty.
+    flags: Vec<u8>,
+    /// Time at which the fill for each line completes, in femtoseconds
+    /// ([`Time::as_fs`]); hits before this time are delayed until then
+    /// (models fill latency without events).
+    ready_fs: Vec<u64>,
+    /// Per-line LRU stamp.
+    lru: Vec<u64>,
     /// Completion times of in-flight misses; fixed length `cfg.mshrs`.
     mshr_busy: Vec<Time>,
     /// Completion time of the latest fill issued (demand or prefetch):
@@ -121,8 +124,12 @@ impl Cache {
     pub fn new(cfg: CacheConfig) -> Cache {
         assert!(cfg.mshrs > 0, "a cache needs at least one MSHR");
         let sets = cfg.sets();
+        let n = sets * cfg.ways;
         Cache {
-            sets: vec![vec![Line::default(); cfg.ways]; sets],
+            tags: vec![0; n],
+            flags: vec![0; n],
+            ready_fs: vec![0; n],
+            lru: vec![0; n],
             mshr_busy: vec![Time::ZERO; cfg.mshrs],
             fill_horizon: Time::ZERO,
             lru_clock: 0,
@@ -131,6 +138,31 @@ impl Cache {
             line_shift: cfg.line_bytes.trailing_zeros(),
             cfg,
         }
+    }
+
+    /// The flat-array index of the resident line holding `tag` in set
+    /// `set_idx`, if any.
+    #[inline]
+    fn find(&self, set_idx: usize, tag: u64) -> Option<usize> {
+        let base = set_idx * self.cfg.ways;
+        (base..base + self.cfg.ways).find(|&i| self.flags[i] & 1 != 0 && self.tags[i] == tag)
+    }
+
+    /// The victim way for a fill into set `set_idx`: the first invalid way
+    /// if one exists, else the least-recently-used.
+    #[inline]
+    fn victim(&self, set_idx: usize) -> usize {
+        let base = set_idx * self.cfg.ways;
+        let mut best = base;
+        for i in base..base + self.cfg.ways {
+            if self.flags[i] & 1 == 0 {
+                return i;
+            }
+            if self.lru[i] < self.lru[best] {
+                best = i;
+            }
+        }
+        best
     }
 
     /// This cache's configuration.
@@ -150,11 +182,7 @@ impl Cache {
 
     /// Invalidates all lines (used between experiment repetitions).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            for line in set {
-                *line = Line::default();
-            }
-        }
+        self.flags.fill(0);
         self.mshr_busy.fill(Time::ZERO);
         self.fill_horizon = Time::ZERO;
     }
@@ -185,7 +213,7 @@ impl Cache {
     /// is resident (regardless of fill completion).
     pub fn probe(&self, addr: u64) -> bool {
         let (set, tag) = self.index(addr);
-        self.sets[set].iter().any(|l| l.valid && l.tag == tag)
+        self.find(set, tag).is_some()
     }
 
     /// Timed *observation*: computes when a read of `addr` would complete
@@ -205,8 +233,8 @@ impl Cache {
     /// [`access`]: Cache::access
     pub fn observe(&self, addr: u64, now: Time, miss: &mut dyn FnMut(u64, Time) -> Time) -> Time {
         let (set, tag) = self.index(addr);
-        if let Some(line) = self.sets[set].iter().find(|l| l.valid && l.tag == tag) {
-            return now.max(line.ready_at) + self.cfg.hit_latency;
+        if let Some(i) = self.find(set, tag) {
+            return now.max(Time::from_fs(self.ready_fs[i])) + self.cfg.hit_latency;
         }
         miss(self.line_addr(addr), now + self.cfg.hit_latency) + self.cfg.hit_latency
     }
@@ -227,15 +255,14 @@ impl Cache {
         self.stats.accesses += 1;
         self.lru_clock += 1;
         let (set_idx, tag) = self.index(addr);
-        let set = &mut self.sets[set_idx];
 
-        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
-            line.lru = self.lru_clock;
+        if let Some(i) = self.find(set_idx, tag) {
+            self.lru[i] = self.lru_clock;
             if write {
-                line.dirty = true;
+                self.flags[i] |= 2;
             }
+            let done = now.max(Time::from_fs(self.ready_fs[i])) + self.cfg.hit_latency;
             self.stats.hits += 1;
-            let done = now.max(line.ready_at) + self.cfg.hit_latency;
             return AccessResult { done, hit: true };
         }
 
@@ -257,32 +284,15 @@ impl Cache {
             start = self.mshr_busy[slot];
         }
 
-        // Choose the victim way: an invalid way if one exists, else LRU.
-        let victim = {
-            let set = &self.sets[set_idx];
-            match set.iter().position(|l| !l.valid) {
-                Some(i) => i,
-                None => {
-                    let mut lru = 0;
-                    for i in 1..set.len() {
-                        if set[i].lru < set[lru].lru {
-                            lru = i;
-                        }
-                    }
-                    lru
-                }
-            }
-        };
-
+        let victim = self.victim(set_idx);
         let line_base = self.line_addr(addr);
-        let victim_line = self.sets[set_idx][victim];
-        if victim_line.valid {
+        if self.flags[victim] & 1 != 0 {
             self.stats.evictions += 1;
-            if victim_line.dirty {
+            if self.flags[victim] & 2 != 0 {
                 self.stats.writebacks += 1;
                 let set_bits = self.set_mask.count_ones();
                 let victim_addr =
-                    ((victim_line.tag << set_bits) | set_idx as u64) << self.line_shift;
+                    ((self.tags[victim] << set_bits) | set_idx as u64) << self.line_shift;
                 // Fire-and-forget: the writeback occupies the next level but
                 // the demand miss does not wait for its completion.
                 let _ = fill(victim_addr, true, start);
@@ -292,8 +302,10 @@ impl Cache {
         let fill_done = fill(line_base, false, start + self.cfg.hit_latency);
         self.mshr_busy[slot] = fill_done;
         self.fill_horizon = self.fill_horizon.max(fill_done);
-        self.sets[set_idx][victim] =
-            Line { tag, valid: true, dirty: write, ready_at: fill_done, lru: self.lru_clock };
+        self.tags[victim] = tag;
+        self.flags[victim] = if write { 3 } else { 1 };
+        self.ready_fs[victim] = fill_done.as_fs();
+        self.lru[victim] = self.lru_clock;
         AccessResult { done: fill_done + self.cfg.hit_latency, hit: false }
     }
 
@@ -301,40 +313,27 @@ impl Cache {
     /// LRU if necessary. Does nothing if the line is already resident.
     pub fn insert_prefetch(&mut self, addr: u64, ready_at: Time) {
         let (set_idx, tag) = self.index(addr);
-        if self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag) {
+        if self.find(set_idx, tag).is_some() {
             return;
         }
         self.lru_clock += 1;
-        let victim = {
-            let set = &self.sets[set_idx];
-            match set.iter().position(|l| !l.valid) {
-                Some(i) => i,
-                None => {
-                    let mut lru = 0;
-                    for i in 1..set.len() {
-                        if set[i].lru < set[lru].lru {
-                            lru = i;
-                        }
-                    }
-                    lru
-                }
-            }
-        };
-        if self.sets[set_idx][victim].valid {
+        let victim = self.victim(set_idx);
+        if self.flags[victim] & 1 != 0 {
             self.stats.evictions += 1;
         }
         self.stats.prefetch_fills += 1;
         self.fill_horizon = self.fill_horizon.max(ready_at);
         // Prefetched lines are inserted with *lowest* recency in the set so a
         // useless prefetch is evicted first.
-        let min_lru = self.sets[set_idx].iter().filter(|l| l.valid).map(|l| l.lru).min();
-        self.sets[set_idx][victim] = Line {
-            tag,
-            valid: true,
-            dirty: false,
-            ready_at,
-            lru: min_lru.unwrap_or(self.lru_clock).saturating_sub(1),
-        };
+        let base = set_idx * self.cfg.ways;
+        let min_lru = (base..base + self.cfg.ways)
+            .filter(|&i| self.flags[i] & 1 != 0)
+            .map(|i| self.lru[i])
+            .min();
+        self.tags[victim] = tag;
+        self.flags[victim] = 1;
+        self.ready_fs[victim] = ready_at.as_fs();
+        self.lru[victim] = min_lru.unwrap_or(self.lru_clock).saturating_sub(1);
     }
 }
 

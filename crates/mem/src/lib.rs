@@ -33,4 +33,4 @@ pub use cache::{AccessResult, Cache, CacheConfig, CacheStats};
 pub use dram::{Dram, DramConfig, DramStats};
 pub use hier::{ArrayFault, ArrayKind, CheckerPath, HierStats, MemConfig, MemHier};
 pub use prefetch::{PrefetchStats, PrefetcherConfig, StridePrefetcher};
-pub use time::{Freq, Time};
+pub use time::{CycleDiv, Freq, Time};

@@ -153,6 +153,76 @@ impl Freq {
     pub fn cycles_at(self, t: Time) -> u64 {
         t.as_fs() / self.period_fs
     }
+
+    /// A precomputed exact divider for this clock's period.
+    pub fn divider(self) -> CycleDiv {
+        CycleDiv::new(self.period_fs)
+    }
+}
+
+/// Exact strength-reduced division by a fixed clock period.
+///
+/// The simulator converts an absolute time to a cycle count on every memory
+/// access, and 64-bit `div` is one of the few remaining multi-tens-of-cycles
+/// instructions on current hosts. The divisor — a clock period in
+/// femtoseconds — is fixed for the lifetime of a core, so the quotient can
+/// be computed exactly with a 65-bit "round-up" reciprocal (Granlund &
+/// Montgomery, PLDI '94, Theorem 4.2): with `l = ceil(log2 d)` and
+/// `m = floor(2^(64+l)/d) + 1`, `floor(m*n / 2^(64+l)) == floor(n/d)` for
+/// every 64-bit `n`. The error term `e = m*d - 2^(64+l) = d - (2^(64+l) mod
+/// d)` satisfies `1 <= e <= d <= 2^l`, which is exactly the theorem's
+/// premise, so this is not an approximation — every quotient is bit-equal
+/// to the `/` operator's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CycleDiv {
+    period_fs: u64,
+    /// Low 64 bits of the 65-bit reciprocal `m = 2^64 + magic`.
+    magic: u64,
+    /// `ceil(log2(period_fs))`.
+    shift: u32,
+}
+
+impl CycleDiv {
+    /// Builds the reciprocal for divisor `period_fs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_fs` is zero or exceeds `2^63` (no paper clock is
+    /// within ten orders of magnitude of that).
+    pub fn new(period_fs: u64) -> CycleDiv {
+        assert!(period_fs > 0, "clock period must be positive");
+        assert!(period_fs <= 1 << 63, "clock period too large for reciprocal");
+        // ceil(log2 d): 0 for d == 1, and for d a power of two this yields
+        // magic == 1 whose high product is 0, reducing the quotient to a
+        // plain shift — no special cases needed.
+        let shift = 64 - (period_fs - 1).leading_zeros();
+        let m = (1u128 << (64 + shift)) / period_fs as u128 + 1;
+        CycleDiv { period_fs, magic: m as u64, shift }
+    }
+
+    /// The divisor this reciprocal was built for.
+    pub fn period_fs(self) -> u64 {
+        self.period_fs
+    }
+
+    /// `t / period`, exactly.
+    #[inline]
+    pub fn floor(self, t: Time) -> u64 {
+        let n = t.as_fs();
+        // m*n = (n << 64) + magic*n; dividing by 2^64 first cannot change
+        // the final floor, so q = (n + hi64(magic*n)) >> shift. The add can
+        // carry into bit 64, hence the u128 intermediate.
+        let hi = ((self.magic as u128 * n as u128) >> 64) as u64;
+        ((n as u128 + hi as u128) >> self.shift) as u64
+    }
+
+    /// `ceil(t / period)`, exactly.
+    #[inline]
+    pub fn ceil(self, t: Time) -> u64 {
+        let q = self.floor(t);
+        // q*period <= n always, so the remainder test cannot overflow.
+        q + (q * self.period_fs != t.as_fs()) as u64
+    }
 }
 
 impl fmt::Display for Freq {
@@ -211,5 +281,66 @@ mod tests {
     #[should_panic(expected = "underflow")]
     fn sub_underflow_panics() {
         let _ = Time::ZERO - Time::from_fs(1);
+    }
+
+    #[test]
+    fn cycle_div_matches_hardware_division() {
+        // Every paper clock period, plus adversarial divisors: 1, powers of
+        // two, a Mersenne-like value, and the largest permitted divisor.
+        let divisors = [
+            1u64,
+            2,
+            3,
+            7,
+            312_500,
+            500_000,
+            1_000_000,
+            1_250_000,
+            2_000_000,
+            4_000_000,
+            8_000_000,
+            (1 << 19) - 1,
+            1 << 20,
+            (1 << 63) - 1,
+            1 << 63,
+        ];
+        // Edge inputs around every power of two and around multiples of the
+        // divisor, plus a deterministic pseudo-random sweep.
+        for &d in &divisors {
+            let div = CycleDiv::new(d);
+            let mut probes = vec![0u64, 1, d - 1, d, d + 1, u64::MAX - 1, u64::MAX];
+            for b in 0..64 {
+                let p = 1u64 << b;
+                probes.extend([p - 1, p, p + 1]);
+            }
+            for k in [1u64, 2, 3, 1000, u64::MAX / d] {
+                let m = d.wrapping_mul(k);
+                probes.extend([m.wrapping_sub(1), m, m.wrapping_add(1)]);
+            }
+            let mut x = 0x9e37_79b9_7f4a_7c15u64;
+            for _ in 0..10_000 {
+                x = x.wrapping_mul(0xd129_2e78_cd35_1f29).wrapping_add(1);
+                probes.push(x);
+            }
+            for n in probes {
+                let t = Time::from_fs(n);
+                assert_eq!(div.floor(t), n / d, "floor mismatch: {n} / {d}");
+                assert_eq!(div.ceil(t), n.div_ceil(d), "ceil mismatch: {n} / {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn cycle_div_exhaustive_small() {
+        // Brute force every (n, d) pair in a small box — catches any
+        // off-by-one in the reciprocal derivation itself.
+        for d in 1u64..=257 {
+            let div = CycleDiv::new(d);
+            for n in 0u64..=1030 {
+                let t = Time::from_fs(n);
+                assert_eq!(div.floor(t), n / d, "floor mismatch: {n} / {d}");
+                assert_eq!(div.ceil(t), n.div_ceil(d), "ceil mismatch: {n} / {d}");
+            }
+        }
     }
 }

@@ -33,9 +33,9 @@ use crate::resources::{FifoOccupancy, SlotPool, UnorderedOccupancy};
 use crate::types::{CommitEvent, CommitGate, DetectionSink, MemEffect};
 use paradet_isa::{
     ArchState, DstReg, ExecError, Instruction, MemKind, MemWidth, NondetSource, Program, Reg,
-    SrcReg, UopKind, MAX_UOPS_PER_INSN,
+    SrcReg, UopClass, UopKind, MAX_UOPS_PER_INSN, NO_REG_SLOT,
 };
-use paradet_mem::{MemHier, Time};
+use paradet_mem::{CycleDiv, MemHier, Time};
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -119,6 +119,15 @@ pub struct StepOutcome {
     pub halted: bool,
 }
 
+/// Outcome of one [`OooCore::step_block`] call: a batch of retirements.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockOutcome {
+    /// Macro-ops retired by this call (≥ 1 on `Ok`).
+    pub instrs: u64,
+    /// Whether the batch committed `halt`.
+    pub halted: bool,
+}
+
 #[derive(Debug, Clone, Copy)]
 struct InflightStore {
     addr: u64,
@@ -139,6 +148,9 @@ impl NondetSource for SuppliedNondet {
 #[derive(Debug)]
 pub struct OooCore {
     cfg: OooConfig,
+    /// Reciprocal for the core clock period: `to_cycle` runs on every
+    /// memory access, and a real 64-bit divide there is measurable.
+    cycle_div: CycleDiv,
     program: Arc<Program>,
     state: ArchState,
     pred: TournamentPredictor,
@@ -158,8 +170,11 @@ pub struct OooCore {
     phys_int: FifoOccupancy,
     phys_fp: FifoOccupancy,
     iq: UnorderedOccupancy,
-    reg_ready_int: [u64; 32],
-    reg_ready_fp: [u64; 32],
+    /// Register-wakeup scoreboard in the pre-decoded slot encoding
+    /// (`0..32` integer, `32..64` floating-point — the same layout
+    /// [`PreUop`](paradet_isa::PreUop) srcs/dst carry), so the block path
+    /// indexes it straight off the pre-resolved bytes.
+    reg_ready: [u64; 64],
     stores_in_flight: VecDeque<InflightStore>,
     // Fetch state.
     next_fetch_cycle: u64,
@@ -188,6 +203,11 @@ pub struct OooCore {
     /// forwarding window: a load whose address resolves at or after this
     /// provably cannot forward, so the skip path elides the window scan.
     stores_commit_max: u64,
+    /// Highest cycle already accounted in `cycles_skipped` by a
+    /// whole-system fast-forward (`note_system_jump`): the log-full commit
+    /// retry accounting excludes this span so no interval is counted
+    /// twice.
+    ff_until: u64,
     /// Statistics (public for the experiment harness).
     pub stats: CoreStats,
 }
@@ -223,8 +243,7 @@ impl OooCore {
             phys_int: FifoOccupancy::new(cfg.phys_int - Reg::COUNT),
             phys_fp: FifoOccupancy::new(cfg.phys_fp - Reg::COUNT),
             iq: UnorderedOccupancy::new(cfg.iq_entries),
-            reg_ready_int: [0; 32],
-            reg_ready_fp: [0; 32],
+            reg_ready: [0; 64],
             stores_in_flight: VecDeque::with_capacity(cfg.sq_entries),
             next_fetch_cycle: 0,
             last_fetch_line: u64::MAX,
@@ -240,7 +259,9 @@ impl OooCore {
             stuck: None,
             horizon: 0,
             stores_commit_max: 0,
+            ff_until: 0,
             stats: CoreStats::default(),
+            cycle_div: cfg.clock.divider(),
             program,
             state,
             cfg,
@@ -359,12 +380,46 @@ impl OooCore {
         if self.line_ready > now {
             next = next.min(self.line_ready);
         }
-        for &t in self.reg_ready_int.iter().chain(self.reg_ready_fp.iter()) {
+        for &t in &self.reg_ready {
             if t > now {
                 next = next.min(t);
             }
         }
         (next != u64::MAX).then_some(next)
+    }
+
+    /// Whether the core is fully quiescent: no recorded resource event
+    /// (pool busy-until, occupancy release, register wakeup, line fill,
+    /// gate) lies beyond the most recent commit. O(1) — the horizon is the
+    /// running maximum of every recorded event, and each commit raises it
+    /// to at least `commit + 1`.
+    pub fn is_quiescent(&self) -> bool {
+        self.horizon <= self.last_commit + 1
+    }
+
+    /// Accounts a whole-system quiescent fast-forward: the driver observed
+    /// that the core is idle ([`is_quiescent`](Self::is_quiescent)) and the
+    /// detector holds no in-flight checks, so nothing in the system changes
+    /// before its next event (memory-hierarchy fill or detector deadline)
+    /// at absolute time `t` — the driver crosses the gap in one jump.
+    /// Pure accounting into `CoreStats::cycles_skipped`, measured from the
+    /// core's busy horizon; the horizon is raised to the jump target so
+    /// in-step quiescent jumps measure from the new base, and the log-full
+    /// retry accounting excludes the span via `ff_until` — no interval is
+    /// ever counted twice. Timing is untouched, and on the exhaustive tick
+    /// path (`OooConfig::event_skip` off) this is a no-op so
+    /// `cycles_skipped` stays 0 there.
+    pub fn note_system_jump(&mut self, t: Time) {
+        if !self.cfg.event_skip {
+            return;
+        }
+        let cycle = self.to_cycle(t);
+        let from = self.horizon.max(self.last_commit);
+        if cycle > from {
+            self.stats.cycles_skipped += cycle - from;
+            self.ff_until = self.ff_until.max(cycle);
+            self.note_event(cycle);
+        }
     }
 
     /// Raises the resource-event horizon to `cycle`.
@@ -379,22 +434,36 @@ impl OooCore {
         self.cfg.clock.cycles(cycle)
     }
 
+    #[inline]
     fn to_cycle(&self, t: Time) -> u64 {
         // Ceiling division: an event at time t is usable at the first cycle
         // boundary at or after t.
-        let p = self.cfg.clock.period().as_fs();
-        t.as_fs().div_ceil(p)
+        self.cycle_div.ceil(t)
     }
 
     fn reg_ready(&self, src: SrcReg) -> u64 {
         match src {
-            SrcReg::Int(r) => self.reg_ready_int[r.index()],
-            SrcReg::Fp(r) => self.reg_ready_fp[r.index()],
+            SrcReg::Int(r) => self.reg_ready[r.index()],
+            SrcReg::Fp(r) => self.reg_ready[32 + r.index()],
         }
     }
 
     fn srcs_ready(&self, srcs: &[Option<SrcReg>; 3]) -> u64 {
         srcs.iter().flatten().map(|&s| self.reg_ready(s)).max().unwrap_or(0)
+    }
+
+    /// Operand readiness straight off pre-decoded source slots: the slot
+    /// bytes already carry the unified `0..64` encoding the scoreboard is
+    /// laid out in, so no enum dispatch remains on the block path.
+    #[inline]
+    fn pre_srcs_ready(&self, srcs: [u8; 3]) -> u64 {
+        let mut m = 0;
+        for s in srcs {
+            if s != NO_REG_SLOT {
+                m = m.max(self.reg_ready[s as usize]);
+            }
+        }
+        m
     }
 
     /// Retires one macro-op, advancing the model.
@@ -756,8 +825,8 @@ impl OooCore {
                     self.iq.push(complete);
                     // Destination becomes ready at completion.
                     match u.dst {
-                        Some(DstReg::Int(r)) => self.reg_ready_int[r.index()] = complete,
-                        Some(DstReg::Fp(r)) => self.reg_ready_fp[r.index()] = complete,
+                        Some(DstReg::Int(r)) => self.reg_ready[r.index()] = complete,
+                        Some(DstReg::Fp(r)) => self.reg_ready[32 + r.index()] = complete,
                         None => {}
                     }
                 }
@@ -886,6 +955,9 @@ impl OooCore {
         // ---- Load-forwarding-unit capture events ----------------------------
         {
             let mut load_idx = 0usize;
+            // `(seq + k) % rob_entries`, maintained incrementally: one divide
+            // per instruction instead of one per uop.
+            let mut rob_slot = (self.seq % self.cfg.rob_entries as u64) as usize;
             for (k, u) in uops.iter().enumerate() {
                 if u.is_load() {
                     let eff = mem_effects
@@ -895,7 +967,6 @@ impl OooCore {
                         .copied()
                         .expect("load uop has an effect");
                     let value = captured[load_idx];
-                    let rob_slot = ((self.seq + k as u64) % self.cfg.rob_entries as u64) as usize;
                     sink.on_load_executed(
                         rob_slot,
                         eff.addr,
@@ -904,6 +975,10 @@ impl OooCore {
                         self.to_time(completes[k]),
                     );
                     load_idx += 1;
+                }
+                rob_slot += 1;
+                if rob_slot == self.cfg.rob_entries {
+                    rob_slot = 0;
                 }
             }
         }
@@ -960,6 +1035,9 @@ impl OooCore {
         // ---- In-order commit with detection gating --------------------------
         let mut mem_iter = 0usize;
         let mut outcome_time = Time::ZERO;
+        // `(seq + k) % rob_entries`, maintained incrementally (see the load
+        // capture loop above).
+        let mut rob_slot = (self.seq % self.cfg.rob_entries as u64) as usize;
         for (k, u) in uops.iter().enumerate() {
             let complete = completes[k];
             let mut commit = (complete + 1).max(self.last_commit).max(self.commit_gate);
@@ -993,7 +1071,7 @@ impl OooCore {
                 last: u.last,
                 mem,
                 nondet: if u.is_nondet() { step.nondet } else { None },
-                rob_slot: ((self.seq + k as u64) % self.cfg.rob_entries as u64) as usize,
+                rob_slot,
             };
             loop {
                 match sink.on_commit(&ev, self.to_time(commit), &self.state, hier) {
@@ -1013,7 +1091,11 @@ impl OooCore {
                         let c2 = self.to_cycle(t).max(commit + 1);
                         self.stats.gate_retry_cycles += c2 - commit;
                         if self.cfg.event_skip {
-                            self.stats.cycles_skipped += c2 - commit - 1;
+                            // Cycles a whole-system fast-forward already
+                            // accounted (up to `ff_until`) are not
+                            // re-counted.
+                            let base = commit.max(self.ff_until.min(c2 - 1));
+                            self.stats.cycles_skipped += (c2 - 1) - base;
                         }
                         commit = c2;
                     }
@@ -1052,6 +1134,10 @@ impl OooCore {
             }
             self.stats.committed_uops += 1;
             outcome_time = self.to_time(commit);
+            rob_slot += 1;
+            if rob_slot == self.cfg.rob_entries {
+                rob_slot = 0;
+            }
         }
 
         self.seq += uops.len() as u64;
@@ -1064,10 +1150,510 @@ impl OooCore {
         Ok(StepOutcome { pc, commit_time: outcome_time, halted: step.halted })
     }
 
+    /// Retires the remainder of the current basic block (capped at
+    /// `max_instrs` macro-ops) off the program's pre-decoded
+    /// superinstruction stream: one block lookup per call, fetch/crack and
+    /// branch-predictor matches hoisted off the per-instruction body (only
+    /// the block terminator can be control flow), functional-unit selection
+    /// switched on the pre-resolved [`UopClass`] byte, and the oracle fed
+    /// the already-fetched instruction. The timing phases (fetch slots,
+    /// dispatch gating, occupancy acquisition order, issue/complete/commit
+    /// bookkeeping, detection-sink gating, horizon raises) are
+    /// transliterated from [`step`](Self::step) one for one — the two paths
+    /// are asserted bit-identical by the block-vs-legacy suite.
+    ///
+    /// Falls back to exactly one legacy [`step`](Self::step) call whenever
+    /// `OooConfig::block_exec` is off, faults are armed (the legacy path
+    /// carries the per-instruction fault scan points), a stuck-at fault has
+    /// latched, or RMT duplication is on.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Halted`] / [`CoreError::Crashed`] as for
+    /// [`step`](Self::step). A wild block exit is observed by the *next*
+    /// call's block lookup — matching the legacy driver, which sees a bad
+    /// PC at the next instruction fetch.
+    pub fn step_block<S: DetectionSink + ?Sized>(
+        &mut self,
+        hier: &mut MemHier,
+        sink: &mut S,
+        max_instrs: u64,
+    ) -> Result<BlockOutcome, CoreError> {
+        if self.halted {
+            return Err(CoreError::Halted);
+        }
+        if let Some(e) = self.crashed {
+            return Err(CoreError::Crashed(e));
+        }
+        if !self.cfg.block_exec
+            || !self.faults.is_empty()
+            || self.stuck.is_some()
+            || self.cfg.rmt_duplicate
+        {
+            let out = self.step(hier, sink)?;
+            return Ok(BlockOutcome { instrs: 1, halted: out.halted });
+        }
+        if max_instrs == 0 {
+            return Ok(BlockOutcome { instrs: 0, halted: false });
+        }
+
+        let program = Arc::clone(&self.program);
+        let lat = self.cfg.lat;
+        let mut done = 0u64;
+        let (block, off) = match program.block_at(self.state.pc) {
+            Some(c) => c,
+            None => {
+                let e = ExecError::BadPc { pc: self.state.pc };
+                self.crashed = Some(e);
+                return Err(CoreError::Crashed(e));
+            }
+        };
+        {
+            let first = (block.first + off) as usize;
+            let end = (block.first + block.len) as usize;
+            for i in first..end {
+                let pc = self.state.pc;
+                let insn = program.text()[i];
+                // Only the block's last instruction can transfer control,
+                // so prediction and resolution run for it alone.
+                let is_term = i + 1 == end;
+
+                // ---- Fetch timing (as in `step`) ----------------------
+                let (_, fslot) = self.fetch_slots.take(self.next_fetch_cycle, 1);
+                self.note_event(fslot + 1);
+                let line = pc & !63;
+                if line != self.last_fetch_line {
+                    let done_t = hier.ifetch(line, self.to_time(fslot));
+                    self.line_ready = self.to_cycle(done_t);
+                    self.last_fetch_line = line;
+                    self.note_event(self.line_ready);
+                }
+                let fetch_cycle = fslot.max(self.line_ready);
+
+                // ---- Branch prediction (terminator only) --------------
+                let mut prediction = None;
+                let mut jalr_prediction = None;
+                if is_term {
+                    match insn {
+                        Instruction::Branch { .. } => {
+                            let p = self.pred.predict_direction(pc);
+                            let target = if p.taken { self.pred.btb_lookup(pc) } else { None };
+                            prediction = Some((p, target));
+                        }
+                        Instruction::Jalr { rd, rs1, .. } => {
+                            let is_return = rd == Reg::X0 && rs1 == Reg::X1;
+                            let predicted = if is_return {
+                                self.pred.ras_pop()
+                            } else {
+                                self.pred.btb_lookup(pc)
+                            };
+                            if rd == Reg::X1 {
+                                self.pred.ras_push(pc + 4);
+                            }
+                            jalr_prediction = Some(predicted);
+                        }
+                        Instruction::Jal { rd: Reg::X1, .. } => {
+                            self.pred.ras_push(pc + 4);
+                        }
+                        _ => {}
+                    }
+                }
+
+                // ---- Pre-decoded micro-ops + memory addresses ---------
+                let uops = program.uops_of(i);
+                let pre = program.pre_uops_of(i);
+                let mut uop_addrs = [None::<u64>; MAX_UOPS_PER_INSN];
+                for (k, u) in uops.iter().enumerate() {
+                    if matches!(pre[k].class, UopClass::Load | UopClass::Store) {
+                        let UopKind::Mem { imm, .. } = u.kind else { unreachable!() };
+                        let base = match u.srcs[0] {
+                            Some(SrcReg::Int(r)) => self.state.x(r),
+                            None => 0,
+                            _ => unreachable!("memory base is an integer register"),
+                        };
+                        uop_addrs[k] = Some(base.wrapping_add(imm as u64));
+                    }
+                }
+
+                // ---- Per-micro-op timing ------------------------------
+                let mut completes = [0u64; MAX_UOPS_PER_INSN];
+                let mut resolve_cycle: Option<u64> = None;
+                let mut nondet_value: Option<u64> = None;
+                for (k, u) in uops.iter().enumerate() {
+                    let class = pre[k].class;
+                    let is_load = class == UopClass::Load;
+                    let is_store = class == UopClass::Store;
+                    let mut disp = (fetch_cycle + self.cfg.front_depth).max(self.dispatch_gate);
+                    if self.cfg.event_skip && disp >= self.horizon {
+                        // Quiescent jump — see `step` for the invariant.
+                        self.stats.cycles_skipped += disp - self.horizon;
+                        self.rob.reset();
+                        self.iq.reset();
+                        if is_load {
+                            self.lq.reset();
+                        }
+                        if is_store {
+                            self.sq.reset();
+                        }
+                        match pre[k].dst {
+                            NO_REG_SLOT => {}
+                            d if d < 32 => self.phys_int.reset(),
+                            _ => self.phys_fp.reset(),
+                        }
+                    } else {
+                        disp = self.rob.acquire(disp);
+                        disp = self.iq.acquire(disp);
+                        if is_load {
+                            disp = self.lq.acquire(disp);
+                        }
+                        if is_store {
+                            disp = self.sq.acquire(disp);
+                        }
+                        match pre[k].dst {
+                            NO_REG_SLOT => {}
+                            d if d < 32 => disp = self.phys_int.acquire(disp),
+                            _ => disp = self.phys_fp.acquire(disp),
+                        }
+                    }
+                    let (_, disp) = self.dispatch_slots.take(disp, 1);
+                    self.note_event(disp + 1);
+
+                    let ready = self.pre_srcs_ready(pre[k].srcs).max(disp + 1);
+
+                    let complete = match class {
+                        UopClass::IntAlu => {
+                            let (_, start) = self.int_alus.take(ready, 1);
+                            let (_, start) = self.issue_slots.take(start, 1);
+                            start + lat.int_alu
+                        }
+                        UopClass::Mul => {
+                            let (_, start) = self.mul_div.take(ready, lat.mul);
+                            let (_, start) = self.issue_slots.take(start, 1);
+                            start + lat.mul
+                        }
+                        UopClass::Div => {
+                            let (_, start) = self.mul_div.take(ready, lat.div);
+                            let (_, start) = self.issue_slots.take(start, 1);
+                            start + lat.div
+                        }
+                        UopClass::FpAlu => {
+                            let (_, start) = self.fp_alus.take(ready, 1);
+                            let (_, start) = self.issue_slots.take(start, 1);
+                            start + lat.fp_alu
+                        }
+                        UopClass::FpDiv => {
+                            let (_, start) = self.fp_alus.take(ready, lat.fp_div);
+                            let (_, start) = self.issue_slots.take(start, 1);
+                            start + lat.fp_div
+                        }
+                        UopClass::Fma => {
+                            let (_, start) = self.fp_alus.take(ready, 1);
+                            let (_, start) = self.issue_slots.take(start, 1);
+                            start + lat.fp_alu
+                        }
+                        UopClass::FSqrt => {
+                            let (_, start) = self.fp_alus.take(ready, lat.fsqrt);
+                            let (_, start) = self.issue_slots.take(start, 1);
+                            start + lat.fsqrt
+                        }
+                        UopClass::FMov => {
+                            let (_, start) = self.int_alus.take(ready, 1);
+                            let (_, start) = self.issue_slots.take(start, 1);
+                            start + lat.fmov
+                        }
+                        UopClass::Branch | UopClass::Jump | UopClass::JumpReg => {
+                            let (_, start) = self.int_alus.take(ready, 1);
+                            let (_, start) = self.issue_slots.take(start, 1);
+                            let c = start + lat.branch;
+                            resolve_cycle = Some(c);
+                            c
+                        }
+                        UopClass::Load => {
+                            let UopKind::Mem { width, .. } = u.kind else { unreachable!() };
+                            let addr = uop_addrs[k].expect("mem uop has an address");
+                            let (_, agu_start) = self.mem_ports.take(ready, 1);
+                            let (_, agu_start) = self.issue_slots.take(agu_start, 1);
+                            let addr_known = agu_start + lat.agu;
+                            let bytes = width.bytes();
+                            let fwd = if self.cfg.event_skip && addr_known >= self.stores_commit_max
+                            {
+                                None
+                            } else {
+                                self.stores_in_flight
+                                    .iter()
+                                    .rev()
+                                    .find(|s| {
+                                        s.commit > addr_known
+                                            && addr < s.addr + s.bytes
+                                            && s.addr < addr + bytes
+                                    })
+                                    .map(|s| s.data_ready)
+                            };
+                            match fwd {
+                                Some(dr) => {
+                                    self.stats.store_forwards += 1;
+                                    addr_known.max(dr) + lat.forward
+                                }
+                                None => {
+                                    let done_t = hier.dread(pc, addr, self.to_time(addr_known));
+                                    self.to_cycle(done_t)
+                                }
+                            }
+                        }
+                        UopClass::Store => {
+                            let (_, agu_start) = self.mem_ports.take(ready, 1);
+                            let (_, agu_start) = self.issue_slots.take(agu_start, 1);
+                            let addr_known = agu_start + lat.agu;
+                            let data_slot = pre[k].srcs[1];
+                            let data_ready = if data_slot == NO_REG_SLOT {
+                                0
+                            } else {
+                                self.reg_ready[data_slot as usize]
+                            };
+                            addr_known.max(data_ready) + 1
+                        }
+                        UopClass::RdCycle => {
+                            let (_, start) = self.int_alus.take(ready, 1);
+                            let (_, start) = self.issue_slots.take(start, 1);
+                            nondet_value = Some(start + lat.int_alu);
+                            start + lat.int_alu
+                        }
+                        UopClass::Nop | UopClass::Halt => {
+                            let (_, start) = self.issue_slots.take(ready, 1);
+                            start + 1
+                        }
+                    };
+                    self.note_event(complete + 1);
+                    completes[k] = complete;
+                    self.iq.push(complete);
+                    let dst_slot = pre[k].dst;
+                    if dst_slot != NO_REG_SLOT {
+                        self.reg_ready[dst_slot as usize] = complete;
+                    }
+                }
+
+                // ---- Functional execution (oracle) --------------------
+                let mut nondet = SuppliedNondet(nondet_value);
+                let step = self.state.step_decoded(insn, &mut hier.data, &mut nondet);
+
+                let mut mem_effects =
+                    [MemEffect { is_store: false, addr: 0, value: 0, width: MemWidth::B, old: 0 };
+                        2];
+                let mut n_effects = 0usize;
+                for a in step.mem.iter() {
+                    mem_effects[n_effects] = MemEffect {
+                        is_store: a.is_store,
+                        addr: a.addr,
+                        value: a.value,
+                        width: a.width,
+                        old: a.old,
+                    };
+                    n_effects += 1;
+                }
+                let mem_effects = &mem_effects[..n_effects];
+
+                // ---- Load-forwarding-unit capture events --------------
+                {
+                    let mut load_idx = 0usize;
+                    // `(seq + k) % rob_entries`, maintained incrementally:
+                    // one divide per instruction instead of one per uop.
+                    let mut rob_slot = (self.seq % self.cfg.rob_entries as u64) as usize;
+                    for (k, _) in uops.iter().enumerate() {
+                        if pre[k].class == UopClass::Load {
+                            let eff = mem_effects
+                                .iter()
+                                .filter(|e| !e.is_store)
+                                .nth(load_idx)
+                                .copied()
+                                .expect("load uop has an effect");
+                            sink.on_load_executed(
+                                rob_slot,
+                                eff.addr,
+                                eff.value,
+                                eff.width,
+                                self.to_time(completes[k]),
+                            );
+                            load_idx += 1;
+                        }
+                        rob_slot += 1;
+                        if rob_slot == self.cfg.rob_entries {
+                            rob_slot = 0;
+                        }
+                    }
+                }
+
+                // ---- Control-flow resolution (terminator only) --------
+                if is_term {
+                    match insn {
+                        Instruction::Branch { .. } => {
+                            self.stats.branches += 1;
+                            let (p, btb_target) = prediction.expect("branch was predicted");
+                            let taken = step.taken_branch;
+                            self.pred.update_direction(pc, p, taken);
+                            if taken {
+                                self.pred.btb_update(pc, step.next_pc);
+                            }
+                            let correct =
+                                p.taken == taken && (!taken || btb_target == Some(step.next_pc));
+                            if correct {
+                                if taken {
+                                    self.next_fetch_cycle =
+                                        self.next_fetch_cycle.max(fetch_cycle + 1);
+                                }
+                            } else {
+                                self.stats.mispredicts += 1;
+                                let resolve = resolve_cycle.expect("branch resolved");
+                                self.next_fetch_cycle = self.next_fetch_cycle.max(resolve + 1);
+                            }
+                        }
+                        Instruction::Jal { .. } => {
+                            let hit = self.pred.btb_lookup(pc) == Some(step.next_pc);
+                            self.pred.btb_update(pc, step.next_pc);
+                            let bubble = if hit { 1 } else { 2 };
+                            self.next_fetch_cycle = self.next_fetch_cycle.max(fetch_cycle + bubble);
+                        }
+                        Instruction::Jalr { .. } => {
+                            let predicted = jalr_prediction.expect("jalr was predicted");
+                            self.pred.btb_update(pc, step.next_pc);
+                            if predicted == Some(step.next_pc) {
+                                self.next_fetch_cycle = self.next_fetch_cycle.max(fetch_cycle + 1);
+                            } else {
+                                self.stats.mispredicts += 1;
+                                let resolve = resolve_cycle.expect("jalr resolved");
+                                self.next_fetch_cycle = self.next_fetch_cycle.max(resolve + 1);
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+
+                // ---- In-order commit with detection gating ------------
+                let mut mem_iter = 0usize;
+                // `(seq + k) % rob_entries`, maintained incrementally (see
+                // the load capture loop above).
+                let mut rob_slot = (self.seq % self.cfg.rob_entries as u64) as usize;
+                for (k, u) in uops.iter().enumerate() {
+                    let complete = completes[k];
+                    let mut commit = (complete + 1).max(self.last_commit).max(self.commit_gate);
+                    let mem = if matches!(pre[k].class, UopClass::Load | UopClass::Store) {
+                        let e = mem_effects[mem_iter];
+                        mem_iter += 1;
+                        Some(e)
+                    } else {
+                        None
+                    };
+                    if let Some(e) = mem {
+                        if e.is_store {
+                            let (wb_slot, wb_start) = self.write_buffer.take(commit, 0);
+                            commit = commit.max(wb_start);
+                            let done_t = hier.dwrite(pc, e.addr, self.to_time(wb_start));
+                            let done_cycle = self.to_cycle(done_t);
+                            self.write_buffer.set_busy(wb_slot, done_cycle);
+                            self.note_event(done_cycle);
+                        }
+                    }
+                    let (_, slot) = self.commit_slots.take(commit, 1);
+                    commit = commit.max(slot);
+
+                    let ev = CommitEvent {
+                        seq: self.seq + k as u64,
+                        instr_index: self.instr_index,
+                        pc,
+                        insn,
+                        uop_index: u.uop_index,
+                        last: u.last,
+                        mem,
+                        nondet: if u.is_nondet() { step.nondet } else { None },
+                        rob_slot,
+                    };
+                    loop {
+                        match sink.on_commit(&ev, self.to_time(commit), &self.state, hier) {
+                            CommitGate::Accept => break,
+                            CommitGate::AcceptWithPause(pause) => {
+                                self.stats.gate_pauses += 1;
+                                self.stats.gate_pause_cycles += pause;
+                                self.commit_gate = commit + pause;
+                                self.dispatch_gate = commit + pause;
+                                self.note_event(commit + pause);
+                                break;
+                            }
+                            CommitGate::Retry(t) => {
+                                let c2 = self.to_cycle(t).max(commit + 1);
+                                self.stats.gate_retry_cycles += c2 - commit;
+                                if self.cfg.event_skip {
+                                    // Span up to `ff_until` was accounted
+                                    // by a system fast-forward already.
+                                    let base = commit.max(self.ff_until.min(c2 - 1));
+                                    self.stats.cycles_skipped += (c2 - 1) - base;
+                                }
+                                commit = c2;
+                            }
+                        }
+                    }
+                    self.last_commit = commit;
+                    self.note_event(commit + 1);
+
+                    self.rob.push(commit);
+                    if pre[k].class == UopClass::Load {
+                        self.lq.push(commit);
+                    }
+                    if let Some(e) = mem {
+                        if e.is_store {
+                            self.sq.push(commit);
+                            self.stores_in_flight.push_back(InflightStore {
+                                addr: e.addr,
+                                bytes: e.width.bytes(),
+                                data_ready: complete,
+                                commit,
+                            });
+                            self.stores_commit_max = self.stores_commit_max.max(commit);
+                            if self.stores_in_flight.len() > self.cfg.sq_entries {
+                                self.stores_in_flight.pop_front();
+                            }
+                            self.stats.stores += 1;
+                        } else {
+                            self.stats.loads += 1;
+                        }
+                    }
+                    match u.dst {
+                        Some(DstReg::Int(_)) => self.phys_int.push(commit),
+                        Some(DstReg::Fp(_)) => self.phys_fp.push(commit),
+                        None => {}
+                    }
+                    self.stats.committed_uops += 1;
+                    rob_slot += 1;
+                    if rob_slot == self.cfg.rob_entries {
+                        rob_slot = 0;
+                    }
+                }
+
+                self.seq += uops.len() as u64;
+                self.instr_index += 1;
+                self.stats.committed_instrs += 1;
+                self.stats.last_commit_cycle = self.last_commit;
+                done += 1;
+                if step.halted {
+                    self.halted = true;
+                    return Ok(BlockOutcome { instrs: done, halted: true });
+                }
+                if done >= max_instrs {
+                    return Ok(BlockOutcome { instrs: done, halted: false });
+                }
+            }
+        }
+        // Block exhausted: the next call resolves the successor block (a
+        // wild target crashes there, like the legacy driver's fetch-time
+        // bad-PC check).
+        Ok(BlockOutcome { instrs: done, halted: false })
+    }
+
     /// Runs until halt, crash, or `max_instrs` retired instructions.
     ///
     /// Returns the number of instructions retired by this call; inspect
     /// [`halted`](Self::halted)/[`crashed`](Self::crashed) for the cause.
+    /// Drives [`step_block`](Self::step_block), which itself degrades to
+    /// the legacy per-instruction path when `OooConfig::block_exec` is off
+    /// or faults are armed.
     pub fn run<S: DetectionSink + ?Sized>(
         &mut self,
         hier: &mut MemHier,
@@ -1076,8 +1662,8 @@ impl OooCore {
     ) -> u64 {
         let mut n = 0;
         while n < max_instrs {
-            match self.step(hier, sink) {
-                Ok(_) => n += 1,
+            match self.step_block(hier, sink, max_instrs - n) {
+                Ok(out) => n += out.instrs,
                 Err(_) => break,
             }
         }

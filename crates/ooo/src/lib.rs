@@ -40,7 +40,7 @@ mod predictor;
 mod resources;
 mod types;
 
-pub use crate::core::{CoreError, CoreStats, OooCore, StepOutcome};
+pub use crate::core::{BlockOutcome, CoreError, CoreStats, OooCore, StepOutcome};
 pub use config::{LatencyTable, OooConfig};
 pub use fault::{ArmedFault, FaultKind, FaultTarget};
 pub use predictor::{DirectionPrediction, PredictorConfig, PredictorStats, TournamentPredictor};

@@ -99,10 +99,19 @@ impl SlotPool {
 ///
 /// `acquire` returns the earliest cycle at which a slot is available given
 /// the desired start; the caller later records the release time with `push`.
+///
+/// Storage is a power-of-two ring indexed by mask rather than a `VecDeque`:
+/// the core touches five of these windows per micro-op, and the handrolled
+/// ring keeps front/push/pop free of capacity bookkeeping on the hot path
+/// (the ring only grows in the rare transient over-capacity case below).
 #[derive(Debug, Clone)]
 pub struct FifoOccupancy {
     cap: usize,
-    release: std::collections::VecDeque<u64>,
+    /// Ring storage; `buf.len()` is a power of two and `mask` its minus-one.
+    buf: Vec<u64>,
+    mask: usize,
+    head: usize,
+    len: usize,
 }
 
 impl FifoOccupancy {
@@ -113,7 +122,19 @@ impl FifoOccupancy {
     /// Panics if `cap == 0`.
     pub fn new(cap: usize) -> FifoOccupancy {
         assert!(cap > 0, "occupancy window needs at least one entry");
-        FifoOccupancy { cap, release: std::collections::VecDeque::with_capacity(cap) }
+        // One slack slot so the common over-capacity transient (uops of one
+        // macro-op pushed before the next acquire) rarely grows the ring.
+        let n = (cap + 1).next_power_of_two();
+        FifoOccupancy { cap, buf: vec![0; n], mask: n - 1, head: 0, len: 0 }
+    }
+
+    #[inline]
+    fn pop_front(&mut self) -> u64 {
+        debug_assert!(self.len > 0);
+        let v = self.buf[self.head];
+        self.head = (self.head + 1) & self.mask;
+        self.len -= 1;
+        v
     }
 
     /// Returns the earliest cycle ≥ `earliest` at which an entry is free,
@@ -121,16 +142,13 @@ impl FifoOccupancy {
     pub fn acquire(&mut self, earliest: u64) -> u64 {
         let mut t = earliest;
         // Drain entries already released at t.
-        while let Some(&front) = self.release.front() {
-            if front <= t {
-                self.release.pop_front();
-            } else {
-                break;
-            }
+        while self.len > 0 && self.buf[self.head] <= t {
+            self.head = (self.head + 1) & self.mask;
+            self.len -= 1;
         }
         // If still full, wait for the oldest entry (in-order release).
-        while self.release.len() >= self.cap {
-            let front = self.release.pop_front().expect("non-empty");
+        while self.len >= self.cap {
+            let front = self.pop_front();
             t = t.max(front);
         }
         t
@@ -145,29 +163,50 @@ impl FifoOccupancy {
     /// [`acquire`](Self::acquire) drains the excess by waiting on the
     /// oldest entries.
     pub fn push(&mut self, release_cycle: u64) {
-        self.release.push_back(release_cycle);
+        if self.len == self.buf.len() {
+            self.grow();
+        }
+        self.buf[(self.head + self.len) & self.mask] = release_cycle;
+        self.len += 1;
+    }
+
+    /// Doubles the ring, re-linearizing entries from `head`.
+    #[cold]
+    fn grow(&mut self) {
+        let n = self.buf.len() * 2;
+        let mut buf = vec![0; n];
+        for (i, slot) in buf.iter_mut().take(self.len).enumerate() {
+            *slot = self.buf[(self.head + i) & self.mask];
+        }
+        self.buf = buf;
+        self.mask = n - 1;
+        self.head = 0;
     }
 
     /// The next cycle at which the oldest entry releases (entries release
     /// in FIFO order), or `None` if the window is empty. An acquisition
     /// strictly before this drains nothing.
     pub fn next_event_cycle(&self) -> Option<u64> {
-        self.release.front().copied()
+        if self.len > 0 {
+            Some(self.buf[self.head])
+        } else {
+            None
+        }
     }
 
     /// The recorded, not-yet-drained release cycles in queue order.
     pub fn releases(&self) -> impl Iterator<Item = u64> + '_ {
-        self.release.iter().copied()
+        (0..self.len).map(|i| self.buf[(self.head + i) & self.mask])
     }
 
     /// Current number of unreleased entries recorded.
     pub fn len(&self) -> usize {
-        self.release.len()
+        self.len
     }
 
     /// Whether the window has no recorded entries.
     pub fn is_empty(&self) -> bool {
-        self.release.is_empty()
+        self.len == 0
     }
 
     /// Clears the window.
@@ -176,7 +215,8 @@ impl FifoOccupancy {
     /// recorded release is at or before the acquisition cycle, draining and
     /// clearing are the same state transition, and clearing is O(1).
     pub fn reset(&mut self) {
-        self.release.clear();
+        self.head = 0;
+        self.len = 0;
     }
 }
 
@@ -371,6 +411,67 @@ mod tests {
         assert_eq!(f.len(), 2, "no release before the advertised event");
         assert_eq!(f.acquire(10), 10);
         assert_eq!(f.next_event_cycle(), Some(30));
+    }
+
+    /// The reference model for `FifoOccupancy`: the original `VecDeque`
+    /// implementation. The ring must agree on every acquisition, including
+    /// through over-capacity transients that force it to grow.
+    struct RefFifo {
+        cap: usize,
+        release: std::collections::VecDeque<u64>,
+    }
+
+    impl RefFifo {
+        fn acquire(&mut self, earliest: u64) -> u64 {
+            let mut t = earliest;
+            while let Some(&front) = self.release.front() {
+                if front <= t {
+                    self.release.pop_front();
+                } else {
+                    break;
+                }
+            }
+            while self.release.len() >= self.cap {
+                let front = self.release.pop_front().expect("non-empty");
+                t = t.max(front);
+            }
+            t
+        }
+    }
+
+    #[test]
+    fn ring_matches_reference_deque() {
+        let mut z = 0xfeed_face_cafe_beefu64;
+        let mut rng = move || {
+            z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut x = z;
+            x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            x ^ (x >> 31)
+        };
+        for cap in [1usize, 2, 3, 7, 8, 60, 192] {
+            let mut ring = FifoOccupancy::new(cap);
+            let mut reference = RefFifo { cap, release: std::collections::VecDeque::new() };
+            let mut t = 0u64;
+            for step in 0..3000 {
+                let r = rng();
+                // Bursts of pushes without intervening acquires exercise the
+                // transient over-capacity path (and ring growth).
+                let burst = 1 + (r % 4) as usize * (step % 13 == 0) as usize * cap;
+                t += r % 9;
+                let a = ring.acquire(t);
+                let b = reference.acquire(t);
+                assert_eq!(a, b, "acquire({t}) diverged at cap {cap}");
+                assert_eq!(ring.next_event_cycle(), reference.release.front().copied());
+                assert_eq!(ring.len(), reference.release.len());
+                for j in 0..burst {
+                    let release = a + 1 + (r >> 16) % 50 + j as u64;
+                    ring.push(release);
+                    reference.release.push_back(release);
+                }
+                assert!(ring.releases().eq(reference.release.iter().copied()));
+            }
+        }
     }
 
     /// The reference model for `UnorderedOccupancy`: the original

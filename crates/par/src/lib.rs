@@ -67,10 +67,19 @@ pub fn num_threads() -> usize {
     if let Some(n) = THREAD_OVERRIDE.with(|o| o.get()) {
         return n.max(1);
     }
-    if let Some(n) = std::env::var("PARADET_THREADS").ok().and_then(|v| v.parse::<usize>().ok()) {
-        return n.max(1);
-    }
-    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    // Resolved once per process: `available_parallelism` re-reads cgroup and
+    // procfs files on every call, and this function sits on per-seal fold
+    // joins in the simulation hot path. Nothing in the workspace mutates
+    // `PARADET_THREADS` after startup (the test-suite uses the scoped
+    // override above instead).
+    static RESOLVED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *RESOLVED.get_or_init(|| {
+        if let Some(n) = std::env::var("PARADET_THREADS").ok().and_then(|v| v.parse::<usize>().ok())
+        {
+            return n.max(1);
+        }
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+    })
 }
 
 /// Runs `f` with [`num_threads`] forced to `n` on the current thread.

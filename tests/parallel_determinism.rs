@@ -129,6 +129,11 @@ fn farm_kernel(seeds: &[u64], ops: &[(AluOp, usize, usize)], iters: u64, rdcycle
 /// optional detector log fault armed) and renders everything observable —
 /// the full run report, per-seal finish times, and per-checker stats —
 /// into one comparable string.
+///
+/// `cycles_skipped` is normalized to zero before rendering: it is pure
+/// accounting, and the whole-system fast-forward portion depends on the
+/// detector's in-flight-check state, which legitimately differs between the
+/// eager path (checks fold inline, never in flight) and the farm.
 fn run_fingerprint(
     cfg: SystemConfig,
     program: &Arc<Program>,
@@ -143,7 +148,8 @@ fn run_fingerprint(
     if let Some((seq, entry, bit)) = log_fault {
         sys.arm_log_fault(seq, entry, bit);
     }
-    let report = sys.run(max_instrs);
+    let mut report = sys.run(max_instrs);
+    report.core.cycles_skipped = 0;
     format!(
         "{report:?}|finishes={:?}|checkers={:?}",
         sys.detector().finish_times(),
