@@ -51,6 +51,7 @@ fn main() {
     let (a, b) = ex::fig12_logsize_delay(&r);
     show("fig12_logsize_delay", &[&a, &b]);
     show("fig13_core_scaling", &[&ex::fig13_core_scaling(&r)]);
+    show("mixed_policy_delay", &[&ex::mixed_policy_delay(&r)]);
     show("fig01_comparison", &[&ex::fig01_comparison(&r)]);
     show("area_power", &[&ex::area_power()]);
     show("sec6d_bigger_cores", &[&ex::sec6d_bigger_cores(&r)]);

@@ -25,7 +25,7 @@
 
 /// The one schema tag this binary emits and checks drift against — a
 /// single const so `render_json` and `--check` can never disagree.
-const SCHEMA: &str = "paradet-bench-speed/v4";
+const SCHEMA: &str = "paradet-bench-speed/v5";
 
 use paradet_bench::experiments as ex;
 use paradet_bench::runner::{instr_budget, out_dir, Runner};
@@ -113,6 +113,26 @@ struct DomainFoldSpeed {
     /// delay over all checked entries in ns).
     rows: Vec<(u64, u64, f64)>,
 }
+
+/// The mixed-farm scheduling metric: one workload on the striped
+/// fast/medium/slow farm (`experiments::MIXED_FARM_CLOCKS`), once per
+/// scheduling policy. The per-policy detection results are deterministic
+/// simulation outputs (CI diffs them across thread counts); the wall time
+/// is host perf.
+struct SchedPolicySpeed {
+    workload: &'static str,
+    /// The striped farm's speed classes, e.g. `"2000/1000/250"` MHz.
+    farm_mhz: String,
+    /// Total best-of-three wall across all policies.
+    wall_s: f64,
+    /// Deterministic per-policy rows.
+    rows: Vec<SchedPolicyRow>,
+}
+
+/// One deterministic `sched_policy` result row: (policy, seals, mean
+/// detection delay over all checked entries in ns, log-full commit
+/// retries).
+type SchedPolicyRow = (&'static str, u64, f64, u64);
 
 /// Best-of-three single runs of `w` under `cfg` with the farm pinned to
 /// `farm_threads`; returns (wall, report, instrs replayed by the farm).
@@ -384,6 +404,57 @@ fn main() {
         domain_fold.speedup_vs_serial
     );
 
+    // --- Mixed-farm scheduling policies --------------------------------
+    // One workload on the striped fast/medium/slow farm, once per
+    // scheduling policy (round-robin / fastest-first / deadline-aware).
+    // The per-policy detection results are deterministic at any thread
+    // count (pinned by tests/mixed_farms.rs); the wall time of the whole
+    // policy loop is host perf, best of three.
+    let mixed_farm = paradet_core::FarmSpec::striped(&ex::MIXED_FARM_CLOCKS);
+    let mut sched_best: Option<(std::time::Duration, Vec<SchedPolicyRow>)> = None;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let rows: Vec<SchedPolicyRow> = paradet_core::SchedPolicyKind::ALL
+            .iter()
+            .map(|&policy| {
+                let mixed_cfg = cfg.with_farm(mixed_farm).with_sched_policy(policy);
+                let mut sys = paradet_core::PairedSystem::new_shared(mixed_cfg, &sweep_program);
+                let rep = sys.run(instrs);
+                (
+                    policy.name(),
+                    rep.detector.seals,
+                    rep.delays.mean_ns(),
+                    rep.detector.log_full_retries,
+                )
+            })
+            .collect();
+        let dt = t0.elapsed();
+        if let Some((_, prev)) = &sched_best {
+            assert_eq!(prev, &rows, "scheduling is not a pure function of (kernel, config)");
+        }
+        if sched_best.as_ref().is_none_or(|(b, _)| dt < *b) {
+            sched_best = Some((dt, rows));
+        }
+    }
+    let (sched_dt, sched_rows) = sched_best.expect("three reps ran");
+    let sched = SchedPolicySpeed {
+        workload: sweep_w.name(),
+        farm_mhz: ex::MIXED_FARM_CLOCKS.map(|m| m.to_string()).join("/"),
+        wall_s: sched_dt.as_secs_f64(),
+        rows: sched_rows,
+    };
+    for (policy, seals, mean, retries) in &sched.rows {
+        println!(
+            "sched policy: {} on {} farm: {:15} seals={} mean_delay={:.0}ns log_full_retries={}",
+            sched.workload, sched.farm_mhz, policy, seals, mean, retries
+        );
+    }
+    println!(
+        "sched policy: {} policies in {:.3} s wall (best of 3)",
+        sched.rows.len(),
+        sched.wall_s
+    );
+
     // --- Campaign trial throughput (parallel across PARADET_THREADS) -----
     let camp_cfg = CampaignConfig { instrs: instrs.min(20_000), ..CampaignConfig::default() };
     let n_trials = camp_cfg.trials_per_site * camp_cfg.sites.len() as u64;
@@ -431,6 +502,7 @@ fn main() {
             &farm,
             &sweep,
             &domain_fold,
+            &sched,
             single_cpu_host,
             n_trials,
             trials_per_s,
@@ -521,6 +593,12 @@ fn main() {
 /// (`farm`, `domain_fold`), true when `available_parallelism() == 1` so a
 /// single-CPU host's ≈1.0x ratios are never gated on. `--check` against a
 /// v3 baseline still works: only metrics present on both sides gate.
+///
+/// Schema v5 adds the `sched_policy` section — one workload on the striped
+/// mixed-speed checker farm, once per scheduling policy, with the
+/// per-policy detection results (`seals`, `mean_delay_ns`,
+/// `log_full_retries`) as deterministic result rows and the policy loop's
+/// wall time on its own filter-matched line.
 #[allow(clippy::too_many_arguments)]
 fn render_json(
     instrs: u64,
@@ -530,6 +608,7 @@ fn render_json(
     farm: &FarmSpeed,
     sweep: &ClockSweepSpeed,
     domain_fold: &DomainFoldSpeed,
+    sched: &SchedPolicySpeed,
     single_cpu_host: bool,
     campaign_trials: u64,
     trials_per_s: f64,
@@ -600,6 +679,22 @@ fn render_json(
         let comma = if i + 1 < domain_fold.rows.len() { "," } else { "" };
         s.push_str(&format!(
             "      {{ \"mhz\": {mhz}, \"folds\": {folds}, \"mean_delay_ns\": {mean:.6} }}{comma}\n"
+        ));
+    }
+    s.push_str("    ] },\n");
+    // sched_policy: the loop's wall time rides its own line (dropped by
+    // the CI thread-invariance filter, which matches on "wall"); the
+    // per-policy detection rows are deterministic and survive the diff.
+    s.push_str(&format!(
+        "  \"sched_policy\": {{ \"workload\": \"{}\", \"farm_mhz\": \"{}\",\n",
+        sched.workload, sched.farm_mhz
+    ));
+    s.push_str(&format!("    \"wall_s\": {:.4},\n", sched.wall_s));
+    s.push_str("    \"result\": [\n");
+    for (i, (policy, seals, mean, retries)) in sched.rows.iter().enumerate() {
+        let comma = if i + 1 < sched.rows.len() { "," } else { "" };
+        s.push_str(&format!(
+            "      {{ \"policy\": \"{policy}\", \"seals\": {seals}, \"mean_delay_ns\": {mean:.6}, \"log_full_retries\": {retries} }}{comma}\n"
         ));
     }
     s.push_str("    ] },\n");

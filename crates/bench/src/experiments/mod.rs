@@ -12,6 +12,7 @@ mod comparison;
 mod coverage;
 mod delays;
 mod hardware;
+mod mixed;
 mod recovery;
 mod slowdown;
 mod tables;
@@ -23,6 +24,7 @@ pub use delays::{
     fig08_delay_density, fig11_freq_delay, fig11_freq_delay_per_run, fig12_logsize_delay,
 };
 pub use hardware::area_power;
+pub use mixed::{mixed_policy_delay, MIXED_FARM_CLOCKS};
 pub use recovery::fault_recovery;
 pub use slowdown::{
     fig07_slowdown, fig09_freq_slowdown, fig09_freq_slowdown_per_run, fig10_checkpoint_overhead,

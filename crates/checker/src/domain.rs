@@ -22,6 +22,14 @@
 //! would have gated the main core differently than the primary's, so a
 //! zero counter certifies the domain's one-run results as bit-identical to
 //! a dedicated run at that clock.
+//!
+//! A [`ClockDomain`] also doubles as a *speed class* in a mixed-speed
+//! farm (see [`FarmSpec`](crate::FarmSpec)): there, different slots of the
+//! *primary* farm run different domains, whereas a [`DomainSet`] entry
+//! re-clocks the whole farm uniformly for a one-run sweep ("what if the
+//! entire farm ran at clock C"). The two compose — a mixed farm can still
+//! carry secondary domains, each of which folds the farm as if it were
+//! homogeneous at that domain's clock.
 
 use crate::core::CheckerConfig;
 use paradet_mem::Freq;

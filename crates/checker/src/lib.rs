@@ -23,6 +23,12 @@
 //! sweeps (reproducing the paper's Fig. 9/11 sensitivity curves from one
 //! simulation), and [`CheckerCore::fold_timing_with`] is the fold entry
 //! point that routes I-fetches through a domain's own cache path.
+//!
+//! Farms need not be homogeneous: a [`FarmSpec`] gives each checker slot
+//! its own [`ClockDomain`] (speed class), and a [`SchedulePolicy`]
+//! (round-robin / fastest-first / deadline-aware) decides, deterministically,
+//! which slot receives each sealed segment and how large that slot's
+//! segment is — the MEEK/FlexStep mixed-farm regime.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -30,6 +36,7 @@
 mod core;
 mod domain;
 mod replay;
+mod sched;
 mod trace;
 
 pub use crate::core::{
@@ -38,4 +45,8 @@ pub use crate::core::{
 };
 pub use domain::{ClockDomain, DomainSet, MAX_DOMAINS};
 pub use replay::{CheckError, CheckOutcome, ReplayError, ReplaySource};
+pub use sched::{
+    DeadlineAware, FarmSpec, FastestFirst, RoundRobin, SchedPolicyKind, ScheduleCtx,
+    SchedulePolicy, SlotView, MAX_FARM_PATTERN, MAX_SPEED_CLASSES,
+};
 pub use trace::ReplayTrace;

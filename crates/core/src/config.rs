@@ -1,6 +1,6 @@
 //! System-level configuration (Table I plus the §VI-A sweeps).
 
-use paradet_checker::{CheckerConfig, DomainSet};
+use paradet_checker::{CheckerConfig, DomainSet, FarmSpec, SchedPolicyKind};
 use paradet_mem::{Freq, MemConfig, Time};
 use paradet_ooo::OooConfig;
 
@@ -113,6 +113,22 @@ pub struct SystemConfig {
     /// `tests/parallel_determinism.rs` and documented in ARCHITECTURE.md.
     /// Kept as the test-suite reference while the farm bakes.
     pub eager_check: bool,
+    /// Per-slot speed classes for the primary farm (MEEK/FlexStep mixed
+    /// farms). The default [`FarmSpec::uniform`] runs every slot at
+    /// [`checker`](SystemConfig::checker) — the paper's homogeneous farm.
+    /// A mixed farm's slots each carry their own
+    /// [`ClockDomain`](paradet_checker::ClockDomain); [`checker`] remains
+    /// the *primary clock* (main-core-facing memory latencies,
+    /// [`mem_config`](SystemConfig::mem_config)), and
+    /// [`checker_config_for_slot`](SystemConfig::checker_config_for_slot)
+    /// resolves what each slot actually runs. Orthogonal to
+    /// [`extra_domains`](SystemConfig::extra_domains), which re-clocks the
+    /// whole farm uniformly per secondary domain.
+    pub farm: FarmSpec,
+    /// Checker-to-segment scheduling policy (round-robin default — the
+    /// uniform-compatible reference whose uniform-farm output is pinned
+    /// bit-identical to the fixed-ring design, invariant 11).
+    pub sched_policy: SchedPolicyKind,
 }
 
 impl SystemConfig {
@@ -122,11 +138,25 @@ impl SystemConfig {
     /// harness invocation — `run_all --smoke` in CI's bench-smoke matrix —
     /// can be forced onto the legacy per-instruction paths without
     /// touching any call site, so the block-vs-legacy byte-diff gate runs
-    /// the same binaries end to end.
+    /// the same binaries end to end. `PARADET_SCHED_POLICY` (same
+    /// read-once discipline) likewise forces the scheduling policy —
+    /// `round-robin` / `fastest-first` / `deadline-aware` — so CI's
+    /// policy leg can byte-diff a whole harness run against the default.
     pub fn paper_default() -> SystemConfig {
         static FORCED_OFF: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
         let forced_off =
             *FORCED_OFF.get_or_init(|| std::env::var("PARADET_BLOCK_EXEC").is_ok_and(|v| v == "0"));
+        static FORCED_POLICY: std::sync::OnceLock<SchedPolicyKind> = std::sync::OnceLock::new();
+        let sched_policy =
+            *FORCED_POLICY.get_or_init(|| match std::env::var("PARADET_SCHED_POLICY") {
+                Ok(v) => SchedPolicyKind::parse(&v).unwrap_or_else(|| {
+                    panic!(
+                        "PARADET_SCHED_POLICY={v}: unknown policy \
+                     (round-robin | fastest-first | deadline-aware)"
+                    )
+                }),
+                Err(_) => SchedPolicyKind::default(),
+            });
         let cfg = SystemConfig {
             main: OooConfig::default(),
             checker: CheckerConfig::default(),
@@ -139,6 +169,8 @@ impl SystemConfig {
             extra_domains: DomainSet::new(),
             parallel_domain_folds: true,
             eager_check: false,
+            farm: FarmSpec::uniform(),
+            sched_policy,
         };
         if forced_off {
             cfg.with_block_exec(false)
@@ -214,6 +246,34 @@ impl SystemConfig {
         self
     }
 
+    /// Returns a copy with per-slot speed classes for the primary farm
+    /// (see [`farm`](SystemConfig::farm)). `FarmSpec::uniform()` restores
+    /// the homogeneous farm.
+    pub fn with_farm(mut self, farm: FarmSpec) -> SystemConfig {
+        self.farm = farm;
+        self
+    }
+
+    /// Returns a copy with the given checker-to-segment scheduling policy
+    /// (see [`sched_policy`](SystemConfig::sched_policy)).
+    pub fn with_sched_policy(mut self, policy: SchedPolicyKind) -> SystemConfig {
+        self.sched_policy = policy;
+        self
+    }
+
+    /// The checker configuration slot `slot` actually runs: its speed
+    /// class's on a mixed farm, [`checker`](SystemConfig::checker) on a
+    /// uniform one. A slot's class overrides everything clock-derived but
+    /// inherits the system-wide `block_exec` switch — `PARADET_BLOCK_EXEC`
+    /// and [`with_block_exec`](SystemConfig::with_block_exec) must keep
+    /// governing every replay path (invariant 10 holds under mixed farms).
+    pub fn checker_config_for_slot(&self, slot: usize) -> CheckerConfig {
+        match self.farm.domain_of_slot(slot) {
+            Some(d) => CheckerConfig { block_exec: self.checker.block_exec, ..d.checker },
+            None => self.checker,
+        }
+    }
+
     /// The memory-system configuration implied by the core clocks.
     pub fn mem_config(&self) -> MemConfig {
         self.mem_config_for(self.checker.clock)
@@ -265,6 +325,24 @@ mod tests {
         assert_eq!(c.n_checkers, 6);
         assert_eq!(c.log.timeout_insns, None);
         assert_eq!(c.entries_per_segment(), 360 * 1024 / 6 / 18);
+    }
+
+    #[test]
+    fn slot_configs_follow_the_farm_spec() {
+        let c = SystemConfig::paper_default();
+        assert!(c.farm.is_uniform());
+        assert_eq!(c.sched_policy, SchedPolicyKind::RoundRobin);
+        assert_eq!(c.checker_config_for_slot(5), c.checker);
+
+        let m = c.with_farm(FarmSpec::striped(&[2000, 250])).with_block_exec(false);
+        assert_eq!(m.checker_config_for_slot(0).clock.mhz(), 2000);
+        assert_eq!(m.checker_config_for_slot(1).clock.mhz(), 250);
+        assert_eq!(m.checker_config_for_slot(2).clock.mhz(), 2000);
+        // Slot classes override the clock but inherit block_exec: the
+        // system-wide legacy/block switch governs mixed farms too.
+        assert!(!m.checker_config_for_slot(0).block_exec);
+        // The primary clock (main-facing memory latencies) is untouched.
+        assert_eq!(m.checker.clock.mhz(), 1000);
     }
 
     #[test]

@@ -42,7 +42,7 @@ use crate::log::{EntryKind, Segment, SegmentLog, SegmentReader, SegmentState};
 use crate::scratch::SimScratch;
 use paradet_checker::{
     replay_segment, CheckerConfig, CheckerCore, CheckerStats, ClockDomain, ReplayOutcome,
-    ReplayTrace, SegmentTask,
+    ReplayTrace, ScheduleCtx, SchedulePolicy, SegmentTask, SlotView,
 };
 use paradet_isa::{ArchState, Instruction, MemWidth, Program};
 use paradet_mem::{CheckerPath, MemHier, Time};
@@ -173,6 +173,22 @@ pub struct DomainReport {
     pub stall_divergences: u64,
 }
 
+/// One seal's scheduling decision, recorded in seal order: which slot the
+/// policy assigned the sealed segment to and the entry capacity that
+/// segment had. The log is what pins scheduling as a pure function of
+/// (kernel, config, geometry) — identical runs must produce identical
+/// assignment streams at any thread or farm width (see
+/// `tests/mixed_farms.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SealAssignment {
+    /// Seal sequence number.
+    pub seal_seq: u64,
+    /// Checker slot the segment was assigned to.
+    pub slot: usize,
+    /// Entry capacity of the segment when it sealed.
+    pub capacity: usize,
+}
+
 /// Bookkeeping for one dispatched, not-yet-folded check, queued in seal
 /// order.
 #[derive(Debug)]
@@ -242,8 +258,33 @@ pub struct Detector {
     interrupt_interval: Option<Time>,
     next_interrupt: Time,
     program: Arc<Program>,
-    /// The checker cores (public for statistics inspection).
+    /// The checker cores (public for statistics inspection). On a mixed
+    /// farm each slot runs its speed class's configuration
+    /// (`SystemConfig::checker_config_for_slot`).
     pub checkers: Vec<CheckerCore>,
+    /// The checker-to-segment scheduling policy (shipped policies are
+    /// zero-sized statics, so a `'static` borrow keeps the detector
+    /// allocation-free here).
+    policy: &'static dyn SchedulePolicy,
+    /// Per-slot speed-class index into [`class_paths`](Detector::class_paths),
+    /// `None` for slots on the primary clock (every slot, on a uniform
+    /// farm).
+    slot_class: Vec<Option<usize>>,
+    /// One private checker-cache path per mixed speed class, cold at
+    /// construction and clocked at the class clock (per-class hit
+    /// latencies). Unlike a secondary domain's observe-only path, these
+    /// belong to the *primary* farm: their misses mutate the shared
+    /// L2/DRAM through `MemHier::checker_ifetch_cycle_on`, in seal order.
+    /// Empty on uniform farms — those keep using the hierarchy's own
+    /// path, byte-for-byte as before (invariant 11).
+    class_paths: Vec<CheckerPath>,
+    /// Entries per segment at the uniform even split (the capacity
+    /// reference dynamic sizing redistributes).
+    base_entries: usize,
+    /// Scheduling decisions, one per seal (see [`SealAssignment`]).
+    assignments: Vec<SealAssignment>,
+    /// Reusable scratch for the per-seal [`SlotView`] snapshot.
+    slot_views: Vec<SlotView>,
     /// Secondary clock domains folded alongside the primary.
     domains: Vec<DomainState>,
     /// The load forwarding unit (public for statistics inspection).
@@ -369,7 +410,7 @@ impl Detector {
         scratch: &mut SimScratch,
     ) -> Detector {
         let entries = cfg.entries_per_segment();
-        Detector {
+        let mut det = Detector {
             mode: cfg.mode,
             lfu_enabled: cfg.lfu_enabled,
             parallel_folds: cfg.parallel_domain_folds,
@@ -378,7 +419,22 @@ impl Detector {
             timeout: cfg.log.timeout_insns,
             interrupt_interval: cfg.interrupt_interval,
             next_interrupt: cfg.interrupt_interval.unwrap_or(Time::MAX),
-            checkers: (0..cfg.n_checkers).map(|i| CheckerCore::new(i, cfg.checker)).collect(),
+            checkers: (0..cfg.n_checkers)
+                .map(|i| CheckerCore::new(i, cfg.checker_config_for_slot(i)))
+                .collect(),
+            policy: cfg.sched_policy.policy(),
+            slot_class: (0..cfg.n_checkers).map(|i| cfg.farm.class_of_slot(i)).collect(),
+            class_paths: if cfg.mode == DetectionMode::Full && !cfg.farm.is_uniform() {
+                cfg.farm
+                    .classes()
+                    .map(|d| CheckerPath::new(&cfg.mem_config_for(d.checker.clock), cfg.n_checkers))
+                    .collect()
+            } else {
+                Vec::new()
+            },
+            base_entries: entries,
+            assignments: Vec::new(),
+            slot_views: Vec::with_capacity(cfg.n_checkers),
             domains: if cfg.mode == DetectionMode::Full {
                 cfg.extra_domains
                     .iter()
@@ -423,7 +479,16 @@ impl Detector {
             log_fault: None,
             rec: None,
             lie_miss: false,
+        };
+        // Let the policy pick (and size) the first segment to fill, from a
+        // fully idle farm at t=0. For round-robin this resolves to slot 0
+        // at the even-split capacity — exactly the fixed-ring start — so
+        // the uniform default is untouched (invariant 11).
+        if cfg.mode != DetectionMode::Off {
+            let n = det.segs.len();
+            det.cur = det.schedule_next(n - 1, Time::ZERO);
         }
+        det
     }
 
     /// Turns on rollback bookkeeping: every sealed segment's start
@@ -518,6 +583,50 @@ impl Detector {
         self.pending.len()
     }
 
+    /// The scheduling decisions so far, one per seal, in seal order (for
+    /// the mixed-farm determinism suite).
+    pub fn assignments(&self) -> &[SealAssignment] {
+        &self.assignments
+    }
+
+    /// Asks the policy which slot receives the segment now starting to
+    /// fill (and at what capacity), given the farm's busy windows at
+    /// `at`. `prev` is the slot just sealed.
+    ///
+    /// A still-`Checking` slot has no materialized finish time; its view
+    /// carries a `Time::MAX` sentinel. Only round-robin can see one — it
+    /// never reads busy windows — because for dynamic policies the seal
+    /// path drains in-flight folds first, so every window is exact.
+    fn schedule_next(&mut self, prev: usize, at: Time) -> usize {
+        let mut views = std::mem::take(&mut self.slot_views);
+        views.clear();
+        for (i, seg) in self.segs.iter().enumerate() {
+            let busy_until = match seg.state {
+                SegmentState::Busy { until } => until,
+                SegmentState::Checking => Time::MAX,
+                SegmentState::Free | SegmentState::Filling => Time::ZERO,
+            };
+            views.push(SlotView { mhz: self.checkers[i].config().clock.mhz(), busy_until });
+        }
+        let ctx = ScheduleCtx {
+            slots: &views,
+            prev_slot: prev,
+            now: at,
+            base_capacity: self.base_entries,
+            min_capacity: crate::MAX_UOPS_PER_INSN,
+        };
+        let next = self.policy.next_slot(&ctx);
+        assert!(next < self.segs.len(), "policy chose slot {next} of {}", self.segs.len());
+        let capacity = self.policy.segment_capacity(next, &ctx).max(ctx.min_capacity);
+        self.slot_views = views;
+        let seg = &mut self.segs[next];
+        if seg.capacity != capacity {
+            seg.capacity = capacity;
+            seg.log.ensure_capacity(capacity);
+        }
+        next
+    }
+
     /// The detector's next *known* deadline strictly after `now`: the
     /// earliest segment-storage release (a `Busy` segment's check-finish
     /// time, which is what wrap-around and halt stalls jump to) or the next
@@ -527,16 +636,24 @@ impl Detector {
     /// sealed segment's finish time materializes only when its timing fold
     /// joins, at a simulation-determined point in seal order — that lazy
     /// join is what keeps results bit-identical at any farm width.
+    ///
+    /// Once slots diverge in clock (a mixed farm), the detector also owns
+    /// per-class checker-cache paths whose in-flight demand fills are
+    /// invisible to `MemHier::next_event_after` — so they are chained in
+    /// here, exactly as the hierarchy chains its own checker path. Busy
+    /// releases need no per-clock adjustment: they are absolute times,
+    /// already folded at each slot's own clock.
     pub fn next_event_time(&self, now: Time) -> Option<Time> {
         let busy = self.segs.iter().filter_map(|s| match s.state {
             SegmentState::Busy { until } if until > now => Some(until),
             _ => None,
         });
+        let fills = self.class_paths.iter().filter_map(|p| p.next_fill_after(now));
         let interrupt = self
             .interrupt_interval
             .and(Some(self.next_interrupt))
             .filter(|&t| t > now && t < Time::MAX);
-        busy.chain(interrupt).min()
+        busy.chain(fills).chain(interrupt).min()
     }
 
     /// Fills in [`DetectedError::confirm_time`] for every recorded error:
@@ -653,6 +770,8 @@ impl Detector {
         let parallel_folds = self.parallel_folds;
         let Detector {
             checkers,
+            slot_class,
+            class_paths,
             domains,
             segs,
             delays,
@@ -666,9 +785,27 @@ impl Detector {
             ..
         } = self;
         let log = &done.log;
-        let outcome = checkers[p.slot].fold_timing(p.ready_at, &done.outcome, hier, |idx, now| {
-            record_delay(delays, store_delays, log, idx, now);
-        });
+        // A mixed farm routes the slot's I-fetches through its speed
+        // class's own path (per-class clock and hit latencies), misses
+        // landing in the shared L2/DRAM at the same seal-order fold point
+        // the uniform path uses. Uniform farms keep the hierarchy's own
+        // checker path, untouched (invariant 11).
+        let outcome = match slot_class[p.slot] {
+            None => checkers[p.slot].fold_timing(p.ready_at, &done.outcome, hier, |idx, now| {
+                record_delay(delays, store_delays, log, idx, now);
+            }),
+            Some(class) => {
+                let path = &mut class_paths[class];
+                checkers[p.slot].fold_timing_with(
+                    p.ready_at,
+                    &done.outcome,
+                    |core, line, cycle, period| {
+                        hier.checker_ifetch_cycle_on(path, core, line, cycle, period)
+                    },
+                    |idx, now| record_delay(delays, store_delays, log, idx, now),
+                )
+            }
+        };
         finishes.push(outcome.finish_time);
         // A lying checker reports "pass" regardless of the replay verdict
         // (missed-detection fault class); the segment then counts as
@@ -913,9 +1050,24 @@ impl Detector {
         if !chained {
             self.chain_ckpt.clone_from(committed);
         }
+        self.assignments.push(SealAssignment {
+            seal_seq: self.seal_seq,
+            slot: cur,
+            capacity: self.segs[cur].capacity,
+        });
         self.base_instr = instr_count;
         self.seal_seq += 1;
-        self.cur = (cur + 1) % self.segs.len();
+        // A dynamic policy reads every slot's storage-busy window, so the
+        // in-flight checks must fold first — the modelled scheduler sits
+        // next to the log SRAM and *sees* which checkers are busy. The
+        // drain is a deterministic simulation point (like `eager_check`'s
+        // fold-at-seal position in the shared-L2 access stream), so
+        // results stay bit-identical at any farm width; round-robin skips
+        // it and keeps the fully lazy fold schedule.
+        if self.policy.needs_busy_windows() {
+            self.drain_pending(hier);
+        }
+        self.cur = self.schedule_next(cur, at);
     }
 }
 
@@ -1101,6 +1253,74 @@ mod tests {
         // after itself; the next one is the 50 ns release, then nothing.
         assert_eq!(det.next_event_time(Time::from_ns(20)), Some(Time::from_ns(50)));
         assert_eq!(det.next_event_time(Time::from_ns(50)), None);
+    }
+
+    #[test]
+    fn next_event_time_covers_mixed_clocks_and_class_path_fills() {
+        use paradet_checker::FarmSpec;
+        let cfg = SystemConfig::paper_default()
+            .with_checkers(4)
+            .with_farm(FarmSpec::striped(&[2000, 125]));
+        let program = tiny_program();
+        let mut det = Detector::new(&cfg, &program);
+        let mut hier = MemHier::new(&cfg.mem_config(), cfg.n_checkers);
+        assert_eq!(det.next_event_time(Time::ZERO), None, "idle mixed farm has no deadline");
+
+        // A fold on a slow-class slot leaves in-flight fills in the
+        // class's *private* path. Its misses land in the shared L2/DRAM
+        // (the hierarchy sees those), but the path's own L0/L1I fills
+        // complete later and are invisible to `MemHier::next_event_after`
+        // — the detector must surface them itself.
+        let period_fs = ClockDomain::at_mhz(125).checker.clock.period().as_fs();
+        let _ = hier.checker_ifetch_cycle_on(&mut det.class_paths[1], 1, 0x40, 0, period_fs);
+        let fill = det.class_paths[1]
+            .next_fill_after(Time::ZERO)
+            .expect("a cold fetch leaves a fill in flight");
+        assert_eq!(det.next_event_time(Time::ZERO), Some(fill));
+
+        // Busy windows fold at each slot's own clock, so releases diverge
+        // across a mixed farm; they are absolute times and merge with the
+        // path fills into one ordered event stream.
+        let horizon = {
+            let mut t = Time::ZERO;
+            while let Some(e) = det.next_event_time(t) {
+                t = e;
+            }
+            t
+        };
+        let (fast, slow) = (horizon + Time::from_ns(40), horizon + Time::from_ns(640));
+        det.segs[0].state = SegmentState::Busy { until: fast };
+        det.segs[1].state = SegmentState::Busy { until: slow };
+
+        // The "no event before" dual, walked over the whole stream: each
+        // query returns a strictly later instant, nothing fires inside
+        // the open interval, and the stream covers fills and both
+        // releases before going quiet.
+        let mut events = Vec::new();
+        let mut t = Time::ZERO;
+        while let Some(e) = det.next_event_time(t) {
+            assert!(e > t, "event horizon must advance");
+            events.push(e);
+            t = e;
+        }
+        assert_eq!(events.first(), Some(&fill));
+        assert!(events.contains(&fast) && events.contains(&slow));
+        assert_eq!(events.last(), Some(&slow));
+        assert_eq!(det.next_event_time(slow), None);
+
+        // And the fills really were invisible to the hierarchy: its own
+        // event stream ends before the private path's last fill.
+        let hier_horizon = {
+            let mut t = Time::ZERO;
+            while let Some(e) = hier.next_event_after(t) {
+                t = e;
+            }
+            t
+        };
+        assert!(
+            events.iter().any(|&e| e > hier_horizon && e < fast),
+            "a private-path fill must extend past the hierarchy's horizon"
+        );
     }
 
     #[test]

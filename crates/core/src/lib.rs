@@ -66,11 +66,11 @@ mod system;
 
 pub use config::{DetectionMode, LogConfig, SystemConfig};
 pub use delay::DelayStats;
-pub use detector::{Detector, DetectorStats, DomainReport, RollbackPlan, SealKind};
+pub use detector::{Detector, DetectorStats, DomainReport, RollbackPlan, SealAssignment, SealKind};
 pub use error::DetectedError;
 pub use lfu::{LfuEntry, LfuStats, LoadForwardingUnit};
 pub use log::{EntryKind, LogEntry, Segment, SegmentLog, SegmentReader, SegmentState};
-pub use paradet_checker::{ClockDomain, DomainSet};
+pub use paradet_checker::{ClockDomain, DomainSet, FarmSpec, SchedPolicyKind, SchedulePolicy};
 pub use paradet_isa::MAX_UOPS_PER_INSN;
 pub use recovery::{
     run_recovery, RecoveryDisposition, RecoveryPolicy, RecoveryReport, TrialFaults,

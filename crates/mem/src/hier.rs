@@ -194,7 +194,13 @@ impl CheckerPath {
 
     /// The next demand-fill completion strictly after `now` anywhere on
     /// this path, or `None` (see [`Cache::next_fill_after`]).
-    fn next_fill_after(&self, now: Time) -> Option<Time> {
+    ///
+    /// Public because externally owned paths (a mixed farm's per-class
+    /// paths in `paradet-core`) are invisible to
+    /// [`MemHier::next_event_after`] — their owner must chain this into
+    /// its own event horizon, exactly as the hierarchy does for the path
+    /// it owns.
+    pub fn next_fill_after(&self, now: Time) -> Option<Time> {
         self.l0
             .iter()
             .chain(std::iter::once(&self.l1i))
@@ -405,6 +411,36 @@ impl MemHier {
             line,
             Time::from_fs(cycle * period_fs),
         );
+        done.as_fs().div_ceil(period_fs)
+    }
+
+    /// [`checker_ifetch_cycle`](MemHier::checker_ifetch_cycle) through an
+    /// external [`CheckerPath`] that *shares* this hierarchy's L2/DRAM
+    /// mutably: `path`'s L0 and L1I absorb the access, and its misses
+    /// access the shared outer hierarchy exactly as the primary path's
+    /// would (MSHRs, bank reservation, and all — note the `&mut self`,
+    /// in contrast to the observe-only
+    /// [`checker_ifetch_cycle_via`](MemHier::checker_ifetch_cycle_via)).
+    ///
+    /// This is the *primary-farm* route for mixed-speed farms: each speed
+    /// class owns a cold path clocked at the class clock (per-class hit
+    /// latencies), but the class's folds still gate main-core stalls, so
+    /// their L2/DRAM traffic must land in the shared stream — in seal
+    /// order, on the simulation thread, like every other fold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core >= path.n_checkers()`.
+    pub fn checker_ifetch_cycle_on(
+        &mut self,
+        path: &mut CheckerPath,
+        core: usize,
+        line: u64,
+        cycle: u64,
+        period_fs: u64,
+    ) -> u64 {
+        let MemHier { l2, dram, .. } = self;
+        let done = path.ifetch(l2, dram, core, line, Time::from_fs(cycle * period_fs));
         done.as_fs().div_ceil(period_fs)
     }
 

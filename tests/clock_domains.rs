@@ -180,6 +180,54 @@ fn one_run_fig09_fig11_tables_match_legacy_per_run_sweep() {
     }
 }
 
+/// Mixed-speed farms × recovery (invariant 9 under the mixed-farm axis):
+/// a strike detected by the checker farm on a *mixed* farm still drives
+/// rollback + re-execution to a final architectural state bit-identical
+/// to the fault-free golden run, under every scheduling policy. Under
+/// round-robin the first sealed segment — where the early strike lands —
+/// is pinned to slot 0, the slow 125 MHz class, so the flagging checker
+/// is a genuinely slow slot at least once.
+#[test]
+fn mixed_farm_recovery_is_golden_under_every_policy() {
+    use paradet::detect::{
+        run_recovery, FarmSpec, RecoveryDisposition, RecoveryPolicy, SchedPolicyKind, SimScratch,
+        TrialFaults,
+    };
+    use paradet::isa::{ArchState, FlatMemory, NoNondet};
+    use paradet::ooo::{ArmedFault, FaultKind, FaultTarget};
+
+    let w = Workload::Stream;
+    let program = Arc::new(w.build(w.iters_for_instrs(6_000)));
+    let mut gstate = ArchState::at_entry(&program);
+    let mut gmem = FlatMemory::new();
+    gmem.load_image(&program);
+    while !gstate.halted {
+        gstate.step(&program, &mut gmem, &mut NoNondet).expect("golden run crashed");
+    }
+    let faults = TrialFaults {
+        kind: FaultKind::Transient,
+        core: vec![ArmedFault::new(40, FaultTarget::StoreValueBit { bit: 7 })],
+        ..TrialFaults::default()
+    };
+    for &policy in SchedPolicyKind::ALL.iter() {
+        let cfg = SystemConfig::paper_default()
+            .with_farm(FarmSpec::striped(&[125, 1000]))
+            .with_sched_policy(policy);
+        let mut scratch = SimScratch::new();
+        let r =
+            run_recovery(&cfg, &program, &mut scratch, 60_000, &faults, &RecoveryPolicy::default());
+        assert!(r.detected, "{policy:?}: the store-value strike must be detected");
+        assert_eq!(
+            r.disposition,
+            RecoveryDisposition::Recovered,
+            "{policy:?}: a detected transient must be repaired"
+        );
+        assert!(r.halted && !r.crashed, "{policy:?}");
+        assert_eq!(&r.final_state, &gstate, "{policy:?}: state ≡ fault-free golden");
+        assert_eq!(r.final_mem.first_difference(&gmem), None, "{policy:?}: memory ≡ golden");
+    }
+}
+
 /// A loopy kernel with loads, stores and arithmetic (mirrors the farm
 /// determinism proptest's generator).
 fn sweep_kernel(seeds: &[u64], ops: &[(AluOp, usize, usize)], iters: u64) -> Program {
