@@ -117,7 +117,8 @@ pub struct SystemConfig {
     /// farms). The default [`FarmSpec::uniform`] runs every slot at
     /// [`checker`](SystemConfig::checker) — the paper's homogeneous farm.
     /// A mixed farm's slots each carry their own
-    /// [`ClockDomain`](paradet_checker::ClockDomain); [`checker`] remains
+    /// [`ClockDomain`](paradet_checker::ClockDomain);
+    /// [`checker`](SystemConfig::checker) remains
     /// the *primary clock* (main-core-facing memory latencies,
     /// [`mem_config`](SystemConfig::mem_config)), and
     /// [`checker_config_for_slot`](SystemConfig::checker_config_for_slot)

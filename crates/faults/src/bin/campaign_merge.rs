@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! campaign-merge --dir camp/ [--out coverage.csv] [config flags]
+//! campaign-merge --partial --dir camp/   # degraded campaigns: explicit accounting
 //! ```
 //!
 //! When any campaign config flag is given, the directory's manifest must
@@ -12,22 +13,41 @@
 //! trial count) is refused rather than producing a plausible but wrong
 //! table. Without config flags the manifest is trusted as-is.
 //!
-//! Exit codes: 0 success, 2 usage, 3 config-fingerprint mismatch, 5
-//! incomplete shards (the error names which shard to resume), 6 store
+//! The strict merge refuses incomplete campaigns (exit 5). `--partial` is
+//! the explicit opt-out — the hand-off target when a supervised run
+//! quarantined a shard: it renders a per-shard completeness table (done /
+//! total / state, naming `degraded`, `missing`, and `corrupt` shards)
+//! plus the coverage over the trials that *do* exist, with a `PARTIAL`
+//! title whenever anything is missing so a truncated table can never pass
+//! as a full campaign.
+//!
+//! Exit codes (the shared table in `paradet_faults::cli::exit`): 0
+//! success, 2 usage, 3 config-fingerprint mismatch, 5 incomplete shards
+//! without `--partial` (the error names which shard to resume), 6 store
 //! written by an incompatible schema version, 1 other store errors.
 
-use paradet_faults::cli::{parse_campaign_flags, reject_unknown, take_value};
-use paradet_faults::{coverage_table, merge_campaign, recovery_table, StoreError};
+use paradet_faults::cli::{exit, parse_campaign_flags, reject_unknown, take_switch, take_value};
+use paradet_faults::{
+    completeness_table, merge_campaign, merge_campaign_partial, merged_table, partial_result_table,
+    StoreError,
+};
 use std::path::PathBuf;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: campaign-merge --dir <dir> [--out <csv>] [config flags]\n\
+        "usage: campaign-merge --dir <dir> [--partial] [--out <csv>] [config flags]\n\
+         \n  \
+         --partial                 merge whatever checkpoints exist, rendering per-shard\n                            completeness instead of refusing incomplete campaigns\n\
          \n\
          campaign config (optional; when given, the directory's manifest must match):\n{}",
         paradet_faults::cli::CONFIG_FLAGS_HELP
     );
-    std::process::exit(2);
+    std::process::exit(exit::USAGE);
+}
+
+fn fail(e: &StoreError) -> ! {
+    eprintln!("campaign-merge: {e}");
+    std::process::exit(exit::code_for(e));
 }
 
 fn main() {
@@ -36,6 +56,7 @@ fn main() {
         eprintln!("campaign-merge: {e}");
         usage();
     });
+    let partial = take_switch(&mut args, "--partial");
     let Some(dir) = take_value(&mut args, "--dir").unwrap_or_else(|_| usage()).map(PathBuf::from)
     else {
         eprintln!("campaign-merge: --dir is required");
@@ -48,29 +69,30 @@ fn main() {
     }
 
     let expect = if explicit { Some(&cfg) } else { None };
-    let (manifest, result) = merge_campaign(&dir, expect).unwrap_or_else(|e| {
-        eprintln!("campaign-merge: {e}");
-        std::process::exit(match e {
-            StoreError::FingerprintMismatch { .. } => 3,
-            StoreError::Incomplete(_) => 5,
-            StoreError::SchemaVersion { .. } => 6,
-            _ => 1,
-        });
-    });
+    if partial {
+        let merge = merge_campaign_partial(&dir, expect).unwrap_or_else(|e| fail(&e));
+        print!("{}", completeness_table(&merge).render());
+        let table = partial_result_table(&merge);
+        print!("{}", table.render());
+        eprintln!(
+            "partial merge: {}/{} grid points across {} shards, fingerprint {}",
+            merge.completed, merge.grid, merge.manifest.shards, merge.manifest.fingerprint
+        );
+        if let Some(path) = out {
+            table.write_csv(&path).unwrap_or_else(|e| {
+                eprintln!("campaign-merge: writing {}: {e}", path.display());
+                std::process::exit(exit::STORE);
+            });
+            eprintln!("wrote {}", path.display());
+        }
+        return;
+    }
+
+    let (manifest, result) = merge_campaign(&dir, expect).unwrap_or_else(|e| fail(&e));
     // A recovery campaign (manifest records a policy) merges to the
     // coverage-by-fault-class table, byte-identical to its one-shot; a
     // detection-only campaign keeps the historic coverage table.
-    let table = if manifest.recovery != "None" && !manifest.recovery.is_empty() {
-        let kind = manifest
-            .fault_kind
-            .split_whitespace()
-            .next()
-            .unwrap_or("transient")
-            .to_ascii_lowercase();
-        recovery_table(&manifest.workload, &kind, &result)
-    } else {
-        coverage_table(&manifest.workload, &result)
-    };
+    let table = merged_table(&manifest, &result);
     print!("{}", table.render());
     eprintln!(
         "merged {} shards, {} trials, fingerprint {}",
@@ -81,7 +103,7 @@ fn main() {
     if let Some(path) = out {
         table.write_csv(&path).unwrap_or_else(|e| {
             eprintln!("campaign-merge: writing {}: {e}", path.display());
-            std::process::exit(1);
+            std::process::exit(exit::STORE);
         });
         eprintln!("wrote {}", path.display());
     }

@@ -1,5 +1,6 @@
-//! `campaignd` — runs a fault campaign one-shot, or one resumable shard of
-//! it against an on-disk checkpoint store.
+//! `campaignd` — runs a fault campaign one-shot, one resumable shard of
+//! it against an on-disk checkpoint store, or a whole supervised fleet of
+//! shard workers that restarts itself.
 //!
 //! ```text
 //! # The in-memory one-shot (the golden reference):
@@ -10,37 +11,52 @@
 //!
 //! # Resume it after a crash or SIGKILL:
 //! campaignd --shard 0/2 --resume camp/ --checkpoint-every 5 [config flags]
+//!
+//! # Self-healing: spawn both shards, restart crashes/hangs, merge:
+//! campaignd --supervise 2 --dir camp/ --checkpoint-every 5 [config flags]
 //! ```
 //!
 //! Shards of one campaign can run in any order, in parallel processes, on
 //! different hosts sharing the directory. After every shard completes,
 //! `campaign-merge --dir camp/` folds the checkpoints into a coverage
-//! table byte-identical to `--one-shot` with the same config flags.
+//! table byte-identical to `--one-shot` with the same config flags —
+//! `--supervise` does the same merge itself on success. A supervised run
+//! that exhausts a shard's restart budget quarantines it as *degraded*,
+//! exits 7, and leaves the partial checkpoints for
+//! `campaign-merge --partial`.
 //!
-//! Exit codes: 0 success, 2 usage, 3 config-fingerprint mismatch, 4 shard
-//! locked / checkpoint exists without `--resume`, 6 store written by an
-//! incompatible schema version (e.g. a v1 directory), 1 other store
-//! errors.
+//! Exit codes (the shared table in `paradet_faults::cli::exit`): 0
+//! success, 1 other store errors, 2 usage, 3 config-fingerprint mismatch,
+//! 4 shard locked by a live process / checkpoint exists without
+//! `--resume`, 5 incomplete merge, 6 incompatible store schema version,
+//! 7 supervised run degraded.
 //!
-//! `--exit-after-checkpoints <k>` is the service's own fault-injection
-//! hook: the process `abort()`s (as if SIGKILLed) right after the k-th
-//! checkpoint write. The integration tests and the CI `campaign-shard` job
-//! use it to prove interrupt/resume determinism.
+//! Fault-injection hooks (the service tests itself with them):
+//! `--exit-after-checkpoints <k>` `abort()`s (as if SIGKILLed) right
+//! after the k-th checkpoint write; the `PARADET_CHAOS` env var (script
+//! grammar in `paradet_faults::chaosfs`) routes all store I/O through a
+//! deterministic fault-injecting filesystem, with
+//! `PARADET_CHAOS_ATTEMPT` selecting which incarnation's entries arm —
+//! the supervisor exports both to its children via `--chaos`.
 
-use paradet_faults::cli::{parse_campaign_flags, reject_unknown, take_switch, take_value};
+use paradet_faults::chaosfs::{ChaosFs, ChaosScript, KillMode};
+use paradet_faults::cli::{exit, parse_campaign_flags, reject_unknown, take_switch, take_value};
+use paradet_faults::supervisor::{supervise_processes, ShardCommand, ShardFate, SupervisePolicy};
 use paradet_faults::{
-    coverage_table, recovery_table, run_campaign, run_campaign_shard, ShardRunOptions, ShardSpec,
-    StoreError,
+    coverage_table, merge_campaign, merged_table, real_fs, recovery_table, run_campaign,
+    run_campaign_shard_on, DynFs, ShardRunOptions, ShardSpec, StoreError,
 };
 use std::path::PathBuf;
+use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: campaignd (--one-shot | --shard i/n) [options]\n\
+        "usage: campaignd (--one-shot | --shard i/n | --supervise n) [options]\n\
          \n\
          modes:\n  \
          --one-shot                run the whole campaign in memory, print the coverage table\n  \
-         --shard <i/n>             run slice i of an n-way split against --dir\n\
+         --shard <i/n>             run slice i of an n-way split against --dir\n  \
+         --supervise <n>           spawn all n shards as children, restart crashed/hung ones,\n                            merge on success (degraded shards quarantine; exit 7)\n\
          \n\
          shard options:\n  \
          --dir <dir>               campaign directory (manifest, checkpoints, status, locks)\n  \
@@ -48,23 +64,24 @@ fn usage() -> ! {
          --checkpoint-every <n>    trials between checkpoints (default 25)\n  \
          --exit-after-checkpoints <k>  abort() after the k-th checkpoint (fault-injection hook)\n\
          \n\
+         supervise options:\n  \
+         --max-restarts <n>        restarts per shard before quarantine (default 3)\n  \
+         --heartbeat-timeout-ms <ms>  stale-heartbeat deadline (default 30000)\n  \
+         --backoff-base-ms <ms>    restart backoff base (default 200)\n  \
+         --chaos <script>          chaos script exported to children (fault-injection hook)\n\
+         \n\
          output:\n  \
-         --out <csv>               write the coverage table as CSV (one-shot mode)\n\
+         --out <csv>               write the coverage table as CSV (one-shot/supervise)\n\
          \n\
          campaign config:\n{}",
         paradet_faults::cli::CONFIG_FLAGS_HELP
     );
-    std::process::exit(2);
+    std::process::exit(exit::USAGE);
 }
 
 fn fail(e: &StoreError) -> ! {
     eprintln!("campaignd: {e}");
-    std::process::exit(match e {
-        StoreError::FingerprintMismatch { .. } => 3,
-        StoreError::Locked(_) => 4,
-        StoreError::SchemaVersion { .. } => 6,
-        _ => 1,
-    });
+    std::process::exit(exit::code_for(e));
 }
 
 fn main() {
@@ -83,6 +100,7 @@ fn main() {
         eprintln!("campaignd: {e}");
         usage();
     });
+    let supervise_arg = take_value(&mut args, "--supervise").unwrap_or_else(|_| usage());
     let dir_arg = take_value(&mut args, "--dir").unwrap_or_else(|_| usage());
     let resume_arg = take_value(&mut args, "--resume").unwrap_or_else(|_| usage());
     let every: u64 = take_value(&mut args, "--checkpoint-every")
@@ -92,14 +110,27 @@ fn main() {
     let exit_after: Option<u64> = take_value(&mut args, "--exit-after-checkpoints")
         .unwrap_or_else(|_| usage())
         .map(|v| v.parse().unwrap_or_else(|_| usage()));
+    let max_restarts: u32 = take_value(&mut args, "--max-restarts")
+        .unwrap_or_else(|_| usage())
+        .map(|v| v.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(3);
+    let heartbeat_timeout_ms: u64 = take_value(&mut args, "--heartbeat-timeout-ms")
+        .unwrap_or_else(|_| usage())
+        .map(|v| v.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(30_000);
+    let backoff_base_ms: u64 = take_value(&mut args, "--backoff-base-ms")
+        .unwrap_or_else(|_| usage())
+        .map(|v| v.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(200);
+    let chaos = take_value(&mut args, "--chaos").unwrap_or_else(|_| usage());
     let out = take_value(&mut args, "--out").unwrap_or_else(|_| usage()).map(PathBuf::from);
     if let Err(e) = reject_unknown(&args) {
         eprintln!("campaignd: {e}");
         usage();
     }
 
-    match (one_shot, shard_arg) {
-        (true, None) => {
+    match (one_shot, shard_arg, supervise_arg) {
+        (true, None, None) => {
             let result = run_campaign(&cfg);
             // Recovery campaigns render the coverage-by-fault-class table;
             // detection-only campaigns keep the historic coverage table.
@@ -111,12 +142,12 @@ fn main() {
             if let Some(path) = out {
                 table.write_csv(&path).unwrap_or_else(|e| {
                     eprintln!("campaignd: writing {}: {e}", path.display());
-                    std::process::exit(1);
+                    std::process::exit(exit::STORE);
                 });
                 eprintln!("wrote {}", path.display());
             }
         }
-        (false, Some(spec)) => {
+        (false, Some(spec), None) => {
             let shard = ShardSpec::parse(&spec).unwrap_or_else(|e| {
                 eprintln!("campaignd: --shard: {e}");
                 usage();
@@ -129,9 +160,20 @@ fn main() {
                     usage();
                 }
             };
+            // The chaos hook: PARADET_CHAOS (set by the supervisor or a
+            // test) replays a scripted fault plan over this shard's store
+            // I/O. Kills are real aborts — this is a real process.
+            let fs: DynFs = match ChaosFs::from_env(KillMode::Abort) {
+                Ok(Some(chaos)) => Arc::new(chaos),
+                Ok(None) => real_fs(),
+                Err(e) => {
+                    eprintln!("campaignd: PARADET_CHAOS: {e}");
+                    usage();
+                }
+            };
             let opts = ShardRunOptions { shard, checkpoint_every: every, resume };
             let mut checkpoints = 0u64;
-            let summary = run_campaign_shard(&dir, &cfg, &opts, |done, total| {
+            let summary = run_campaign_shard_on(&fs, &dir, &cfg, &opts, |done, total| {
                 checkpoints += 1;
                 eprintln!("shard {shard}: {done}/{total} trials checkpointed");
                 if exit_after == Some(checkpoints) {
@@ -150,8 +192,85 @@ fn main() {
                 dir.display()
             );
         }
+        (false, None, Some(n)) => {
+            let shards: u32 = n.parse().unwrap_or_else(|_| {
+                eprintln!("campaignd: --supervise wants a shard count");
+                usage();
+            });
+            if shards == 0 {
+                eprintln!("campaignd: --supervise needs at least one shard");
+                usage();
+            }
+            let Some(dir) = dir_arg.map(PathBuf::from) else {
+                eprintln!("campaignd: --supervise needs --dir");
+                usage();
+            };
+            if let Some(script) = &chaos {
+                // Validate up front: a typo'd script must be a usage
+                // error here, not a mystery child crash loop.
+                if let Err(e) = ChaosScript::parse(script) {
+                    eprintln!("campaignd: --chaos: {e}");
+                    usage();
+                }
+            }
+            let program = std::env::current_exe().unwrap_or_else(|e| {
+                eprintln!("campaignd: cannot locate own binary: {e}");
+                std::process::exit(exit::STORE);
+            });
+            let cmd = ShardCommand {
+                program,
+                config_flags: paradet_faults::cli::render_config_flags(&cfg),
+                dir: dir.clone(),
+                shards,
+                checkpoint_every: every,
+                chaos,
+            };
+            let policy = SupervisePolicy {
+                max_restarts,
+                heartbeat_timeout_ms,
+                backoff_base_ms,
+                seed: cfg.seed,
+                ..SupervisePolicy::default()
+            };
+            let outcome = supervise_processes(&cmd, &policy, |line| eprintln!("campaignd: {line}"));
+            if outcome.all_completed() {
+                let (manifest, result) =
+                    merge_campaign(&dir, Some(&cfg)).unwrap_or_else(|e| fail(&e));
+                let table = merged_table(&manifest, &result);
+                print!("{}", table.render());
+                eprintln!(
+                    "supervised {} shards to completion, {} trials, fingerprint {}",
+                    shards,
+                    result.trials.len(),
+                    manifest.fingerprint
+                );
+                if let Some(path) = out {
+                    table.write_csv(&path).unwrap_or_else(|e| {
+                        eprintln!("campaignd: writing {}: {e}", path.display());
+                        std::process::exit(exit::STORE);
+                    });
+                    eprintln!("wrote {}", path.display());
+                }
+            } else {
+                for (i, fate) in outcome.fates.iter().enumerate() {
+                    if let ShardFate::Degraded { restarts, reason } = fate {
+                        eprintln!(
+                            "campaignd: shard {i}/{shards} DEGRADED after {restarts} \
+                             restart(s): {reason}"
+                        );
+                    }
+                }
+                eprintln!(
+                    "campaignd: campaign degraded; partial checkpoints kept in {} — \
+                     render them with `campaign-merge --partial --dir {}`",
+                    dir.display(),
+                    dir.display()
+                );
+                std::process::exit(exit::DEGRADED);
+            }
+        }
         _ => {
-            eprintln!("campaignd: pass exactly one of --one-shot or --shard i/n");
+            eprintln!("campaignd: pass exactly one of --one-shot, --shard i/n, or --supervise n");
             usage();
         }
     }

@@ -554,6 +554,26 @@ pub(crate) fn run_point(
     TrialResult { site, fault, outcome, detect_latency, recovery_fs }
 }
 
+/// Folds one trial into a site aggregate — the single tally shared by the
+/// one-shot path, `campaign-merge`, and the partial merge, so every
+/// producer counts identically.
+fn fold_trial(agg: &mut SiteResult, trial: &TrialResult) {
+    agg.trials += 1;
+    match trial.outcome {
+        Outcome::Detected => agg.detected += 1,
+        Outcome::Crashed => agg.crashed += 1,
+        Outcome::SilentDataCorruption => agg.sdc += 1,
+        Outcome::Masked => agg.masked += 1,
+        Outcome::Recovered { retries } => {
+            agg.recovered += 1;
+            agg.retries_sum += retries as u64;
+        }
+        Outcome::Degraded => agg.degraded += 1,
+        Outcome::Unrecoverable => agg.unrecoverable += 1,
+    }
+    agg.recovery_fs_sum += trial.recovery_fs.unwrap_or(0);
+}
+
 /// Folds grid-ordered trials into per-site aggregates, in `sites` order.
 /// Shared by the one-shot path and `campaign-merge`, so both produce the
 /// same aggregation of the same trials.
@@ -567,20 +587,27 @@ pub(crate) fn aggregate(
         let mut agg = SiteResult::default();
         let base = i * trials_per_site;
         for trial in &trials[base..base + trials_per_site] {
-            agg.trials += 1;
-            match trial.outcome {
-                Outcome::Detected => agg.detected += 1,
-                Outcome::Crashed => agg.crashed += 1,
-                Outcome::SilentDataCorruption => agg.sdc += 1,
-                Outcome::Masked => agg.masked += 1,
-                Outcome::Recovered { retries } => {
-                    agg.recovered += 1;
-                    agg.retries_sum += retries as u64;
-                }
-                Outcome::Degraded => agg.degraded += 1,
-                Outcome::Unrecoverable => agg.unrecoverable += 1,
-            }
-            agg.recovery_fs_sum += trial.recovery_fs.unwrap_or(0);
+            fold_trial(&mut agg, trial);
+        }
+        per_site.push((site, agg));
+    }
+    per_site
+}
+
+/// [`aggregate`] over a *sparse* grid — empty slots (trials a degraded
+/// shard never produced) simply don't count. Used by the partial merge;
+/// on a fully-populated grid it tallies exactly like [`aggregate`].
+pub(crate) fn aggregate_slots(
+    sites: &[FaultSite],
+    trials_per_site: u64,
+    slots: &[Option<TrialResult>],
+) -> Vec<(FaultSite, SiteResult)> {
+    let mut per_site: Vec<(FaultSite, SiteResult)> = Vec::with_capacity(sites.len());
+    for (i, &site) in sites.iter().enumerate() {
+        let mut agg = SiteResult::default();
+        let base = i * trials_per_site as usize;
+        for slot in slots[base..base + trials_per_site as usize].iter().flatten() {
+            fold_trial(&mut agg, slot);
         }
         per_site.push((site, agg));
     }

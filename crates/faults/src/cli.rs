@@ -7,9 +7,53 @@
 //! mismatch. Keeping the parsing here makes that impossible.
 
 use crate::campaign::{CampaignConfig, FaultSite};
+use crate::store::StoreError;
 use paradet_core::{RecoveryPolicy, SystemConfig};
 use paradet_ooo::FaultKind;
 use paradet_workloads::Workload;
+
+/// The one exit-code table of the campaign binaries. `campaignd`,
+/// `campaign-merge`, and the supervisor all map through here — a code
+/// must mean the same thing no matter which binary printed it, because
+/// the supervisor's retry/quarantine decisions key off its children's
+/// codes.
+pub mod exit {
+    use super::StoreError;
+
+    /// Success.
+    pub const OK: i32 = 0;
+    /// Unclassified store error (I/O and other [`StoreError`] variants
+    /// without a dedicated code).
+    pub const STORE: i32 = 1;
+    /// Bad flags / usage.
+    pub const USAGE: i32 = 2;
+    /// Config fingerprint mismatch: the directory belongs to a different
+    /// campaign ([`StoreError::FingerprintMismatch`]).
+    pub const FINGERPRINT_MISMATCH: i32 = 3;
+    /// Shard locked by a live process, or its finished checkpoint exists
+    /// without `--resume` ([`StoreError::Locked`]).
+    pub const LOCKED: i32 = 4;
+    /// Merge found missing/short shards ([`StoreError::Incomplete`]) —
+    /// `campaign-merge --partial` renders them explicitly instead.
+    pub const INCOMPLETE: i32 = 5;
+    /// Store written by an incompatible schema version
+    /// ([`StoreError::SchemaVersion`]).
+    pub const SCHEMA_VERSION: i32 = 6;
+    /// A supervised campaign quarantined at least one shard as degraded;
+    /// the partial checkpoints remain mergeable.
+    pub const DEGRADED: i32 = 7;
+
+    /// The exit code a [`StoreError`] maps to, in every binary.
+    pub fn code_for(e: &StoreError) -> i32 {
+        match e {
+            StoreError::FingerprintMismatch { .. } => FINGERPRINT_MISMATCH,
+            StoreError::Locked(_) => LOCKED,
+            StoreError::Incomplete(_) => INCOMPLETE,
+            StoreError::SchemaVersion { .. } => SCHEMA_VERSION,
+            StoreError::Io(_) | StoreError::Corrupt(_) => STORE,
+        }
+    }
+}
 
 /// The campaign-describing flags both binaries accept.
 pub const CONFIG_FLAGS_HELP: &str = "\
@@ -131,6 +175,46 @@ pub fn parse_campaign_flags(args: &mut Vec<String>) -> Result<(CampaignConfig, b
     Ok((cfg, explicit))
 }
 
+/// Renders a config back into the flag list [`parse_campaign_flags`]
+/// accepts — the inverse the supervisor uses to respawn shard children
+/// with *exactly* the campaign it was given. Every CLI-expressible field
+/// is rendered explicitly (no reliance on defaults), and the round-trip
+/// is unit-tested; if a future field were missed anyway, the children
+/// would fingerprint differently and exit
+/// [`FINGERPRINT_MISMATCH`](exit::FINGERPRINT_MISMATCH) — a visible
+/// quarantine, never a silently different campaign.
+pub fn render_config_flags(cfg: &CampaignConfig) -> Vec<String> {
+    let mut flags = vec![
+        "--workload".to_string(),
+        cfg.workload.name().to_string(),
+        "--instrs".to_string(),
+        cfg.instrs.to_string(),
+        "--trials-per-site".to_string(),
+        cfg.trials_per_site.to_string(),
+        "--seed".to_string(),
+        cfg.seed.to_string(),
+        "--sites".to_string(),
+        cfg.sites.iter().map(|s| s.name()).collect::<Vec<_>>().join(","),
+        "--fault-kind".to_string(),
+        match cfg.fault_kind {
+            FaultKind::Transient => "transient".to_string(),
+            FaultKind::Permanent => "permanent".to_string(),
+            FaultKind::Intermittent { period, count } => {
+                format!("intermittent:{period},{count}")
+            }
+        },
+    ];
+    if let Some(r) = &cfg.recovery {
+        flags.push("--recover".to_string());
+        flags.push("--max-retries".to_string());
+        flags.push(r.max_retries.to_string());
+    }
+    if !cfg.system.lfu_enabled {
+        flags.push("--no-lfu".to_string());
+    }
+    flags
+}
+
 /// Fails on any remaining `--flag` the binary didn't consume (typo guard:
 /// a misspelled flag must not silently fall back to a default config,
 /// where it would fingerprint as a different campaign).
@@ -193,6 +277,63 @@ mod tests {
         assert!(parse_campaign_flags(&mut argv(&["--fault-kind", "flaky"])).is_err());
         assert!(parse_campaign_flags(&mut argv(&["--fault-kind", "intermittent:40"])).is_err());
         assert!(parse_campaign_flags(&mut argv(&["--max-retries", "lots"])).is_err());
+    }
+
+    #[test]
+    fn render_round_trips_through_parse() {
+        use crate::store::fingerprint;
+        let configs = vec![
+            CampaignConfig::default(),
+            CampaignConfig {
+                workload: Workload::Stream,
+                instrs: 2_500,
+                trials_per_site: 4,
+                seed: 7,
+                sites: vec![FaultSite::Pc, FaultSite::IntReg],
+                fault_kind: FaultKind::Intermittent { period: 40, count: 3 },
+                recovery: Some(RecoveryPolicy { max_retries: 5, ..RecoveryPolicy::default() }),
+                system: SystemConfig { lfu_enabled: false, ..SystemConfig::paper_default() },
+            },
+            CampaignConfig {
+                fault_kind: FaultKind::Permanent,
+                recovery: Some(RecoveryPolicy::default()),
+                sites: FaultSite::extended().to_vec(),
+                ..CampaignConfig::default()
+            },
+        ];
+        for cfg in configs {
+            let mut flags = render_config_flags(&cfg);
+            let (back, explicit) = parse_campaign_flags(&mut flags).unwrap();
+            assert!(explicit && flags.is_empty());
+            // The fingerprint is the equality that matters: it is what
+            // gates a supervisor-respawned child against its parent.
+            assert_eq!(
+                fingerprint(&back).hex(),
+                fingerprint(&cfg).hex(),
+                "render→parse must preserve the campaign identity of {cfg:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn exit_codes_are_stable_and_distinct() {
+        use super::exit;
+        let all = [
+            exit::OK,
+            exit::STORE,
+            exit::USAGE,
+            exit::FINGERPRINT_MISMATCH,
+            exit::LOCKED,
+            exit::INCOMPLETE,
+            exit::SCHEMA_VERSION,
+            exit::DEGRADED,
+        ];
+        assert_eq!(all, [0, 1, 2, 3, 4, 5, 6, 7], "codes are a public contract");
+        assert_eq!(
+            exit::code_for(&crate::store::StoreError::Incomplete("x".into())),
+            exit::INCOMPLETE
+        );
+        assert_eq!(exit::code_for(&crate::store::StoreError::Locked("x".into())), exit::LOCKED);
     }
 
     #[test]

@@ -34,21 +34,26 @@
 #![warn(missing_debug_implementations)]
 
 mod campaign;
+pub mod chaosfs;
 pub mod cli;
 mod service;
 pub mod shard;
 pub mod store;
+pub mod supervisor;
 
 pub use campaign::{
     run_campaign, run_overdetection_trials, trial_fault, trial_plan, trial_seed, CampaignConfig,
     CampaignResult, FaultSite, Outcome, SiteResult, TrialResult,
 };
+pub use chaosfs::{ChaosFs, ChaosScript, KillMode};
 pub use paradet_core::RecoveryPolicy;
 pub use paradet_ooo::FaultKind;
 pub use service::{
-    coverage_cells, coverage_table, merge_campaign, recovery_cells, recovery_table,
-    run_campaign_shard, run_campaign_sharded, ShardRunOptions, ShardRunSummary, COVERAGE_HEADER,
-    RECOVERY_HEADER,
+    completeness_table, coverage_cells, coverage_table, merge_campaign, merge_campaign_on,
+    merge_campaign_partial, merge_campaign_partial_on, merged_table, partial_result_table,
+    recovery_cells, recovery_table, run_campaign_shard, run_campaign_shard_on,
+    run_campaign_sharded, PartialMerge, ShardCompleteness, ShardRunOptions, ShardRunSummary,
+    COMPLETENESS_HEADER, COVERAGE_HEADER, RECOVERY_HEADER,
 };
 pub use shard::ShardSpec;
-pub use store::StoreError;
+pub use store::{real_fs, DynFs, RealFs, StoreError, StoreFs};

@@ -23,17 +23,23 @@
 //!   with the same fold as the one-shot path
 //!   ([`aggregate`](crate::campaign)).
 //!
-//! CI enforces the contract on every push (`campaign-shard` job): a
-//! one-shot golden vs. a 2-shard run with one shard killed mid-run and
-//! resumed, coverage CSVs diffed byte-for-byte.
+//! Invariant 12 strengthens this under *injected I/O faults* (see
+//! [`chaosfs`](crate::chaosfs) and [`supervisor`](crate::supervisor)):
+//! whatever a scripted chaos run does to the store, a supervised campaign
+//! either merges byte-identical to the one-shot golden or fails with a
+//! typed [`StoreError`] / an explicit [`merge_campaign_partial`] — never a
+//! silently wrong table. CI enforces both contracts on every push
+//! (`campaign-shard` and `campaign-chaos` jobs).
 
 use crate::campaign::{
-    aggregate, prepare_golden, run_point, CampaignConfig, CampaignResult, SiteResult, TrialResult,
+    aggregate, aggregate_slots, prepare_golden, run_point, CampaignConfig, CampaignResult,
+    SiteResult, TrialResult,
 };
 use crate::shard::{shard_points, ShardSpec};
 use crate::store::{
-    ensure_manifest, fingerprint, read_checkpoint, read_manifest, write_checkpoint, write_status,
-    Manifest, ShardLock, StoreError, TrialRecord,
+    ensure_manifest_on, fingerprint, read_checkpoint_on, read_manifest_on, read_status_on, real_fs,
+    sweep_stale_tmp_on, write_checkpoint_on, write_status_on, DynFs, Manifest, ShardLock,
+    StoreError, TrialRecord,
 };
 use crate::trial_fault;
 use paradet_core::SimScratch;
@@ -48,7 +54,10 @@ pub struct ShardRunOptions {
     pub shard: ShardSpec,
     /// Checkpoint (and heartbeat) after this many completed trials.
     pub checkpoint_every: u64,
-    /// Continue from an existing checkpoint and take over a stale lock.
+    /// Continue from an existing checkpoint. A stale lock from a *dead*
+    /// owner is taken over (and resumed) automatically either way; this
+    /// flag is only needed to re-enter a directory whose shard finished
+    /// or exited cleanly.
     pub resume: bool,
 }
 
@@ -69,31 +78,44 @@ pub struct ShardRunSummary {
     pub total: u64,
 }
 
-/// Runs (or resumes) one shard of `cfg` in `dir`, checkpointing every
-/// `opts.checkpoint_every` trials. `on_checkpoint(done, total)` fires after
-/// each checkpoint write — the campaign's own fault-injection harness uses
-/// it to abort the process mid-run and prove resume determinism.
+/// Runs (or resumes) one shard of `cfg` in `dir` through `fs`,
+/// checkpointing every `opts.checkpoint_every` trials.
+/// `on_checkpoint(done, total)` fires after each checkpoint write — the
+/// campaign's own fault-injection harness uses it to abort the process
+/// mid-run and prove resume determinism.
+///
+/// On entry the shard lock is taken (a dead owner's stale lock — gone
+/// pid, or a pid the kernel recycled onto a different process — is taken
+/// over automatically and treated as an implicit resume), then stranded
+/// `*.tmp` staging files are swept.
 ///
 /// # Errors
 ///
-/// Fails if the directory's manifest or checkpoint fingerprints don't match
-/// `cfg` (see [`StoreError::FingerprintMismatch`]), if the shard is locked
-/// by another (live or killed) run and `opts.resume` is not set, or on I/O.
-pub fn run_campaign_shard(
+/// Fails if the directory's manifest or checkpoint fingerprints don't
+/// match `cfg` (see [`StoreError::FingerprintMismatch`]), if the shard's
+/// lock is held by a live process, if a finished checkpoint exists and
+/// `opts.resume` is not set, or on I/O.
+pub fn run_campaign_shard_on(
+    fs: &DynFs,
     dir: &Path,
     cfg: &CampaignConfig,
     opts: &ShardRunOptions,
     mut on_checkpoint: impl FnMut(u64, u64),
 ) -> Result<ShardRunSummary, StoreError> {
     let fp = fingerprint(cfg).hex();
-    ensure_manifest(dir, cfg, opts.shard.count())?;
-    let _lock = ShardLock::acquire(dir, opts.shard, opts.resume)?;
+    ensure_manifest_on(fs.as_ref(), dir, cfg, opts.shard.count())?;
+    let (_lock, took_over_dead) = ShardLock::acquire_on(fs, dir, opts.shard)?;
+    sweep_stale_tmp_on(fs.as_ref(), dir);
+    // A dead owner's lock means a kill mid-slice: resuming its checkpoint
+    // is the only correct continuation, no flag ceremony required.
+    let resume = opts.resume || took_over_dead;
 
     let points = shard_points(&cfg.sites, cfg.trials_per_site, opts.shard);
     let total = points.len() as u64;
 
-    let mut records: Vec<TrialRecord> = match read_checkpoint(dir, opts.shard, &fp)? {
-        Some(existing) if opts.resume => existing,
+    let mut records: Vec<TrialRecord> = match read_checkpoint_on(fs.as_ref(), dir, opts.shard, &fp)?
+    {
+        Some(existing) if resume => existing,
         Some(_) => {
             return Err(StoreError::Locked(format!(
                 "checkpoint for shard {} already exists in {}; pass --resume to continue it \
@@ -125,7 +147,7 @@ pub fn run_campaign_shard(
         }
     }
     let resumed_from = records.len() as u64;
-    write_status(dir, opts.shard, "running", resumed_from, total)?;
+    write_status_on(fs.as_ref(), dir, opts.shard, "running", resumed_from, total)?;
 
     if resumed_from < total {
         let golden = prepare_golden(cfg);
@@ -156,38 +178,34 @@ pub fn run_campaign_shard(
                 }
             }));
             at += chunk.len();
-            write_checkpoint(dir, opts.shard, &fp, &records)?;
-            write_status(dir, opts.shard, "running", at as u64, total)?;
+            write_checkpoint_on(fs.as_ref(), dir, opts.shard, &fp, &records)?;
+            write_status_on(fs.as_ref(), dir, opts.shard, "running", at as u64, total)?;
             on_checkpoint(at as u64, total);
         }
     } else {
         // Nothing left (a resume of a finished shard): still refresh the
         // checkpoint so the file exists even for an empty slice.
-        write_checkpoint(dir, opts.shard, &fp, &records)?;
+        write_checkpoint_on(fs.as_ref(), dir, opts.shard, &fp, &records)?;
     }
-    write_status(dir, opts.shard, "done", total, total)?;
+    write_status_on(fs.as_ref(), dir, opts.shard, "done", total, total)?;
     Ok(ShardRunSummary { resumed_from, done: total, total })
 }
 
-/// Merges every shard checkpoint in `dir` into the campaign result,
-/// byte-identical to [`run_campaign`](crate::run_campaign) on the same
-/// configuration.
-///
-/// With `expect`, the directory's manifest fingerprint must match the
-/// expected configuration — merging a directory from a different campaign
-/// (other seed, workload, fault model, or trial count) is refused with
-/// [`StoreError::FingerprintMismatch`] rather than producing a plausible
-/// but wrong table.
-///
-/// # Errors
-///
-/// Also fails if any shard checkpoint is missing or incomplete (the error
-/// names the shard to resume) or if any store file is corrupt.
-pub fn merge_campaign(
+/// [`run_campaign_shard_on`] over the real filesystem.
+pub fn run_campaign_shard(
     dir: &Path,
+    cfg: &CampaignConfig,
+    opts: &ShardRunOptions,
+    on_checkpoint: impl FnMut(u64, u64),
+) -> Result<ShardRunSummary, StoreError> {
+    run_campaign_shard_on(&real_fs(), dir, cfg, opts, on_checkpoint)
+}
+
+fn check_expected(
+    dir: &Path,
+    manifest: &Manifest,
     expect: Option<&CampaignConfig>,
-) -> Result<(Manifest, CampaignResult), StoreError> {
-    let manifest = read_manifest(dir)?;
+) -> Result<(), StoreError> {
     if let Some(cfg) = expect {
         let mine = fingerprint(cfg).hex();
         if manifest.fingerprint != mine {
@@ -205,6 +223,53 @@ pub fn merge_campaign(
             });
         }
     }
+    Ok(())
+}
+
+/// Reconstructs one checkpoint record at its grid slot. The fault is
+/// reconstructed, not stored: it is pure in `(seed, site, trial)`, which
+/// is the whole reason sharding can be bit-identical.
+fn place_record(
+    manifest: &Manifest,
+    sites: &[crate::campaign::FaultSite],
+    slots: &mut [Option<TrialResult>],
+    r: &TrialRecord,
+) {
+    let site_pos = sites.iter().position(|&s| s == r.site).expect("site from slice");
+    let g = site_pos * manifest.trials_per_site as usize + r.trial as usize;
+    let fault = trial_fault(manifest.seed, r.site, r.trial, manifest.instrs);
+    slots[g] = Some(TrialResult {
+        site: r.site,
+        fault,
+        outcome: r.outcome,
+        detect_latency: r.latency_fs.map(Time::from_fs),
+        recovery_fs: r.recovery_fs,
+    });
+}
+
+/// Merges every shard checkpoint in `dir` into the campaign result,
+/// byte-identical to [`run_campaign`](crate::run_campaign) on the same
+/// configuration.
+///
+/// With `expect`, the directory's manifest fingerprint must match the
+/// expected configuration — merging a directory from a different campaign
+/// (other seed, workload, fault model, or trial count) is refused with
+/// [`StoreError::FingerprintMismatch`] rather than producing a plausible
+/// but wrong table.
+///
+/// # Errors
+///
+/// Also fails if any shard checkpoint is missing or incomplete (the error
+/// names the shard to resume) or if any store file is corrupt. For a
+/// best-effort render of an incomplete campaign, use
+/// [`merge_campaign_partial`] instead.
+pub fn merge_campaign_on(
+    fs: &DynFs,
+    dir: &Path,
+    expect: Option<&CampaignConfig>,
+) -> Result<(Manifest, CampaignResult), StoreError> {
+    let manifest = read_manifest_on(fs.as_ref(), dir)?;
+    check_expected(dir, &manifest, expect)?;
     let sites = manifest.site_list()?;
     let grid_len = sites.len() * manifest.trials_per_site as usize;
     let mut slots: Vec<Option<TrialResult>> = vec![None; grid_len];
@@ -212,12 +277,13 @@ pub fn merge_campaign(
     for i in 0..manifest.shards {
         let shard = ShardSpec::new(i, manifest.shards);
         let points = shard_points(&sites, manifest.trials_per_site, shard);
-        let records = read_checkpoint(dir, shard, &manifest.fingerprint)?.ok_or_else(|| {
-            StoreError::Incomplete(format!(
-                "shard {shard} has no checkpoint in {} — run it first",
-                dir.display()
-            ))
-        })?;
+        let records = read_checkpoint_on(fs.as_ref(), dir, shard, &manifest.fingerprint)?
+            .ok_or_else(|| {
+                StoreError::Incomplete(format!(
+                    "shard {shard} has no checkpoint in {} — run it first",
+                    dir.display()
+                ))
+            })?;
         if records.len() < points.len() {
             return Err(StoreError::Incomplete(format!(
                 "shard {shard} has {}/{} trials — resume it before merging",
@@ -233,19 +299,7 @@ pub fn merge_campaign(
                     r.trial
                 )));
             }
-            let site_pos = sites.iter().position(|&s| s == site).expect("site from slice");
-            let g = site_pos * manifest.trials_per_site as usize + trial as usize;
-            // The fault is reconstructed, not stored: it is pure in
-            // (seed, site, trial), which is the whole reason sharding can
-            // be bit-identical.
-            let fault = trial_fault(manifest.seed, site, trial, manifest.instrs);
-            slots[g] = Some(TrialResult {
-                site,
-                fault,
-                outcome: r.outcome,
-                detect_latency: r.latency_fs.map(Time::from_fs),
-                recovery_fs: r.recovery_fs,
-            });
+            place_record(&manifest, &sites, &mut slots, r);
         }
     }
 
@@ -260,6 +314,137 @@ pub fn merge_campaign(
         .collect::<Result<_, _>>()?;
     let per_site = aggregate(&sites, &trials);
     Ok((manifest, CampaignResult { trials, per_site }))
+}
+
+/// [`merge_campaign_on`] over the real filesystem.
+pub fn merge_campaign(
+    dir: &Path,
+    expect: Option<&CampaignConfig>,
+) -> Result<(Manifest, CampaignResult), StoreError> {
+    merge_campaign_on(&real_fs(), dir, expect)
+}
+
+/// One shard's contribution to a partial merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardCompleteness {
+    /// The shard.
+    pub shard: ShardSpec,
+    /// Trials this shard's checkpoint contributed.
+    pub done: u64,
+    /// Trials in the shard's slice.
+    pub total: u64,
+    /// `done`, `partial`, `degraded` (the supervisor quarantined it),
+    /// `missing` (no checkpoint), or `corrupt` (checkpoint refused —
+    /// contributes nothing rather than risk a wrong table).
+    pub state: String,
+}
+
+/// A best-effort merge of an incomplete campaign, with explicit per-shard
+/// completeness accounting. Unlike [`merge_campaign`] this never refuses
+/// for missing trials: absent grid points simply don't count, and the
+/// caller renders *how much* of the campaign the table reflects.
+#[derive(Debug)]
+pub struct PartialMerge {
+    /// The directory's manifest.
+    pub manifest: Manifest,
+    /// Per-shard accounting, shard order.
+    pub completeness: Vec<ShardCompleteness>,
+    /// The merged result over the populated grid points only.
+    pub result: CampaignResult,
+    /// Grid points populated.
+    pub completed: u64,
+    /// Grid size.
+    pub grid: u64,
+}
+
+impl PartialMerge {
+    /// Whether every grid point was populated (the partial merge of a
+    /// complete campaign — its tables match [`merge_campaign`]'s exactly).
+    pub fn is_complete(&self) -> bool {
+        self.completed == self.grid
+    }
+}
+
+/// Merges whatever shard checkpoints `dir` holds, however incomplete —
+/// the explicit hand-off target when a supervised campaign quarantines a
+/// shard as degraded.
+///
+/// Per shard: a missing checkpoint contributes nothing (`missing`); a
+/// checkpoint that is refused (corrupt, foreign fingerprint, wrong
+/// schema) contributes nothing (`corrupt`) — a partial table must still
+/// never include a record that failed verification; a valid prefix
+/// contributes its records (`partial`/`done`, or the status heartbeat's
+/// `degraded` tag when the supervisor quarantined the shard).
+///
+/// # Errors
+///
+/// Only an unreadable/foreign manifest (the directory's identity) is
+/// fatal; everything below it degrades to accounting.
+pub fn merge_campaign_partial_on(
+    fs: &DynFs,
+    dir: &Path,
+    expect: Option<&CampaignConfig>,
+) -> Result<PartialMerge, StoreError> {
+    let manifest = read_manifest_on(fs.as_ref(), dir)?;
+    check_expected(dir, &manifest, expect)?;
+    let sites = manifest.site_list()?;
+    let grid = sites.len() as u64 * manifest.trials_per_site;
+    let mut slots: Vec<Option<TrialResult>> = vec![None; grid as usize];
+    let mut completeness = Vec::with_capacity(manifest.shards as usize);
+
+    for i in 0..manifest.shards {
+        let shard = ShardSpec::new(i, manifest.shards);
+        let points = shard_points(&sites, manifest.trials_per_site, shard);
+        let total = points.len() as u64;
+        let (done, mut state) =
+            match read_checkpoint_on(fs.as_ref(), dir, shard, &manifest.fingerprint) {
+                Ok(Some(records)) => {
+                    // Same prefix discipline as the strict merge: stop at the
+                    // first divergence, keep the verified prefix.
+                    let mut done = 0u64;
+                    for (r, &(site, trial)) in records.iter().zip(&points) {
+                        if r.site != site || r.trial != trial {
+                            break;
+                        }
+                        place_record(&manifest, &sites, &mut slots, r);
+                        done += 1;
+                    }
+                    let state = if done == total { "done" } else { "partial" };
+                    (done, state.to_string())
+                }
+                Ok(None) => (0, "missing".to_string()),
+                Err(_) => (0, "corrupt".to_string()),
+            };
+        // The supervisor's quarantine verdict (in the status heartbeat)
+        // outranks the generic "partial" label.
+        if state != "corrupt" && state != "done" {
+            if let Some(s) = read_status_on(fs.as_ref(), dir, shard) {
+                if s.state == "degraded" {
+                    state = "degraded".to_string();
+                }
+            }
+        }
+        completeness.push(ShardCompleteness { shard, done, total, state });
+    }
+
+    let completed = slots.iter().filter(|s| s.is_some()).count() as u64;
+    let per_site = aggregate_slots(&sites, manifest.trials_per_site, &slots);
+    let trials: Vec<TrialResult> = slots.into_iter().flatten().collect();
+    Ok(PartialMerge {
+        manifest,
+        completeness,
+        result: CampaignResult { trials, per_site },
+        completed,
+        grid,
+    })
+}
+
+/// [`merge_campaign_partial_on`] over the real filesystem.
+pub fn merge_campaign_partial(
+    dir: &Path,
+    expect: Option<&CampaignConfig>,
+) -> Result<PartialMerge, StoreError> {
+    merge_campaign_partial_on(&real_fs(), dir, expect)
 }
 
 /// Convenience used by tests and the bench sharded path: runs every shard
@@ -319,7 +504,11 @@ pub fn coverage_cells(label: &str, site: &str, s: &SiteResult) -> Vec<String> {
 
 /// Renders a campaign's per-site coverage as the standard table.
 pub fn coverage_table(label: &str, result: &CampaignResult) -> Table {
-    let mut t = Table::new("Fault-injection coverage (per unmasked fault)", &COVERAGE_HEADER);
+    coverage_table_titled("Fault-injection coverage (per unmasked fault)", label, result)
+}
+
+fn coverage_table_titled(title: &str, label: &str, result: &CampaignResult) -> Table {
+    let mut t = Table::new(title, &COVERAGE_HEADER);
     for (site, s) in &result.per_site {
         t.row(&coverage_cells(label, site.name(), s));
     }
@@ -372,10 +561,96 @@ pub fn recovery_cells(label: &str, kind: &str, site: &str, s: &SiteResult) -> Ve
 /// Renders a recovery campaign's per-site dispositions as the standard
 /// coverage-by-fault-class table.
 pub fn recovery_table(label: &str, kind: &str, result: &CampaignResult) -> Table {
-    let mut t =
-        Table::new("Fault recovery by class (detect → rollback → re-execute)", &RECOVERY_HEADER);
+    recovery_table_titled(
+        "Fault recovery by class (detect → rollback → re-execute)",
+        label,
+        kind,
+        result,
+    )
+}
+
+fn recovery_table_titled(title: &str, label: &str, kind: &str, result: &CampaignResult) -> Table {
+    let mut t = Table::new(title, &RECOVERY_HEADER);
     for (site, s) in &result.per_site {
         t.row(&recovery_cells(label, kind, site.name(), s));
     }
     t
+}
+
+/// The column headers of the per-shard completeness table a partial merge
+/// prints alongside its coverage.
+pub const COMPLETENESS_HEADER: [&str; 5] = ["shard", "done", "total", "pct", "state"];
+
+/// Renders a partial merge's per-shard accounting. The `state` column
+/// makes the merge's honesty explicit: a `degraded`/`missing`/`corrupt`
+/// shard is *named*, not papered over.
+pub fn completeness_table(partial: &PartialMerge) -> Table {
+    let mut t = Table::new("Shard completeness", &COMPLETENESS_HEADER);
+    for c in &partial.completeness {
+        let pct = if c.total == 0 {
+            "100%".to_string()
+        } else {
+            format!("{:.0}%", c.done as f64 / c.total as f64 * 100.0)
+        };
+        t.row(&[
+            c.shard.to_string(),
+            c.done.to_string(),
+            c.total.to_string(),
+            pct,
+            c.state.clone(),
+        ]);
+    }
+    t
+}
+
+/// The `kind` cell label a manifest's recovery table uses: the Debug form
+/// `Intermittent { period: 40, count: 3 }` collapses to its lowercased
+/// head, matching what the one-shot path prints via `FaultKind::name()`.
+/// Shared by `campaign-merge` and the partial merge so both render the
+/// same bytes.
+pub fn manifest_kind_label(manifest: &Manifest) -> String {
+    manifest.fault_kind.split_whitespace().next().unwrap_or("transient").to_ascii_lowercase()
+}
+
+/// Whether a manifest records a recovery campaign (vs detection-only).
+pub fn manifest_is_recovery(manifest: &Manifest) -> bool {
+    manifest.recovery != "None" && !manifest.recovery.is_empty()
+}
+
+/// Renders a merged result with the table family the manifest calls for —
+/// the single render path of `campaignd --supervise`, `campaign-merge`,
+/// and the chaos harness, so "merged table ≡ one-shot table" stays a
+/// byte-level statement.
+pub fn merged_table(manifest: &Manifest, result: &CampaignResult) -> Table {
+    if manifest_is_recovery(manifest) {
+        recovery_table(&manifest.workload, &manifest_kind_label(manifest), result)
+    } else {
+        coverage_table(&manifest.workload, result)
+    }
+}
+
+/// Renders a partial merge's coverage (or recovery) table. Complete
+/// campaigns render with the standard titles — byte-identical to
+/// [`merge_campaign`]'s output — while genuinely partial ones carry a
+/// `PARTIAL` marker in the title so a truncated table can never pass as a
+/// full campaign downstream.
+pub fn partial_result_table(partial: &PartialMerge) -> Table {
+    if partial.is_complete() {
+        return merged_table(&partial.manifest, &partial.result);
+    }
+    let label = &partial.manifest.workload;
+    if manifest_is_recovery(&partial.manifest) {
+        recovery_table_titled(
+            "PARTIAL fault recovery by class (incomplete campaign)",
+            label,
+            &manifest_kind_label(&partial.manifest),
+            &partial.result,
+        )
+    } else {
+        coverage_table_titled(
+            "PARTIAL fault-injection coverage (incomplete campaign)",
+            label,
+            &partial.result,
+        )
+    }
 }

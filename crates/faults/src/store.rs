@@ -12,12 +12,24 @@
 //!   shard-0.lock             present while shard 0 runs (or died running)
 //! ```
 //!
-//! Every file is written atomically (full rewrite to a `.tmp` sibling, then
-//! rename), so a `SIGKILL` at any instant leaves either the previous
-//! complete checkpoint or the new complete checkpoint — never a torn file.
-//! A killed shard loses at most `checkpoint_every − 1` trials of work;
-//! because trials are pure in `(seed, site, trial)`, re-running them on
-//! resume reproduces the identical results.
+//! Every file is written atomically (full rewrite to a pid-tagged `.tmp`
+//! sibling, then rename), so a `SIGKILL` at any instant leaves either the
+//! previous complete checkpoint or the new complete checkpoint — never a
+//! torn file. A killed shard loses at most `checkpoint_every − 1` trials
+//! of work; because trials are pure in `(seed, site, trial)`, re-running
+//! them on resume reproduces the identical results.
+//!
+//! # The filesystem seam ([`StoreFs`])
+//!
+//! Every filesystem operation the store performs — atomic writes,
+//! checkpoint reads, lock acquire/release, status heartbeats, the tmp
+//! sweep — goes through the [`StoreFs`] trait. Production uses [`RealFs`];
+//! the chaos harness ([`crate::chaosfs::ChaosFs`]) substitutes a scripted
+//! fault-injecting implementation, which is how the campaign service's own
+//! robustness claims (determinism invariant 12) are tested
+//! deterministically: torn writes, failed renames, EIO/ENOSPC, lost lock
+//! removals, and stale heartbeats all replay bit-identically from a
+//! `(seed, script)` pair.
 //!
 //! The workspace is deliberately dependency-free (no serde); the JSON here
 //! is hand-rendered and hand-scanned, like `BENCH_speed.json`.
@@ -27,6 +39,7 @@ use crate::shard::ShardSpec;
 use std::fmt;
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 /// Schema tag of `run_manifest.json`. Bumped to v2 when campaigns grew a
 /// fault kind, a recovery policy, and per-trial recovery fields — v1
@@ -39,6 +52,69 @@ pub const MANIFEST_SCHEMA: &str = "paradet-campaign-manifest/v2";
 pub const CHECKPOINT_SCHEMA: &str = "paradet-campaign-ckpt/v2";
 /// Schema tag of the status heartbeat files.
 pub const STATUS_SCHEMA: &str = "paradet-campaign-status/v2";
+
+/// The filesystem operations the campaign store performs, as an
+/// object-safe seam.
+///
+/// [`RealFs`] forwards to `std::fs`; `ChaosFs` (in
+/// [`chaosfs`](crate::chaosfs)) wraps it with a deterministic, scripted
+/// fault plan. Everything the store and service layers touch on disk goes
+/// through this trait, so a chaos run covers the *whole* persistence
+/// surface, not a lucky subset.
+pub trait StoreFs: fmt::Debug + Send + Sync {
+    /// Reads a whole file as UTF-8.
+    fn read_to_string(&self, path: &Path) -> io::Result<String>;
+    /// Writes (creating or truncating) a whole file.
+    fn write(&self, path: &Path, contents: &[u8]) -> io::Result<()>;
+    /// Renames `from` onto `to` (the commit point of an atomic write).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Removes a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Whether a path exists.
+    fn exists(&self, path: &Path) -> bool;
+    /// Creates a directory and its parents.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Lists the entries of a directory (file paths, any order).
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>>;
+}
+
+/// A shared, dynamically-dispatched [`StoreFs`] — the form the service
+/// layer threads around (the lock keeps a clone so its `Drop` can release
+/// through the same filesystem it acquired through).
+pub type DynFs = Arc<dyn StoreFs>;
+
+/// The production [`StoreFs`]: plain `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealFs;
+
+impl StoreFs for RealFs {
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        std::fs::read_to_string(path)
+    }
+    fn write(&self, path: &Path, contents: &[u8]) -> io::Result<()> {
+        std::fs::write(path, contents)
+    }
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+    fn list_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        std::fs::read_dir(path)?.map(|e| e.map(|e| e.path())).collect()
+    }
+}
+
+/// A fresh shared [`RealFs`].
+pub fn real_fs() -> DynFs {
+    Arc::new(RealFs)
+}
 
 /// Errors from the campaign store and the shard/merge service.
 #[derive(Debug)]
@@ -68,7 +144,8 @@ pub enum StoreError {
         /// Schema tag this binary writes and reads.
         expected: String,
     },
-    /// A lock file says the shard is (or died) running.
+    /// A lock file says the shard is running in a *live* process, or a
+    /// completed shard's checkpoint exists and `--resume` was not given.
     Locked(String),
     /// A merge found a shard with missing trials.
     Incomplete(String),
@@ -273,10 +350,10 @@ pub fn manifest_path(dir: &Path) -> PathBuf {
     dir.join("run_manifest.json")
 }
 
-/// Reads and parses `run_manifest.json` from `dir`.
-pub fn read_manifest(dir: &Path) -> Result<Manifest, StoreError> {
+/// Reads and parses `run_manifest.json` from `dir` through `fs`.
+pub fn read_manifest_on(fs: &dyn StoreFs, dir: &Path) -> Result<Manifest, StoreError> {
     let path = manifest_path(dir);
-    let text = std::fs::read_to_string(&path).map_err(|e| {
+    let text = fs.read_to_string(&path).map_err(|e| {
         if e.kind() == io::ErrorKind::NotFound {
             StoreError::Corrupt(format!("no run_manifest.json in {}", dir.display()))
         } else {
@@ -286,22 +363,28 @@ pub fn read_manifest(dir: &Path) -> Result<Manifest, StoreError> {
     Manifest::parse(&text)
 }
 
+/// [`read_manifest_on`] over the real filesystem.
+pub fn read_manifest(dir: &Path) -> Result<Manifest, StoreError> {
+    read_manifest_on(&RealFs, dir)
+}
+
 /// Writes the manifest if absent, or validates the existing one against
 /// this invocation (fingerprint and shard count must match). Returns the
 /// manifest in force.
-pub fn ensure_manifest(
+pub fn ensure_manifest_on(
+    fs: &dyn StoreFs,
     dir: &Path,
     cfg: &CampaignConfig,
     shards: u32,
 ) -> Result<Manifest, StoreError> {
-    std::fs::create_dir_all(dir)?;
+    fs.create_dir_all(dir)?;
     let mine = Manifest::from_config(cfg, shards);
     let path = manifest_path(dir);
-    if !path.exists() {
-        atomic_write(&path, &mine.render())?;
+    if !fs.exists(&path) {
+        atomic_write_on(fs, &path, &mine.render())?;
         return Ok(mine);
     }
-    let found = read_manifest(dir)?;
+    let found = read_manifest_on(fs, dir)?;
     if found.fingerprint != mine.fingerprint {
         return Err(StoreError::FingerprintMismatch {
             expected: mine.fingerprint,
@@ -325,6 +408,15 @@ pub fn ensure_manifest(
         )));
     }
     Ok(found)
+}
+
+/// [`ensure_manifest_on`] over the real filesystem.
+pub fn ensure_manifest(
+    dir: &Path,
+    cfg: &CampaignConfig,
+    shards: u32,
+) -> Result<Manifest, StoreError> {
+    ensure_manifest_on(&RealFs, dir, cfg, shards)
 }
 
 /// One checkpointed trial: the grid point and its classification. The
@@ -387,7 +479,8 @@ fn check_sealed(line: &str) -> Option<&str> {
 /// order. Every line — header included — is sealed with a FNV-1a checksum
 /// so bit rot from non-atomic storage (NFS, torn replication) is caught on
 /// read instead of corrupting a resumed campaign.
-pub fn write_checkpoint(
+pub fn write_checkpoint_on(
+    fs: &dyn StoreFs,
     dir: &Path,
     shard: ShardSpec,
     fp: &str,
@@ -421,7 +514,17 @@ pub fn write_checkpoint(
         }
         push_sealed(&mut out, &line);
     }
-    atomic_write(&checkpoint_path(dir, shard), &out)
+    atomic_write_on(fs, &checkpoint_path(dir, shard), &out)
+}
+
+/// [`write_checkpoint_on`] over the real filesystem.
+pub fn write_checkpoint(
+    dir: &Path,
+    shard: ShardSpec,
+    fp: &str,
+    records: &[TrialRecord],
+) -> Result<(), StoreError> {
+    write_checkpoint_on(&RealFs, dir, shard, fp, records)
 }
 
 /// Reads shard `shard`'s checkpoint, if present, validating its header
@@ -433,13 +536,14 @@ pub fn write_checkpoint(
 /// `(seed, site, trial)`, so the repaired campaign is bit-identical. A
 /// bad line anywhere *else* (or an intact line that doesn't parse) is
 /// real corruption and is refused.
-pub fn read_checkpoint(
+pub fn read_checkpoint_on(
+    fs: &dyn StoreFs,
     dir: &Path,
     shard: ShardSpec,
     expect_fp: &str,
 ) -> Result<Option<Vec<TrialRecord>>, StoreError> {
     let path = checkpoint_path(dir, shard);
-    let text = match std::fs::read_to_string(&path) {
+    let text = match fs.read_to_string(&path) {
         Ok(t) => t,
         Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(StoreError::Io(e)),
@@ -523,8 +627,24 @@ pub fn read_checkpoint(
     Ok(Some(records))
 }
 
+/// [`read_checkpoint_on`] over the real filesystem.
+pub fn read_checkpoint(
+    dir: &Path,
+    shard: ShardSpec,
+    expect_fp: &str,
+) -> Result<Option<Vec<TrialRecord>>, StoreError> {
+    read_checkpoint_on(&RealFs, dir, shard, expect_fp)
+}
+
+/// Path of shard `shard`'s status heartbeat inside `dir`. The supervisor
+/// watches this file's mtime as the liveness signal.
+pub fn status_path(dir: &Path, shard: ShardSpec) -> PathBuf {
+    dir.join(format!("status-shard-{}.json", shard.index()))
+}
+
 /// Atomically writes shard `shard`'s status heartbeat.
-pub fn write_status(
+pub fn write_status_on(
+    fs: &dyn StoreFs,
     dir: &Path,
     shard: ShardSpec,
     state: &str,
@@ -545,49 +665,232 @@ pub fn write_status(
         total,
         unix
     );
-    atomic_write(&dir.join(format!("status-shard-{}.json", shard.index())), &body)
+    atomic_write_on(fs, &status_path(dir, shard), &body)
+}
+
+/// [`write_status_on`] over the real filesystem.
+pub fn write_status(
+    dir: &Path,
+    shard: ShardSpec,
+    state: &str,
+    done: u64,
+    total: u64,
+) -> Result<(), StoreError> {
+    write_status_on(&RealFs, dir, shard, state, done, total)
+}
+
+/// A parsed status heartbeat.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStatus {
+    /// Free-form state tag: `running`, `done`, or `degraded` (written by
+    /// the supervisor when it quarantines a shard).
+    pub state: String,
+    /// Trials completed at the time of the heartbeat.
+    pub done: u64,
+    /// Trials in the shard's slice.
+    pub total: u64,
+    /// Unix seconds of the heartbeat (coarse; the supervisor uses file
+    /// mtime instead for sub-second staleness detection).
+    pub updated_unix: u64,
+}
+
+/// Reads shard `shard`'s status heartbeat, if present. A malformed status
+/// file reads as `None` rather than an error — heartbeats are advisory
+/// (progress display, supervisor bookkeeping), never load-bearing for the
+/// merge.
+pub fn read_status_on(fs: &dyn StoreFs, dir: &Path, shard: ShardSpec) -> Option<ShardStatus> {
+    let text = fs.read_to_string(&status_path(dir, shard)).ok()?;
+    Some(ShardStatus {
+        state: str_field(&text, "state")?,
+        done: u64_field(&text, "done")?,
+        total: u64_field(&text, "total")?,
+        updated_unix: u64_field(&text, "updated_unix").unwrap_or(0),
+    })
+}
+
+/// [`read_status_on`] over the real filesystem.
+pub fn read_status(dir: &Path, shard: ShardSpec) -> Option<ShardStatus> {
+    read_status_on(&RealFs, dir, shard)
+}
+
+/// The boot token of a live process: a stable identifier of the process
+/// *instance* (not just the pid, which the kernel recycles). On Linux this
+/// is the `starttime` field of `/proc/<pid>/stat` — two different
+/// processes can share a pid across time, but never a `(pid, starttime)`
+/// pair. Returns `None` where unreadable (non-Linux, or the process is
+/// gone).
+pub fn boot_token_of(pid: u32) -> Option<String> {
+    let stat = std::fs::read_to_string(format!("/proc/{pid}/stat")).ok()?;
+    // comm (field 2) is an arbitrary string in parens; everything after
+    // the *last* ')' is whitespace-separated fields 3.. — starttime is
+    // field 22 overall, index 19 of the remainder.
+    let rest = &stat[stat.rfind(')')? + 1..];
+    rest.split_whitespace().nth(19).map(str::to_string)
+}
+
+/// Whether process `pid` is live at all (boot token aside). `true` is the
+/// conservative answer where `/proc` is unavailable.
+fn process_is_live(pid: u32) -> bool {
+    if pid == std::process::id() {
+        return true;
+    }
+    if !Path::new("/proc").exists() {
+        return true; // No way to tell; never steal from a maybe-live owner.
+    }
+    Path::new(&format!("/proc/{pid}")).exists()
+}
+
+/// Whether the shard-lock owner `(pid, token)` is a genuinely live
+/// process *other than us*.
+///
+/// * Our own pid → **dead**: a live concurrent process cannot share our
+///   pid, so the lock is a leftover of an earlier incarnation in this
+///   process (the in-process chaos harness exercises exactly this).
+/// * pid gone → dead. pid present but boot token differs → the pid was
+///   recycled onto an unrelated process → the *owner* is dead.
+/// * Token unreadable/unrecorded → conservatively live (never steal a
+///   lock we cannot prove stale).
+fn lock_owner_is_live(pid: u32, token: &str) -> bool {
+    if pid == std::process::id() {
+        return false;
+    }
+    if !process_is_live(pid) {
+        return false;
+    }
+    if token == "-" {
+        return true; // Recorded without a token: cannot prove reuse.
+    }
+    match boot_token_of(pid) {
+        Some(cur) => cur == token,
+        // /proc/<pid> exists but stat is unreadable: conservatively live.
+        None => true,
+    }
 }
 
 /// A held per-shard lock file. Dropped on clean completion (the file is
-/// removed); a `SIGKILL` leaves the file behind, which is exactly the
-/// signal `--resume` overrides and a fresh start refuses.
+/// removed); a `SIGKILL` leaves the file behind.
+///
+/// The lock records `pid` **and** the owner's boot token (process start
+/// time), so a stale lock is distinguished from a live one by *owner
+/// liveness*, not by flags: a lock whose owner is dead — the pid is gone,
+/// or was recycled onto a different process instance — is taken over
+/// automatically, while a genuinely live owner always refuses, `--resume`
+/// or not (two live processes on one shard would race the checkpoint).
 #[derive(Debug)]
 pub struct ShardLock {
+    fs: DynFs,
     path: PathBuf,
 }
 
+/// Path of shard `shard`'s lock file inside `dir`.
+pub fn lock_path(dir: &Path, shard: ShardSpec) -> PathBuf {
+    dir.join(format!("shard-{}.lock", shard.index()))
+}
+
 impl ShardLock {
-    /// Acquires the lock for `shard` in `dir`. With `takeover` (resume), an
-    /// existing lock — a crashed or killed previous owner — is replaced;
-    /// without it, an existing lock is an error.
-    pub fn acquire(dir: &Path, shard: ShardSpec, takeover: bool) -> Result<ShardLock, StoreError> {
-        let path = dir.join(format!("shard-{}.lock", shard.index()));
-        if path.exists() && !takeover {
-            return Err(StoreError::Locked(format!(
-                "{} exists: shard {} is already running (or died mid-run); \
-                 pass --resume to take over and continue from its checkpoint",
-                path.display(),
-                shard
-            )));
+    /// Acquires the lock for `shard` in `dir` through `fs`. Returns the
+    /// held lock and whether a dead owner's stale lock was taken over —
+    /// the service treats that as an implicit resume (the dead owner left
+    /// a checkpoint mid-slice).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Locked`] when the recorded owner is a genuinely live
+    /// process (see [`boot_token_of`] for how pid reuse is detected).
+    pub fn acquire_on(
+        fs: &DynFs,
+        dir: &Path,
+        shard: ShardSpec,
+    ) -> Result<(ShardLock, bool), StoreError> {
+        let path = lock_path(dir, shard);
+        let mut took_over_dead = false;
+        if fs.exists(&path) {
+            let owner = fs.read_to_string(&path).unwrap_or_default();
+            let mut it = owner.split_whitespace();
+            let pid: Option<u32> = it.next().and_then(|p| p.parse().ok());
+            let token = it.next().unwrap_or("-");
+            match pid {
+                Some(pid) if lock_owner_is_live(pid, token) => {
+                    return Err(StoreError::Locked(format!(
+                        "{} is held by live process {pid}: shard {} is already running; \
+                         wait for it (or kill it) instead of racing its checkpoint",
+                        path.display(),
+                        shard
+                    )));
+                }
+                // Dead owner (gone pid, recycled pid, our own earlier
+                // incarnation) or unparseable legacy lock: take over.
+                _ => took_over_dead = true,
+            }
         }
-        std::fs::write(&path, format!("{}\n", std::process::id()))?;
-        Ok(ShardLock { path })
+        let token = boot_token_of(std::process::id()).unwrap_or_else(|| "-".to_string());
+        fs.write(&path, format!("{} {}\n", std::process::id(), token).as_bytes())?;
+        Ok((ShardLock { fs: Arc::clone(fs), path }, took_over_dead))
+    }
+
+    /// [`ShardLock::acquire_on`] over the real filesystem.
+    pub fn acquire(dir: &Path, shard: ShardSpec) -> Result<(ShardLock, bool), StoreError> {
+        ShardLock::acquire_on(&real_fs(), dir, shard)
     }
 }
 
 impl Drop for ShardLock {
     fn drop(&mut self) {
-        let _ = std::fs::remove_file(&self.path);
+        let _ = self.fs.remove_file(&self.path);
     }
 }
 
-/// Writes `contents` to `path` via a `.tmp` sibling + rename, so readers
-/// (and a kill at any instant) see either the old file or the new one.
-fn atomic_write(path: &Path, contents: &str) -> Result<(), StoreError> {
-    let tmp = path.with_extension("tmp");
-    std::fs::write(&tmp, contents)?;
-    std::fs::rename(&tmp, path)?;
+/// The pid-tagged `.tmp` sibling [`atomic_write_on`] stages into:
+/// `<name>.<pid>.tmp`. Tagging with the writer's pid lets the sweep
+/// distinguish a *stranded* tmp (owner dead — a kill landed between write
+/// and rename) from one a live sibling shard is about to rename.
+fn tmp_sibling(path: &Path) -> PathBuf {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("file");
+    path.with_file_name(format!("{name}.{}.tmp", std::process::id()))
+}
+
+/// Writes `contents` to `path` via a pid-tagged `.tmp` sibling + rename,
+/// so readers (and a kill at any instant) see either the old file or the
+/// new one.
+pub fn atomic_write_on(fs: &dyn StoreFs, path: &Path, contents: &str) -> Result<(), StoreError> {
+    let tmp = tmp_sibling(path);
+    fs.write(&tmp, contents.as_bytes())?;
+    fs.rename(&tmp, path)?;
     Ok(())
+}
+
+/// Sweeps stranded `*.tmp` staging files out of `dir`: an `atomic_write`
+/// killed between write and rename leaks its tmp forever, and nothing
+/// else ever removes it. A tmp is *stranded* when its embedded owner pid
+/// is dead (or the name carries no parseable pid); a live owner's tmp —
+/// a sibling shard mid-write — is left alone. Returns the removed paths.
+///
+/// Called on store open/resume (under the shard lock). Best-effort:
+/// individual remove failures are skipped, never fatal — a surviving tmp
+/// costs disk, not correctness.
+pub fn sweep_stale_tmp_on(fs: &dyn StoreFs, dir: &Path) -> Vec<PathBuf> {
+    let Ok(entries) = fs.list_dir(dir) else {
+        return Vec::new();
+    };
+    let mut removed = Vec::new();
+    for path in entries {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Some(stem) = name.strip_suffix(".tmp") else {
+            continue;
+        };
+        // `<original>.<pid>.tmp` → owner pid is the last dot-segment.
+        let owner: Option<u32> = stem.rsplit('.').next().and_then(|p| p.parse().ok());
+        let stranded = match owner {
+            Some(pid) => pid == std::process::id() || !process_is_live(pid),
+            None => true, // Legacy / foreign tmp: nobody will rename it.
+        };
+        if stranded && fs.remove_file(&path).is_ok() {
+            removed.push(path);
+        }
+    }
+    removed
 }
 
 /// Escapes a string for embedding in a JSON string literal.
@@ -873,17 +1176,104 @@ mod tests {
     }
 
     #[test]
-    fn locks_block_and_takeover() {
+    fn status_round_trips() {
+        let dir = tmpdir("status");
+        let shard = ShardSpec::new(1, 3);
+        write_status(&dir, shard, "running", 7, 12).unwrap();
+        let s = read_status(&dir, shard).expect("status readable");
+        assert_eq!((s.state.as_str(), s.done, s.total), ("running", 7, 12));
+        // Absent shard: None, not an error.
+        assert!(read_status(&dir, ShardSpec::new(2, 3)).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Satellite regression: a stale lock from a dead owner is taken over
+    /// automatically; a lock held by a genuinely live process refuses.
+    #[test]
+    fn dead_owner_lock_is_taken_over_live_owner_refuses() {
         let dir = tmpdir("lock");
         let shard = ShardSpec::new(0, 1);
-        let lock = ShardLock::acquire(&dir, shard, false).unwrap();
-        // Second acquire without takeover: refused.
-        assert!(matches!(ShardLock::acquire(&dir, shard, false), Err(StoreError::Locked(_))));
-        // Takeover (the --resume path after a kill): allowed.
-        drop(ShardLock::acquire(&dir, shard, true).unwrap());
+        let path = lock_path(&dir, shard);
+
+        // A lock whose pid cannot exist (> kernel pid_max) — SIGKILLed
+        // owner long gone: taken over without ceremony.
+        std::fs::write(&path, "4194999999 12345\n").unwrap();
+        let (lock, took_over) = ShardLock::acquire(&dir, shard).unwrap();
+        assert!(took_over, "a dead owner's lock must be taken over");
         drop(lock);
-        // Clean drop removed the file; fresh acquire works again.
-        drop(ShardLock::acquire(&dir, shard, false).unwrap());
+        assert!(!path.exists(), "clean drop removes the lock");
+
+        // Our own pid with a *stale* boot token — the pid-reuse shape (a
+        // recycled pid on a different process instance): taken over.
+        std::fs::write(&path, format!("{} not-a-real-token\n", std::process::id())).unwrap();
+        let (lock, took_over) = ShardLock::acquire(&dir, shard).unwrap();
+        assert!(took_over, "a recycled pid must read as a dead owner");
+        drop(lock);
+
+        // A genuinely live owner (pid 1 — init/systemd, always alive,
+        // never us) with its real boot token: refused.
+        if let Some(token) = boot_token_of(1) {
+            std::fs::write(&path, format!("1 {token}\n")).unwrap();
+            match ShardLock::acquire(&dir, shard) {
+                Err(StoreError::Locked(m)) => {
+                    assert!(m.contains("live process"), "error must say why: {m}")
+                }
+                r => panic!("a live owner must refuse, got {r:?}"),
+            }
+            std::fs::remove_file(&path).unwrap();
+        }
+
+        // Unparseable legacy lock: treated as dead, taken over.
+        std::fs::write(&path, "garbage\n").unwrap();
+        let (_lock, took_over) = ShardLock::acquire(&dir, shard).unwrap();
+        assert!(took_over);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fresh_lock_acquires_and_releases() {
+        let dir = tmpdir("lock2");
+        let shard = ShardSpec::new(0, 1);
+        let (lock, took_over) = ShardLock::acquire(&dir, shard).unwrap();
+        assert!(!took_over, "a fresh acquire takes over nothing");
+        // The lock file records our pid + boot token.
+        let body = std::fs::read_to_string(lock_path(&dir, shard)).unwrap();
+        let mut it = body.split_whitespace();
+        assert_eq!(it.next().unwrap(), std::process::id().to_string());
+        assert!(it.next().is_some(), "boot token recorded");
+        drop(lock);
+        drop(ShardLock::acquire(&dir, shard).unwrap());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Satellite regression: stranded `*.tmp` staging files (a kill
+    /// between write and rename) are swept on store open; live files and
+    /// a live owner's tmp are untouched.
+    #[test]
+    fn sweep_removes_stranded_tmp_and_keeps_live_files() {
+        let dir = tmpdir("sweep");
+        // A stranded tmp from a dead pid, a legacy tmp with no pid, a
+        // live checkpoint, and a tmp owned by a live process (pid 1).
+        std::fs::write(dir.join("shard-0-of-2.jsonl.4194999999.tmp"), "stranded").unwrap();
+        std::fs::write(dir.join("run_manifest.tmp"), "legacy").unwrap();
+        std::fs::write(dir.join("shard-0-of-2.jsonl"), "live checkpoint").unwrap();
+        std::fs::write(dir.join("status-shard-1.json.1.tmp"), "live owner").unwrap();
+
+        let removed = sweep_stale_tmp_on(&RealFs, &dir);
+        assert_eq!(removed.len(), 2, "exactly the stranded + legacy tmps go: {removed:?}");
+        assert!(!dir.join("shard-0-of-2.jsonl.4194999999.tmp").exists());
+        assert!(!dir.join("run_manifest.tmp").exists());
+        assert_eq!(
+            std::fs::read_to_string(dir.join("shard-0-of-2.jsonl")).unwrap(),
+            "live checkpoint",
+            "live files are untouched"
+        );
+        assert!(
+            dir.join("status-shard-1.json.1.tmp").exists(),
+            "a live owner's in-flight tmp is left alone"
+        );
+        // Sweeping a missing directory is a quiet no-op.
+        assert!(sweep_stale_tmp_on(&RealFs, &dir.join("nope")).is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

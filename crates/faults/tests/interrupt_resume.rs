@@ -76,15 +76,30 @@ fn aborted_shard_resumes_and_merges_byte_identical() {
     assert!(dir.join("shard-0.lock").exists(), "an aborted process leaves its lock");
     assert!(dir.join("run_manifest.json").exists());
 
-    // A restart WITHOUT --resume must refuse (stale lock).
-    let blocked = campaignd(&["--shard", "0/2", "--dir", dir_s]);
-    assert_eq!(blocked.status.code(), Some(4), "stale lock must block: {}", stderr_of(&blocked));
-
-    // Resume completes the slice.
-    let resumed = campaignd(&["--shard", "0/2", "--resume", dir_s, "--checkpoint-every", "1"]);
-    assert!(resumed.status.success(), "resume failed: {}", stderr_of(&resumed));
+    // A restart WITHOUT --resume detects the dead lock owner (the aborted
+    // process's pid is gone, or recycled onto a different start time),
+    // takes the lock over, and continues the checkpoint implicitly — no
+    // flag ceremony after a crash.
+    let resumed = campaignd(&["--shard", "0/2", "--dir", dir_s, "--checkpoint-every", "1"]);
+    assert!(
+        resumed.status.success(),
+        "dead-owner takeover must auto-resume: {}",
+        stderr_of(&resumed)
+    );
     let stdout = String::from_utf8_lossy(&resumed.stdout).into_owned();
     assert!(stdout.contains("(1 resumed, 5 run)"), "must resume from the checkpoint: {stdout}");
+
+    // Re-running the now-*finished* shard without --resume is still
+    // refused: no lock, no dead owner — just a completed checkpoint that
+    // an explicit --resume (or a fresh dir) must acknowledge. Exit 4.
+    let blocked = campaignd(&["--shard", "0/2", "--dir", dir_s]);
+    assert_eq!(
+        blocked.status.code(),
+        Some(4),
+        "finished checkpoint without --resume must block: {}",
+        stderr_of(&blocked)
+    );
+    assert!(stderr_of(&blocked).contains("--resume"), "error must say how to proceed");
 
     // Shard 1 runs uninterrupted.
     let s1 = campaignd(&["--shard", "1/2", "--dir", dir_s]);
@@ -147,6 +162,74 @@ fn sigkilled_shard_resumes_and_merges_byte_identical() {
     assert!(merge.status.success(), "merge failed: {}", stderr_of(&merge));
     let merged = std::fs::read(&merged_path).expect("merged csv written");
     assert_eq!(golden, merged);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Satellite of the chaos tentpole: kill the real binary *inside* the
+/// checkpoint write→rename window. A scripted `PARADET_CHAOS` plan tears
+/// the second checkpoint 7 bytes short (so the on-disk file ends in a
+/// line whose crc cannot verify) and aborts the process during the third
+/// checkpoint's write — stranding its pid-tagged `.tmp` before the
+/// rename. Resume must (a) repair the torn final line to the intact
+/// prefix per the PR 7 crc path, (b) sweep the stranded tmp, and (c)
+/// merge byte-identical to the one-shot golden.
+#[test]
+fn chaos_kill_in_checkpoint_window_repairs_on_resume() {
+    let dir = tmpdir("chaoswin");
+    let dir_s = dir.to_str().unwrap();
+    let golden_path = dir.join("golden.csv");
+    std::fs::create_dir_all(&dir).unwrap();
+    let golden = golden_csv(&golden_path);
+
+    // Checkpoint every trial: ckpt-writes #0,#1,#2 are checkpoints 1–3.
+    let out = Command::new(CAMPAIGND)
+        .args(CONFIG_FLAGS)
+        .args(["--shard", "0/2", "--dir", dir_s, "--checkpoint-every", "1"])
+        .env("PARADET_CHAOS", "0:torn-ckpt-write@1=-7;0:abort-ckpt-write@2=0")
+        .output()
+        .expect("spawn campaignd under chaos");
+    assert!(!out.status.success(), "the scripted abort must kill the process");
+
+    let ckpt = dir.join("shard-0-of-2.jsonl");
+    assert!(ckpt.exists(), "the torn checkpoint must have been renamed into place");
+    let tmps: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+        .map(|e| e.path())
+        .collect();
+    assert_eq!(tmps.len(), 1, "the aborted write must strand its tmp: {tmps:?}");
+    assert!(dir.join("shard-0.lock").exists(), "abort leaves the lock");
+
+    // Restart (no --resume, no chaos): dead-owner takeover, crc-repair of
+    // the torn final line (2 records on disk, 1 survives), then 5 trials.
+    let resumed = campaignd(&["--shard", "0/2", "--dir", dir_s, "--checkpoint-every", "1"]);
+    assert!(resumed.status.success(), "resume under repair failed: {}", stderr_of(&resumed));
+    let stdout = String::from_utf8_lossy(&resumed.stdout).into_owned();
+    assert!(
+        stdout.contains("(1 resumed, 5 run)"),
+        "the torn record must be recomputed, the intact one kept: {stdout}"
+    );
+    let leftover: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+        .map(|e| e.path())
+        .collect();
+    assert!(leftover.is_empty(), "resume must sweep the stranded tmp: {leftover:?}");
+
+    let s1 = campaignd(&["--shard", "1/2", "--dir", dir_s]);
+    assert!(s1.status.success(), "shard 1 failed: {}", stderr_of(&s1));
+
+    let merged_path = dir.join("merged.csv");
+    let merge = Command::new(MERGE)
+        .args(CONFIG_FLAGS)
+        .args(["--dir", dir_s, "--out", merged_path.to_str().unwrap()])
+        .output()
+        .expect("spawn campaign-merge");
+    assert!(merge.status.success(), "merge failed: {}", stderr_of(&merge));
+    let merged = std::fs::read(&merged_path).expect("merged csv written");
+    assert_eq!(golden, merged, "chaos + repair must still merge byte-identical");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

@@ -1,0 +1,222 @@
+//! The self-healing supervisor, through the real binaries: `campaignd
+//! --supervise` spawns its shard fleet, and scripted chaos (`--chaos`)
+//! crashes, starves, and hangs the children. Every leg ends in one of the
+//! two outcomes determinism invariant 12 allows — a merge byte-identical
+//! to the one-shot golden, or an explicit degraded exit (7) whose partial
+//! checkpoints `campaign-merge --partial` accounts for per shard.
+//!
+//! (The in-process twin of this suite — thousands of *random* chaos
+//! scripts through `supervise_in_process` — lives in the workspace-level
+//! `tests/chaos_campaigns.rs` proptest.)
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const CAMPAIGND: &str = env!("CARGO_BIN_EXE_campaignd");
+const MERGE: &str = env!("CARGO_BIN_EXE_campaign-merge");
+
+/// Same small-but-real campaign as `interrupt_resume.rs`: three site
+/// classes, four trials each (12 grid points, 6 per shard of 2).
+const CONFIG_FLAGS: [&str; 8] = [
+    "--instrs",
+    "2500",
+    "--trials-per-site",
+    "4",
+    "--seed",
+    "42",
+    "--sites",
+    "int-reg,store-value,pc",
+];
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("paradet-supervise-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn stderr_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+fn stdout_of(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+fn campaignd(args: &[&str]) -> Output {
+    Command::new(CAMPAIGND).args(CONFIG_FLAGS).args(args).output().expect("spawn campaignd")
+}
+
+/// One-shot golden: returns `(stdout table, csv bytes)`.
+fn golden(dir: &Path) -> (String, Vec<u8>) {
+    let path = dir.join("golden.csv");
+    let out = campaignd(&["--one-shot", "--out", path.to_str().unwrap()]);
+    assert!(out.status.success(), "one-shot failed: {}", stderr_of(&out));
+    (stdout_of(&out), std::fs::read(&path).expect("golden csv written"))
+}
+
+/// Runs `campaignd --supervise 2` over `dir` with `extra` args and the
+/// campaign config, returning its output.
+fn supervise(dir: &Path, extra: &[&str]) -> Output {
+    let csv = dir.join("supervised.csv");
+    Command::new(CAMPAIGND)
+        .args(CONFIG_FLAGS)
+        .args([
+            "--supervise",
+            "2",
+            "--dir",
+            dir.to_str().unwrap(),
+            "--checkpoint-every",
+            "1",
+            "--out",
+            csv.to_str().unwrap(),
+        ])
+        .args(extra)
+        .output()
+        .expect("spawn campaignd --supervise")
+}
+
+/// The no-fault baseline: a supervised fleet over a fresh directory
+/// merges — stdout table and CSV bytes — identical to the one-shot.
+#[test]
+fn clean_supervised_run_merges_byte_identical() {
+    let dir = tmpdir("clean");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (golden_stdout, golden_csv) = golden(&dir);
+
+    let out = supervise(&dir, &[]);
+    assert!(out.status.success(), "supervise failed: {}", stderr_of(&out));
+    assert_eq!(stdout_of(&out), golden_stdout, "supervised table must match one-shot stdout");
+    let csv = std::fs::read(dir.join("supervised.csv")).expect("supervised csv written");
+    assert_eq!(golden_csv, csv, "supervised CSV must be byte-identical to the one-shot");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Crash self-healing: every shard's first incarnation aborts during its
+/// first checkpoint write (stranding a `.tmp`, no checkpoint renamed into
+/// place). The supervisor must restart both, and the merge must still be
+/// byte-identical.
+#[test]
+fn crashed_shards_are_restarted_and_merge_byte_identical() {
+    let dir = tmpdir("crash");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (_, golden_csv) = golden(&dir);
+
+    let out = supervise(&dir, &["--chaos", "0:abort-ckpt-write@0=0", "--backoff-base-ms", "50"]);
+    let log = stderr_of(&out);
+    assert!(out.status.success(), "supervise must self-heal the crash: {log}");
+    assert!(log.contains("restarting"), "the restarts must be logged: {log}");
+    let csv = std::fs::read(dir.join("supervised.csv")).expect("supervised csv written");
+    assert_eq!(golden_csv, csv, "post-restart merge must be byte-identical");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// ENOSPC self-healing: the first incarnation's first checkpoint write
+/// fails with an out-of-space error (exit 1, a *retryable* store error).
+/// The restart finds clean state and completes.
+#[test]
+fn enospc_write_failure_is_retried_to_completion() {
+    let dir = tmpdir("enospc");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (_, golden_csv) = golden(&dir);
+
+    let out = supervise(&dir, &["--chaos", "0:fail-ckpt-write@0", "--backoff-base-ms", "50"]);
+    let log = stderr_of(&out);
+    assert!(out.status.success(), "supervise must retry past ENOSPC: {log}");
+    assert!(log.contains("exit code 1"), "the store-error exit must be logged: {log}");
+    let csv = std::fs::read(dir.join("supervised.csv")).expect("supervised csv written");
+    assert_eq!(golden_csv, csv);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Hang detection: the first incarnation stalls 15 s inside a status
+/// write, starving its heartbeat. With a 2 s deadline the supervisor must
+/// kill it, restart it (the restart takes over the dead owner's lock and
+/// resumes the checkpoint), and merge byte-identical.
+#[test]
+fn hung_shard_is_killed_restarted_and_merges() {
+    let dir = tmpdir("hang");
+    std::fs::create_dir_all(&dir).unwrap();
+    let (_, golden_csv) = golden(&dir);
+
+    let out = supervise(
+        &dir,
+        &[
+            "--chaos",
+            "0:stall-status-write@1=15000",
+            "--heartbeat-timeout-ms",
+            "2000",
+            "--backoff-base-ms",
+            "50",
+        ],
+    );
+    let log = stderr_of(&out);
+    assert!(out.status.success(), "supervise must recover the hang: {log}");
+    assert!(log.contains("heartbeat stale"), "the hang detection must be logged: {log}");
+    let csv = std::fs::read(dir.join("supervised.csv")).expect("supervised csv written");
+    assert_eq!(golden_csv, csv, "post-hang merge must be byte-identical");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Quarantine + explicit hand-off: every incarnation of every shard is
+/// killed after persisting exactly one trial, so the restart budget (2)
+/// is exhausted. The supervised run must exit 7 naming the degraded
+/// shards, and `campaign-merge --partial` must render the 2/12 grid
+/// points that exist with per-shard `degraded` accounting and a PARTIAL
+/// table title — instead of the strict merge's refusal.
+#[test]
+fn exhausted_restarts_quarantine_and_partial_merge_accounts() {
+    let dir = tmpdir("quarantine");
+    let dir_s = dir.to_str().unwrap();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Attempt 0 dies during its 2nd checkpoint write (1 trial persisted);
+    // attempts 1 and 2 die during their first (resumed) checkpoint write,
+    // so nothing new ever lands.
+    let out = supervise(
+        &dir,
+        &[
+            "--chaos",
+            "0:abort-ckpt-write@1=0;1:abort-ckpt-write@0=0;2:abort-ckpt-write@0=0",
+            "--max-restarts",
+            "2",
+            "--backoff-base-ms",
+            "50",
+        ],
+    );
+    let log = stderr_of(&out);
+    assert_eq!(out.status.code(), Some(7), "exhausted restarts must exit DEGRADED: {log}");
+    assert!(log.contains("QUARANTINED"), "quarantine must be logged: {log}");
+    assert!(log.contains("DEGRADED"), "degraded shards must be named: {log}");
+    assert!(log.contains("campaign-merge --partial"), "must point at the hand-off: {log}");
+    assert!(!dir.join("supervised.csv").exists(), "a degraded run must not write the CSV");
+
+    // The strict merge still refuses (incomplete, exit 5) …
+    let strict = Command::new(MERGE)
+        .args(CONFIG_FLAGS)
+        .args(["--dir", dir_s])
+        .output()
+        .expect("spawn campaign-merge");
+    assert_eq!(strict.status.code(), Some(5), "strict merge must refuse: {}", stderr_of(&strict));
+
+    // … and --partial is the explicit opt-out: exit 0, per-shard
+    // completeness, PARTIAL-titled coverage over what exists.
+    let partial = Command::new(MERGE)
+        .args(CONFIG_FLAGS)
+        .args(["--partial", "--dir", dir_s])
+        .output()
+        .expect("spawn campaign-merge --partial");
+    assert!(partial.status.success(), "partial merge failed: {}", stderr_of(&partial));
+    let stdout = stdout_of(&partial);
+    assert!(stdout.contains("Shard completeness"), "completeness table missing: {stdout}");
+    assert!(stdout.contains("degraded"), "quarantined shards must read degraded: {stdout}");
+    assert!(
+        stdout.contains("PARTIAL fault-injection coverage"),
+        "the partial table must be impossible to mistake for a full campaign: {stdout}"
+    );
+    assert!(
+        stderr_of(&partial).contains("partial merge: 2/12"),
+        "exactly one trial per shard survived the chaos: {}",
+        stderr_of(&partial)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

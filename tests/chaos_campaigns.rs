@@ -1,0 +1,155 @@
+//! Determinism invariant 12, pinned by property: under **any** scripted
+//! I/O fault plan, a supervised campaign either merges byte-identical to
+//! the one-shot golden or terminates with a typed, explicit failure —
+//! never a silent partial or corrupt merge.
+//!
+//! The harness is `supervise_in_process`: each shard incarnation runs
+//! over a fresh `ChaosFs` (panic-mode kills, so thousands of random
+//! scripts × shard counts × kill points run in seconds, no child
+//! processes), restarts resume, and the final directory is merged with
+//! the *real* filesystem — exactly what `campaign-merge` would see after
+//! a supervised run on a faulty disk. The process-level twin (real
+//! `campaignd --supervise` children under `--chaos`) lives in
+//! `crates/faults/tests/supervised_campaigns.rs`.
+
+use paradet::faults::chaosfs::CHAOS_KILL;
+use paradet::faults::supervisor::supervise_in_process;
+use paradet::faults::{
+    coverage_table, merge_campaign, merge_campaign_partial, merged_table, run_campaign,
+    CampaignConfig, ChaosScript, FaultSite, StoreError,
+};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::{Once, OnceLock};
+
+/// Small enough that a case (≤ 3 restarts × ≤ 3 shards) stays in the
+/// milliseconds, real enough to populate every outcome class.
+fn small_cfg() -> CampaignConfig {
+    CampaignConfig {
+        instrs: 1_500,
+        trials_per_site: 3,
+        sites: vec![FaultSite::IntReg, FaultSite::StoreValue],
+        ..CampaignConfig::default()
+    }
+}
+
+/// The one-shot golden table, rendered once — every chaos case that
+/// merges at all must reproduce these exact bytes.
+fn golden_table() -> &'static str {
+    static GOLDEN: OnceLock<String> = OnceLock::new();
+    GOLDEN.get_or_init(|| {
+        let cfg = small_cfg();
+        coverage_table(cfg.workload.name(), &run_campaign(&cfg)).render()
+    })
+}
+
+/// Scripted kills unwind as panics with the [`CHAOS_KILL`] payload; the
+/// default hook would spam a backtrace per kill across thousands of
+/// cases. Filter exactly those — any other panic still reports in full.
+fn quiet_chaos_kills() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let default = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            let is_kill = info.payload().downcast_ref::<String>().is_some_and(|s| s == CHAOS_KILL)
+                || info.payload().downcast_ref::<&str>().is_some_and(|s| *s == CHAOS_KILL);
+            if !is_kill {
+                default(info);
+            }
+        }));
+    });
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("paradet-chaos-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The empty-script anchor: with no faults armed the in-process harness
+/// itself must merge byte-identical — a regression here means the
+/// proptest below would be exercising a broken harness, not the store.
+#[test]
+fn supervised_harness_without_chaos_is_byte_identical() {
+    quiet_chaos_kills();
+    let cfg = small_cfg();
+    for shards in 1u32..=3 {
+        let dir = tmpdir(&format!("clean-{shards}"));
+        let script = ChaosScript::parse("").expect("empty script parses");
+        let outcome = supervise_in_process(&cfg, &dir, shards, 2, &script, 2);
+        assert!(outcome.all_completed(), "no chaos, no degradation: {:?}", outcome.fates);
+        let (manifest, result) = merge_campaign(&dir, Some(&cfg)).expect("merge");
+        assert_eq!(merged_table(&manifest, &result).render(), golden_table());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+proptest! {
+    /// Invariant 12 over random fault scripts × shard counts × checkpoint
+    /// cadences. Whatever the script does — torn or dropped writes, lost
+    /// renames, ENOSPC/EIO, lost locks, kills at any I/O point, on any
+    /// incarnation — exactly two endings are legal:
+    ///
+    /// * `merge_campaign` **succeeds** → the rendered table is
+    ///   byte-identical to the one-shot golden (checkpoints can lag or
+    ///   tear, but never lie);
+    /// * it **fails** → the error is a typed [`StoreError`], and an
+    ///   *incomplete* campaign is still explicitly accountable:
+    ///   `merge_campaign_partial` renders per-shard completeness over the
+    ///   verified prefixes instead of guessing.
+    #[test]
+    fn invariant_12_any_script_merges_golden_or_fails_typed(
+        seed in any::<u64>(),
+        shards in 1u32..=3,
+        every in 1u64..=3,
+    ) {
+        quiet_chaos_kills();
+        let cfg = small_cfg();
+        let script = ChaosScript::random(seed, 3);
+        let dir = tmpdir(&format!("prop-{seed:016x}-{shards}-{every}"));
+        let _outcome = supervise_in_process(&cfg, &dir, shards, every, &script, 2);
+
+        match merge_campaign(&dir, Some(&cfg)) {
+            Ok((manifest, result)) => {
+                prop_assert_eq!(
+                    merged_table(&manifest, &result).render(),
+                    golden_table(),
+                    "script `{}` (shards {}, every {}): a merge that succeeds must be \
+                     byte-identical to the golden",
+                    script.render(), shards, every
+                );
+            }
+            Err(StoreError::Incomplete(which)) => {
+                // Chaos starved some shard — legal only if the supervisor
+                // actually reported degradation or a checkpoint write was
+                // silently dropped; either way the partial merge must
+                // account for every shard explicitly.
+                let partial = merge_campaign_partial(&dir, Some(&cfg));
+                prop_assert!(
+                    partial.is_ok(),
+                    "script `{}`: incomplete ({which}) but partial merge failed: {:?}",
+                    script.render(), partial.err()
+                );
+                let partial = partial.unwrap();
+                prop_assert!(
+                    partial.completed < partial.grid,
+                    "script `{}`: strict merge refused a complete campaign", script.render()
+                );
+                prop_assert_eq!(partial.completeness.len(), shards as usize);
+            }
+            Err(e) => {
+                // Torn manifest, corrupt interior, schema, I/O: typed and
+                // explicit, never a plausible-but-wrong table. (A torn
+                // manifest can even coexist with complete checkpoints —
+                // the merge still refuses rather than trusting a store
+                // whose identity it cannot verify.)
+                prop_assert!(
+                    !e.to_string().is_empty(),
+                    "script `{}`: failure must carry a diagnosis", script.render()
+                );
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
